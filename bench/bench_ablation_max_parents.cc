@@ -1,0 +1,67 @@
+// Ablation (Sec 5.2 / Sec 6.1): the paper limits its Bayesian networks to
+// trees "to limit the number of tuning parameters", and mentions limiting
+// the number of parents as an efficiency lever. Compares max_parents = 1
+// (the paper's tree setting) against 2 and 3 on Flights SCorners:
+// accuracy of the BN answers plus structure/parameter learning time.
+// Expectation: wider families buy some accuracy at a superlinear learning
+// cost (CPT configurations multiply).
+#include "common.h"
+
+#include "bn/inference.h"
+#include "bn/learn.h"
+#include "stats/metrics.h"
+#include "util/logging.h"
+
+namespace themis::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Ablation", "BN max-parents (tree vs wider families)");
+  BenchScale scale;
+  DatasetSetup setup = MakeFlights(scale);
+  const double n = static_cast<double>(setup.population.num_rows());
+  const data::Table& sample = setup.samples.at("SCorners");
+  aggregate::AggregateSet aggregates =
+      MakePaperAggregates(setup.population, setup.covered_attrs, 5, 4, 2);
+
+  Rng rng(193);
+  auto queries = workload::MakeMixedPointQueries(
+      setup.population, 2, 4, workload::HitterClass::kRandom, scale.queries,
+      rng);
+
+  std::printf(
+      "  max_parents  edges  free_params  struct_s  param_s  avg_err\n");
+  for (size_t max_parents : {1ul, 2ul, 3ul}) {
+    bn::BnLearnOptions options;
+    options.variant = bn::BnVariant::kBB;
+    options.structure.max_parents = max_parents;
+    bn::BnLearnStats stats;
+    auto network = bn::LearnBayesNet(sample.schema(), &sample, &aggregates,
+                                     options, &stats);
+    THEMIS_CHECK(network.ok()) << network.status().ToString();
+
+    bn::VariableElimination ve(&*network);
+    std::vector<double> errors;
+    for (const auto& query : queries) {
+      bn::Evidence evidence;
+      for (size_t i = 0; i < query.attrs.size(); ++i) {
+        evidence[query.attrs[i]] = query.values[i];
+      }
+      auto p = ve.Probability(evidence);
+      errors.push_back(stats::PercentDifference(query.true_count,
+                                                p.ok() ? n * *p : 0.0));
+    }
+    std::printf("  %-11zu  %5zu  %11zu  %8.3f  %7.3f  %7.1f\n", max_parents,
+                network->dag().num_edges(), network->NumFreeParameters(),
+                stats.structure_seconds, stats.parameter_seconds,
+                stats::Mean(errors));
+  }
+}
+
+}  // namespace
+}  // namespace themis::bench
+
+int main() {
+  themis::bench::Run();
+  return 0;
+}

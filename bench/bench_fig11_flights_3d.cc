@@ -1,0 +1,13 @@
+// Reproduces Fig 11: Flights 3D aggregate sweep after 5 1D. Shape to reproduce: BB improves the most as
+// multi-dimensional aggregates are added (converging towards hybrid)
+// while IPF shows diminishing returns (Sec 6.5).
+#include "knowledge_sweep.h"
+
+int main() {
+  using namespace themis::bench;
+  PrintHeader("Fig 11", "Flights 3D aggregate sweep after 5 1D");
+  BenchScale scale;
+  DatasetSetup setup = MakeFlights(scale);
+  RunMultiDimSweep(setup, {"SCorners", "June"}, 3, scale, 72);
+  return 0;
+}

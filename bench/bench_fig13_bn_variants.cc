@@ -1,0 +1,81 @@
+// Reproduces Fig 13: the five BN learning variants (SS / SB / BS / AB /
+// BB) on SCorners for heavy- and light-hitter queries as 2D aggregates are
+// added on top of the 5 1D aggregates. Shape to reproduce: BB best
+// overall; parameter source matters more than structure source (SB > BS);
+// AB converges to BB as aggregates accumulate.
+#include "common.h"
+
+#include "bn/inference.h"
+#include "bn/learn.h"
+#include "stats/metrics.h"
+#include "util/logging.h"
+
+namespace themis::bench {
+namespace {
+
+/// BN-only point answering for a standalone network: n * Pr(values).
+std::vector<double> BnErrors(const bn::BayesianNetwork& network, double n,
+                             const std::vector<workload::PointQuery>& queries) {
+  bn::VariableElimination ve(&network);
+  std::vector<double> errors;
+  errors.reserve(queries.size());
+  for (const auto& query : queries) {
+    bn::Evidence evidence;
+    for (size_t i = 0; i < query.attrs.size(); ++i) {
+      evidence[query.attrs[i]] = query.values[i];
+    }
+    auto p = ve.Probability(evidence);
+    const double estimate = p.ok() ? n * *p : 0.0;
+    errors.push_back(stats::PercentDifference(query.true_count, estimate));
+  }
+  return errors;
+}
+
+void Run() {
+  PrintHeader("Fig 13", "BN variants SS/SB/BS/AB/BB on Flights SCorners");
+  BenchScale scale;
+  DatasetSetup setup = MakeFlights(scale);
+  const double n = static_cast<double>(setup.population.num_rows());
+  const data::Table& sample = setup.samples.at("SCorners");
+
+  Rng rng(131);
+  auto heavy = workload::MakeMixedPointQueries(
+      setup.population, 2, 4, workload::HitterClass::kHeavy, scale.queries,
+      rng);
+  auto light = workload::MakeMixedPointQueries(
+      setup.population, 2, 4, workload::HitterClass::kLight, scale.queries,
+      rng);
+
+  const std::vector<bn::BnVariant> variants = {
+      bn::BnVariant::kSS, bn::BnVariant::kSB, bn::BnVariant::kBS,
+      bn::BnVariant::kAB, bn::BnVariant::kBB};
+
+  for (const auto& [klass, queries] :
+       {std::pair{"heavy", &heavy}, std::pair{"light", &light}}) {
+    std::printf("-- %s hitters (avg perc diff per variant) --\n", klass);
+    std::printf("  #2D      SS      SB      BS      AB      BB\n");
+    for (size_t b = 0; b <= 4; ++b) {
+      aggregate::AggregateSet aggregates = MakePaperAggregates(
+          setup.population, setup.covered_attrs, 5, b);
+      std::printf("  %zu  ", b);
+      for (bn::BnVariant variant : variants) {
+        bn::BnLearnOptions options;
+        options.variant = variant;
+        auto network = bn::LearnBayesNet(sample.schema(), &sample,
+                                         &aggregates, options);
+        THEMIS_CHECK(network.ok()) << network.status().ToString();
+        auto errors = BnErrors(*network, n, *queries);
+        std::printf("  %6.1f", stats::Mean(errors));
+      }
+      std::printf("\n");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace themis::bench
+
+int main() {
+  themis::bench::Run();
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Reproduces Fig 15: aggregate pruning effectiveness on the CHILD dataset.
+// A 10% uniform sample plus full 1D aggregates; 2D aggregates are added in
+// batches selected either by the t-cherry pruning (Prune) or at random
+// (Rand), for the AB and BB variants, against the optimal error of the
+// ground-truth network (OPT). Shape to reproduce: Prune improves faster
+// than Rand; BB beats AB at low aggregate counts; both converge with
+// enough aggregates, approaching OPT.
+#include "common.h"
+
+#include "aggregate/pruning.h"
+#include "bn/child_network.h"
+#include "bn/inference.h"
+#include "bn/learn.h"
+#include "stats/metrics.h"
+#include "util/logging.h"
+#include "workload/child.h"
+
+namespace themis::bench {
+namespace {
+
+std::vector<double> BnErrors(const bn::BayesianNetwork& network, double n,
+                             const std::vector<workload::PointQuery>& queries) {
+  bn::VariableElimination ve(&network);
+  std::vector<double> errors;
+  errors.reserve(queries.size());
+  for (const auto& query : queries) {
+    bn::Evidence evidence;
+    for (size_t i = 0; i < query.attrs.size(); ++i) {
+      evidence[query.attrs[i]] = query.values[i];
+    }
+    auto p = ve.Probability(evidence);
+    const double estimate = p.ok() ? n * *p : 0.0;
+    errors.push_back(stats::PercentDifference(query.true_count, estimate));
+  }
+  return errors;
+}
+
+void Run() {
+  PrintHeader("Fig 15", "Aggregate pruning on CHILD (Prune vs Rand)");
+  BenchScale scale;
+  workload::ChildConfig config;
+  config.num_rows = static_cast<size_t>(20000 * workload::EnvScale());
+  data::Table population = workload::GenerateChild(config);
+  const double n = static_cast<double>(population.num_rows());
+  Rng sample_rng(151);
+  data::Table sample = workload::UniformSample(population, 0.1, sample_rng);
+
+  // Candidate 2D aggregates: all attribute pairs.
+  std::vector<size_t> attrs(population.num_attributes());
+  for (size_t a = 0; a < attrs.size(); ++a) attrs[a] = a;
+  std::vector<aggregate::AggregateSpec> candidates;
+  for (const auto& pair : workload::AllSubsets(attrs, 2)) {
+    candidates.push_back(aggregate::ComputeAggregate(population, pair));
+  }
+
+  // Queries: random point queries over attribute sets of size 2..6
+  // (scaled-down version of the paper's size 2..10 sweep).
+  Rng query_rng(152);
+  auto queries = workload::MakeMixedPointQueries(
+      population, 2, 6, workload::HitterClass::kRandom, scale.queries,
+      query_rng);
+
+  // OPT: the ground-truth network the data was sampled from.
+  bn::BayesianNetwork truth_network =
+      bn::MakeChildNetwork(config.network_seed);
+  auto opt_errors = BnErrors(truth_network, n, queries);
+  std::printf("  OPT (true network) mean error: %.1f\n",
+              stats::Mean(opt_errors));
+
+  std::printf("  #2D    RandAB  RandBB  PruneAB  PruneBB\n");
+  for (size_t budget : {5, 15, 25, 35, 45, 65}) {
+    std::printf("  %-4zu", budget);
+    for (const char* selection : {"Rand", "Prune"}) {
+      Rng select_rng(153);
+      std::vector<size_t> picked =
+          std::string(selection) == "Prune"
+              ? aggregate::SelectAggregatesTCherry(candidates, budget)
+              : aggregate::SelectAggregatesRandom(candidates, budget,
+                                                  select_rng);
+      aggregate::AggregateSet aggregates(population.schema());
+      for (size_t idx : picked) aggregates.Add(candidates[idx]);
+      for (size_t a = 0; a < attrs.size(); ++a) {
+        aggregates.Add(aggregate::ComputeAggregate(population, {a}));
+      }
+      for (bn::BnVariant variant : {bn::BnVariant::kAB, bn::BnVariant::kBB}) {
+        bn::BnLearnOptions options;
+        options.variant = variant;
+        auto network = bn::LearnBayesNet(population.schema(), &sample,
+                                         &aggregates, options);
+        THEMIS_CHECK(network.ok()) << network.status().ToString();
+        auto errors = BnErrors(*network, n, queries);
+        std::printf("  %6.1f", stats::Mean(errors));
+      }
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace themis::bench
+
+int main() {
+  themis::bench::Run();
+  return 0;
+}

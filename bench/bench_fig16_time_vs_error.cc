@@ -1,0 +1,101 @@
+// Reproduces Fig 16: average percent difference versus total solver time
+// (structure + parameter learning for BB; weight fitting for IPF) on IMDB
+// SR159 across 1D/2D aggregate combinations. Shape to reproduce: IPF is
+// almost always faster; BB reaches lower error, and its best error arrives
+// at the configurations with the most 2D aggregates.
+#include "common.h"
+
+#include "bn/inference.h"
+#include "bn/learn.h"
+#include "reweight/ipf.h"
+#include "stats/metrics.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace themis::bench {
+namespace {
+
+std::vector<double> SampleErrors(
+    const data::Table& sample,
+    const std::vector<workload::PointQuery>& queries) {
+  std::vector<double> errors;
+  errors.reserve(queries.size());
+  for (const auto& query : queries) {
+    auto groups = sample.GroupWeights(query.attrs);
+    auto it = groups.find(query.values);
+    const double estimate = it == groups.end() ? 0.0 : it->second;
+    errors.push_back(stats::PercentDifference(query.true_count, estimate));
+  }
+  return errors;
+}
+
+std::vector<double> BnErrors(const bn::BayesianNetwork& network, double n,
+                             const std::vector<workload::PointQuery>& queries) {
+  bn::VariableElimination ve(&network);
+  std::vector<double> errors;
+  errors.reserve(queries.size());
+  for (const auto& query : queries) {
+    bn::Evidence evidence;
+    for (size_t i = 0; i < query.attrs.size(); ++i) {
+      evidence[query.attrs[i]] = query.values[i];
+    }
+    auto p = ve.Probability(evidence);
+    errors.push_back(stats::PercentDifference(
+        query.true_count, p.ok() ? n * *p : 0.0));
+  }
+  return errors;
+}
+
+void Run() {
+  PrintHeader("Fig 16", "Error vs solver time on IMDB SR159");
+  BenchScale scale;
+  DatasetSetup setup = MakeImdb(scale);
+  const double n = static_cast<double>(setup.population.num_rows());
+  const data::Table& sample = setup.samples.at("SR159");
+
+  Rng rng(161);
+  auto queries = workload::MakeMixedPointQueries(
+      setup.population, 2, 3, workload::HitterClass::kRandom, scale.queries,
+      rng);
+
+  std::printf("  method  #1D  #2D   solver_s  avg_err\n");
+  for (size_t num_1d : {1ul, 3ul, 5ul}) {
+    for (size_t num_2d : {0ul, 1ul, 2ul, 4ul}) {
+      aggregate::AggregateSet aggregates = MakePaperAggregates(
+          setup.population, setup.covered_attrs, num_1d, num_2d);
+      // IPF: solver time = weight fitting.
+      {
+        data::Table s = sample.Clone();
+        reweight::IpfReweighter rw;
+        Timer timer;
+        THEMIS_CHECK_OK(rw.Reweight(s, aggregates, n));
+        const double seconds = timer.Seconds();
+        auto errors = SampleErrors(s, queries);
+        std::printf("  IPF     %3zu  %3zu   %8.3f  %7.1f\n", num_1d, num_2d,
+                    seconds, stats::Mean(errors));
+      }
+      // BB: solver time = structure + parameter learning.
+      {
+        bn::BnLearnOptions options;
+        options.variant = bn::BnVariant::kBB;
+        bn::BnLearnStats stats_out;
+        Timer timer;
+        auto network = bn::LearnBayesNet(sample.schema(), &sample,
+                                         &aggregates, options, &stats_out);
+        const double seconds = timer.Seconds();
+        THEMIS_CHECK(network.ok()) << network.status().ToString();
+        auto errors = BnErrors(*network, n, queries);
+        std::printf("  BB      %3zu  %3zu   %8.3f  %7.1f\n", num_1d, num_2d,
+                    seconds, stats::Mean(errors));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace themis::bench
+
+int main() {
+  themis::bench::Run();
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Reproduces Fig 3 and Table 4: heavy- and light-hitter point-query
+// percent-difference boxplots over the four Flights samples with B = 4 2D
+// aggregates (plus full 1D coverage), and the percentile improvement of
+// Themis's hybrid over uniform reweighting. Shape to reproduce: hybrid
+// lowest on supported samples; BB best on the unsupported Corners sample
+// with hybrid ahead of IPF; reweighting saturates at 200 for light hitters.
+#include "common.h"
+
+#include "stats/descriptive.h"
+#include "util/logging.h"
+
+namespace themis::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Fig 3 + Table 4",
+              "Flights heavy/light hitters, 4 2D aggregates");
+  BenchScale scale;
+  DatasetSetup setup = MakeFlights(scale);
+  aggregate::AggregateSet aggregates =
+      MakePaperAggregates(setup.population, setup.covered_attrs, 5, 4);
+
+  Rng rng(41);
+  auto heavy = workload::MakeMixedPointQueries(
+      setup.population, 2, 5, workload::HitterClass::kHeavy, scale.queries,
+      rng);
+  auto light = workload::MakeMixedPointQueries(
+      setup.population, 2, 5, workload::HitterClass::kLight, scale.queries,
+      rng);
+
+  for (const char* sample_name : {"Unif", "June", "SCorners", "Corners"}) {
+    auto suite = workload::MethodSuite::Build(
+        setup.samples.at(sample_name), aggregates,
+        static_cast<double>(setup.population.num_rows()), BenchOptions());
+    THEMIS_CHECK(suite.ok()) << suite.status().ToString();
+
+    std::vector<double> aqp_heavy, hybrid_heavy, aqp_light, hybrid_light;
+    for (const auto& [klass, queries] :
+         {std::pair{"heavy", &heavy}, std::pair{"light", &light}}) {
+      std::printf("-- %s, %s hitters (min/p25/med/p75/max) --\n",
+                  sample_name, klass);
+      for (const char* method : {"AQP", "IPF", "BB", "Hybrid"}) {
+        auto errors = suite->Errors(method, *queries);
+        THEMIS_CHECK(errors.ok());
+        PrintBoxplotRow(method, *errors);
+        if (std::string(method) == "AQP") {
+          (std::string(klass) == "heavy" ? aqp_heavy : aqp_light) = *errors;
+        }
+        if (std::string(method) == "Hybrid") {
+          (std::string(klass) == "heavy" ? hybrid_heavy : hybrid_light) =
+              *errors;
+        }
+      }
+    }
+    // Table 4: improvement factor AQP percentile / hybrid percentile.
+    std::printf("-- %s: Table 4 improvement (AQP pct / Hybrid pct) --\n",
+                sample_name);
+    for (double pct : {25.0, 50.0, 75.0}) {
+      const double h_heavy = stats::Percentile(hybrid_heavy, pct);
+      const double a_heavy = stats::Percentile(aqp_heavy, pct);
+      const double h_light = stats::Percentile(hybrid_light, pct);
+      const double a_light = stats::Percentile(aqp_light, pct);
+      auto ratio = [](double a, double h) {
+        return h <= 0 ? std::string("inf")
+                      : StrFormat("%6.1f", a / h);
+      };
+      std::printf("  p%-3.0f  heavy %s   light %s\n", pct,
+                  ratio(a_heavy, h_heavy).c_str(),
+                  ratio(a_light, h_light).c_str());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace themis::bench
+
+int main() {
+  themis::bench::Run();
+  return 0;
+}

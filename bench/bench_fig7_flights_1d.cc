@@ -1,0 +1,13 @@
+// Reproduces Fig 7: Flights 1D aggregate sweep (orders A and B). Shape to reproduce: the biggest accuracy
+// jump for IPF/BB/hybrid comes when the 1D aggregate over the attribute
+// causing the sample's bias is added (Sec 6.5).
+#include "knowledge_sweep.h"
+
+int main() {
+  using namespace themis::bench;
+  PrintHeader("Fig 7", "Flights 1D aggregate sweep (orders A and B)");
+  BenchScale scale;
+  DatasetSetup setup = MakeFlights(scale);
+  Run1dSweep(setup, {"SCorners", "June"}, scale, 71);
+  return 0;
+}

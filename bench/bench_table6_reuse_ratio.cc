@@ -1,0 +1,100 @@
+// Reproduces Table 6: the error ratio of Themis's hybrid over the reuse
+// baseline of Galakatos et al. [33] for GROUP BY COUNT(*) queries over
+// O-DE and DT-DE as the Corners bias decreases, using a single 1D
+// aggregate over O. Shape to reproduce: ratio ≈ 1 for O-DE (both exploit
+// the O aggregate); ratio well above 1... inverted: the paper reports
+// err_Themis/err_[33] — ≈1 on O-DE and *below* is better; on DT-DE the
+// baseline cannot use the aggregate (falls back to uniform) so the ratio
+// moves in Themis's favor as reported (values > 1 in the paper's table
+// denote [33]'s error exceeding Themis's by that factor; we print
+// err_[33]/err_Themis so larger = Themis better, matching the narrative).
+#include "common.h"
+
+#include "stats/metrics.h"
+#include "workload/reuse_baseline.h"
+#include "util/logging.h"
+
+namespace themis::bench {
+namespace {
+
+using workload::FlightsAttrs;
+
+/// Group-by estimate from an evaluator, as a key->count map on codes.
+std::unordered_map<data::TupleKey, double, data::TupleKeyHash> HybridGroupBy(
+    const workload::MethodSuite& suite, const data::Table& population,
+    size_t attr_a, size_t attr_b) {
+  const auto& schema = *population.schema();
+  std::string sql = StrFormat(
+      "SELECT %s, %s, COUNT(*) FROM sample GROUP BY %s, %s",
+      schema.attribute_name(attr_a).c_str(),
+      schema.attribute_name(attr_b).c_str(),
+      schema.attribute_name(attr_a).c_str(),
+      schema.attribute_name(attr_b).c_str());
+  auto result = suite.Query("Hybrid", sql);
+  THEMIS_CHECK(result.ok()) << result.status().ToString();
+  std::unordered_map<data::TupleKey, double, data::TupleKeyHash> out;
+  for (const auto& row : result->rows) {
+    auto ca = schema.domain(attr_a).Code(row.group[0]);
+    auto cb = schema.domain(attr_b).Code(row.group[1]);
+    THEMIS_CHECK(ca.ok() && cb.ok());
+    out[{*ca, *cb}] = row.values[0];
+  }
+  return out;
+}
+
+void Run() {
+  PrintHeader("Table 6",
+              "Hybrid vs reuse baseline [33], 1D aggregate over O");
+  BenchScale scale;
+  DatasetSetup setup = MakeFlights(scale);
+  const double n = static_cast<double>(setup.population.num_rows());
+  aggregate::AggregateSet aggregates(setup.population.schema());
+  aggregates.Add(aggregate::ComputeAggregate(setup.population,
+                                             {FlightsAttrs::kOrigin}));
+
+  const workload::SelectionCriterion corners{
+      FlightsAttrs::kOrigin, {"CA", "NY", "FL", "WA"}};
+  const std::vector<std::pair<std::string, std::pair<size_t, size_t>>>
+      pairs = {{"O-DE", {FlightsAttrs::kOrigin, FlightsAttrs::kDest}},
+               {"DT-DE", {FlightsAttrs::kDistance, FlightsAttrs::kDest}}};
+
+  std::printf("  (err_[33] / err_Themis; >1 means Themis wins)\n");
+  std::printf("  bias     O-DE    DT-DE\n");
+  for (double bias : {1.0, 0.98, 0.96, 0.94, 0.92, 0.90}) {
+    Rng rng(62);
+    auto sample =
+        workload::BiasedSample(setup.population, 0.1, bias, corners, rng);
+    THEMIS_CHECK(sample.ok());
+    auto suite =
+        workload::MethodSuite::Build(*sample, aggregates, n, BenchOptions());
+    THEMIS_CHECK(suite.ok()) << suite.status().ToString();
+    // [33] conditions on the *raw* sample (unit weights) and reuses only
+    // the known Pr(O) from the aggregate.
+    workload::ReuseBaseline baseline(&*sample, &aggregates, n);
+
+    std::printf("  %.2f", bias);
+    for (const auto& [label, attr_pair] : pairs) {
+      auto truth =
+          setup.population.GroupWeights({attr_pair.first, attr_pair.second});
+      auto themis_est = HybridGroupBy(*suite, setup.population,
+                                      attr_pair.first, attr_pair.second);
+      auto reuse_est =
+          baseline.GroupByPair(attr_pair.first, attr_pair.second);
+      THEMIS_CHECK(reuse_est.ok());
+      const double themis_err =
+          stats::GroupByPercentDifference(truth, themis_est);
+      const double reuse_err =
+          stats::GroupByPercentDifference(truth, *reuse_est);
+      std::printf("  %6.2f", themis_err > 0 ? reuse_err / themis_err : 99.0);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace themis::bench
+
+int main() {
+  themis::bench::Run();
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Reproduces Table 7 (google-benchmark): average point-query execution
+// time for the reweighted-sample path (RW — any reweighting technique,
+// they are stored and queried identically) and for exact BN inference
+// under each learning variant, on IMDB SR159 with 4 2D aggregates. Shape
+// to reproduce: both are interactive; BN inference is in the same order
+// of magnitude as (and here typically faster than) scanning the sample.
+#include <benchmark/benchmark.h>
+
+#include "common.h"
+
+#include "bn/inference.h"
+#include "bn/learn.h"
+#include "core/evaluator.h"
+#include "core/model.h"
+#include "util/logging.h"
+
+namespace themis::bench {
+namespace {
+
+struct Table7State {
+  DatasetSetup setup;
+  std::unique_ptr<core::ThemisModel> model;
+  std::unique_ptr<core::HybridEvaluator> evaluator;
+  std::map<std::string, bn::BayesianNetwork> networks;
+  std::vector<workload::PointQuery> queries;
+
+  Table7State() : setup(MakeImdb(BenchScale())) {
+    const double n = static_cast<double>(setup.population.num_rows());
+    aggregate::AggregateSet aggregates =
+        MakePaperAggregates(setup.population, setup.covered_attrs, 5, 4);
+    core::ThemisOptions options = BenchOptions();
+    options.population_size = n;
+    options.enable_bn = false;
+    auto model = core::ThemisModel::Build(
+        setup.samples.at("SR159").Clone(), aggregates, options);
+    THEMIS_CHECK(model.ok());
+    this->model = std::make_unique<core::ThemisModel>(std::move(model).value());
+    evaluator = std::make_unique<core::HybridEvaluator>(this->model.get());
+    for (bn::BnVariant variant :
+         {bn::BnVariant::kSS, bn::BnVariant::kSB, bn::BnVariant::kBS,
+          bn::BnVariant::kAB, bn::BnVariant::kBB}) {
+      bn::BnLearnOptions bn_options;
+      bn_options.variant = variant;
+      auto network =
+          bn::LearnBayesNet(setup.population.schema(),
+                            &setup.samples.at("SR159"), &aggregates,
+                            bn_options);
+      THEMIS_CHECK(network.ok());
+      networks.emplace(bn::BnVariantName(variant),
+                       std::move(network).value());
+    }
+    Rng rng(171);
+    queries = workload::MakeMixedPointQueries(
+        setup.population, 2, 3, workload::HitterClass::kRandom, 100, rng);
+  }
+};
+
+Table7State& State() {
+  static Table7State* state = new Table7State();
+  return *state;
+}
+
+void BM_PointQuery_RW(benchmark::State& bench) {
+  Table7State& s = State();
+  size_t i = 0;
+  for (auto _ : bench) {
+    const auto& q = s.queries[i++ % s.queries.size()];
+    auto result = s.evaluator->PointEstimate(q.attrs, q.values,
+                                             core::AnswerMode::kSampleOnly);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_PointQuery_RW);
+
+void BnBench(benchmark::State& bench, const std::string& variant) {
+  Table7State& s = State();
+  const bn::BayesianNetwork& network = s.networks.at(variant);
+  const double n = s.model->population_size();
+  bn::VariableElimination ve(&network);
+  size_t i = 0;
+  for (auto _ : bench) {
+    const auto& q = s.queries[i++ % s.queries.size()];
+    bn::Evidence evidence;
+    for (size_t j = 0; j < q.attrs.size(); ++j) {
+      evidence[q.attrs[j]] = q.values[j];
+    }
+    auto p = ve.Probability(evidence);
+    const double estimate = p.ok() ? n * *p : 0.0;
+    benchmark::DoNotOptimize(estimate);
+  }
+}
+
+void BM_PointQuery_SS(benchmark::State& b) { BnBench(b, "SS"); }
+void BM_PointQuery_SB(benchmark::State& b) { BnBench(b, "SB"); }
+void BM_PointQuery_BS(benchmark::State& b) { BnBench(b, "BS"); }
+void BM_PointQuery_AB(benchmark::State& b) { BnBench(b, "AB"); }
+void BM_PointQuery_BB(benchmark::State& b) { BnBench(b, "BB"); }
+BENCHMARK(BM_PointQuery_SS);
+BENCHMARK(BM_PointQuery_SB);
+BENCHMARK(BM_PointQuery_BS);
+BENCHMARK(BM_PointQuery_AB);
+BENCHMARK(BM_PointQuery_BB);
+
+}  // namespace
+}  // namespace themis::bench
+
+BENCHMARK_MAIN();

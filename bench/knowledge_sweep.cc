@@ -1,0 +1,96 @@
+#include "knowledge_sweep.h"
+
+#include "util/logging.h"
+
+namespace themis::bench {
+
+namespace {
+
+std::vector<workload::PointQuery> SweepQueries(const DatasetSetup& setup,
+                                               const BenchScale& scale,
+                                               uint64_t seed) {
+  Rng rng(seed);
+  const size_t max_dim =
+      std::min<size_t>(setup.population.num_attributes(), 4);
+  return workload::MakeMixedPointQueries(setup.population, 2, max_dim,
+                                         workload::HitterClass::kRandom,
+                                         scale.queries, rng);
+}
+
+void PrintSweepRow(const workload::MethodSuite& suite,
+                   const std::vector<workload::PointQuery>& queries,
+                   const std::string& prefix) {
+  std::printf("  %-10s", prefix.c_str());
+  for (const char* method : {"AQP", "IPF", "BB", "Hybrid"}) {
+    auto errors = suite.Errors(method, queries);
+    THEMIS_CHECK(errors.ok()) << errors.status().ToString();
+    std::printf("  %6.1f", stats::Mean(*errors));
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+void Run1dSweep(const DatasetSetup& setup,
+                const std::vector<std::string>& sample_names,
+                const BenchScale& scale, uint64_t seed) {
+  auto queries = SweepQueries(setup, scale, seed);
+  const double n = static_cast<double>(setup.population.num_rows());
+  for (const std::string& sample_name : sample_names) {
+    for (const char* order : {"A", "B"}) {
+      std::vector<size_t> attrs = setup.covered_attrs;
+      if (std::string(order) == "B") {
+        std::reverse(attrs.begin(), attrs.end());
+      }
+      std::printf("-- %s, order %s --\n", sample_name.c_str(), order);
+      std::printf("  #1D aggs      AQP     IPF      BB  Hybrid\n");
+      for (size_t b = 1; b <= attrs.size(); ++b) {
+        aggregate::AggregateSet aggregates(setup.population.schema());
+        for (size_t i = 0; i < b; ++i) {
+          aggregates.Add(
+              aggregate::ComputeAggregate(setup.population, {attrs[i]}));
+        }
+        auto suite = workload::MethodSuite::Build(
+            setup.samples.at(sample_name), aggregates, n, BenchOptions());
+        THEMIS_CHECK(suite.ok()) << suite.status().ToString();
+        PrintSweepRow(*suite, queries, StrFormat("%zu", b));
+      }
+    }
+  }
+}
+
+void RunMultiDimSweep(const DatasetSetup& setup,
+                      const std::vector<std::string>& sample_names,
+                      size_t d, const BenchScale& scale, uint64_t seed) {
+  auto queries = SweepQueries(setup, scale, seed);
+  const double n = static_cast<double>(setup.population.num_rows());
+  for (const std::string& sample_name : sample_names) {
+    std::printf("-- %s --\n", sample_name.c_str());
+    std::printf("  #%zuD aggs      AQP     IPF      BB  Hybrid\n", d);
+    for (size_t b = 0; b <= 4; ++b) {
+      aggregate::AggregateSet aggregates = MakePaperAggregates(
+          setup.population, setup.covered_attrs, setup.covered_attrs.size(),
+          d == 2 ? b : 0, d == 3 ? b : 0);
+      auto suite = workload::MethodSuite::Build(
+          setup.samples.at(sample_name), aggregates, n, BenchOptions());
+      THEMIS_CHECK(suite.ok()) << suite.status().ToString();
+      PrintSweepRow(*suite, queries, StrFormat("%zu", b));
+    }
+    if (d == 3) {
+      // Reference line: hybrid with 4 2D aggregates (the green line of
+      // Figs 11/12).
+      aggregate::AggregateSet reference = MakePaperAggregates(
+          setup.population, setup.covered_attrs, setup.covered_attrs.size(),
+          4, 0);
+      auto suite = workload::MethodSuite::Build(
+          setup.samples.at(sample_name), reference, n, BenchOptions());
+      THEMIS_CHECK(suite.ok());
+      auto errors = suite->Errors("Hybrid", queries);
+      THEMIS_CHECK(errors.ok());
+      std::printf("  (4 2D reference: hybrid mean %.1f)\n",
+                  stats::Mean(*errors));
+    }
+  }
+}
+
+}  // namespace themis::bench

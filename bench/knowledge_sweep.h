@@ -1,0 +1,30 @@
+#ifndef THEMIS_BENCH_KNOWLEDGE_SWEEP_H_
+#define THEMIS_BENCH_KNOWLEDGE_SWEEP_H_
+
+#include <string>
+#include <vector>
+
+#include "common.h"
+
+namespace themis::bench {
+
+/// Shared implementation of the "changing aggregate knowledge" figures
+/// (Sec 6.5, Figs 7-12): average percent difference of random point
+/// queries per method as aggregates are added.
+
+/// Figs 7/8: add the 1D aggregates one at a time in the given attribute
+/// order (order A) and in reverse (order B), with no multi-D aggregates.
+void Run1dSweep(const DatasetSetup& setup,
+                const std::vector<std::string>& sample_names,
+                const BenchScale& scale, uint64_t seed);
+
+/// Figs 9/10 (d=2) and 11/12 (d=3): add 0..4 d-dimensional aggregates
+/// (t-cherry selected) after all five 1D aggregates. For d=3 also prints
+/// the hybrid reference line at 4 2D aggregates.
+void RunMultiDimSweep(const DatasetSetup& setup,
+                      const std::vector<std::string>& sample_names,
+                      size_t d, const BenchScale& scale, uint64_t seed);
+
+}  // namespace themis::bench
+
+#endif  // THEMIS_BENCH_KNOWLEDGE_SWEEP_H_

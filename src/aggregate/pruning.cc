@@ -1,0 +1,154 @@
+#include "aggregate/pruning.h"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "stats/info.h"
+#include "util/logging.h"
+
+namespace themis::aggregate {
+
+namespace {
+
+/// A candidate cluster with one of its (k-1)-element separators, scored by
+/// I(X_C) - I(X_S) computed from the candidate aggregate itself.
+struct ClusterSeparator {
+  size_t candidate_index;       // into `candidates`
+  std::vector<size_t> cluster;  // == candidates[candidate_index].attrs
+  std::vector<size_t> separator;
+  double score;
+};
+
+/// Enumerates every (cluster, separator) pair from the candidate
+/// aggregates. Support in Γ is implied: each candidate *is* an aggregate,
+/// so its joint (and any marginal) is computable from Γ alone.
+std::vector<ClusterSeparator> GenClusterSeparatorPairs(
+    const std::vector<AggregateSpec>& candidates,
+    const std::set<size_t>& excluded_candidates) {
+  std::vector<ClusterSeparator> pairs;
+  for (size_t ci = 0; ci < candidates.size(); ++ci) {
+    if (excluded_candidates.count(ci)) continue;
+    const AggregateSpec& spec = candidates[ci];
+    if (spec.dimension() < 2) continue;  // 1D aggregates are kept elsewhere
+    stats::FreqTable joint = spec.ToFreqTable();
+    const double cluster_info = stats::InformationContent(joint);
+    // One pair per leave-one-out separator.
+    for (size_t drop = 0; drop < spec.attrs.size(); ++drop) {
+      ClusterSeparator cs;
+      cs.candidate_index = ci;
+      cs.cluster = spec.attrs;
+      cs.separator = spec.attrs;
+      cs.separator.erase(cs.separator.begin() + static_cast<long>(drop));
+      const double sep_info =
+          cs.separator.size() < 2
+              ? 0.0
+              : stats::InformationContent(
+                    joint.MarginalizeTo(cs.separator));
+      cs.score = cluster_info - sep_info;
+      pairs.push_back(std::move(cs));
+    }
+  }
+  std::sort(pairs.begin(), pairs.end(),
+            [](const ClusterSeparator& a, const ClusterSeparator& b) {
+              return a.score > b.score;
+            });
+  return pairs;
+}
+
+bool IsSubset(const std::vector<size_t>& small,
+              const std::vector<size_t>& big) {
+  for (size_t v : small) {
+    if (!std::binary_search(big.begin(), big.end(), v)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<size_t> SelectAggregatesTCherry(
+    const std::vector<AggregateSpec>& candidates, size_t budget) {
+  std::vector<size_t> selected;
+  if (budget == 0) return selected;
+  std::set<size_t> used;  // candidate indices already chosen (any tree)
+
+  std::vector<ClusterSeparator> pool =
+      GenClusterSeparatorPairs(candidates, used);
+  if (pool.empty()) return selected;
+
+  // Tree state: clusters of the current tree and attributes covered so far.
+  std::vector<std::vector<size_t>> tree_clusters;
+  std::set<size_t> covered;
+
+  auto start_tree = [&]() -> bool {
+    pool = GenClusterSeparatorPairs(candidates, used);
+    if (pool.empty()) return false;
+    const ClusterSeparator& seed = pool.front();
+    tree_clusters = {seed.cluster};
+    covered.clear();
+    covered.insert(seed.cluster.begin(), seed.cluster.end());
+    used.insert(seed.candidate_index);
+    selected.push_back(seed.candidate_index);
+    return true;
+  };
+
+  if (!start_tree()) return selected;
+
+  // Attributes appearing anywhere in the candidate pool — "all attributes
+  // covered" is relative to what the candidates can reach.
+  std::set<size_t> all_attrs;
+  for (const auto& spec : candidates) {
+    if (spec.dimension() >= 2) {
+      all_attrs.insert(spec.attrs.begin(), spec.attrs.end());
+    }
+  }
+
+  while (selected.size() < budget) {
+    // Greedy step: best unused pair whose separator is contained in some
+    // tree cluster and which covers a new attribute.
+    bool added = false;
+    for (const ClusterSeparator& cs : pool) {
+      if (used.count(cs.candidate_index)) continue;
+      bool separator_ok = false;
+      for (const auto& cluster : tree_clusters) {
+        if (IsSubset(cs.separator, cluster)) {
+          separator_ok = true;
+          break;
+        }
+      }
+      if (!separator_ok) continue;
+      bool new_attr = false;
+      for (size_t a : cs.cluster) {
+        if (!covered.count(a)) {
+          new_attr = true;
+          break;
+        }
+      }
+      if (!new_attr) continue;
+      tree_clusters.push_back(cs.cluster);
+      covered.insert(cs.cluster.begin(), cs.cluster.end());
+      used.insert(cs.candidate_index);
+      selected.push_back(cs.candidate_index);
+      added = true;
+      break;
+    }
+    if (added) continue;
+    // Either all attributes are covered or the tree cannot grow; start a
+    // new tree over the remaining candidates (Alg 4's multi-iteration
+    // extension for budgets above the attribute count).
+    if (!start_tree()) break;
+  }
+  if (selected.size() > budget) selected.resize(budget);
+  return selected;
+}
+
+std::vector<size_t> SelectAggregatesRandom(
+    const std::vector<AggregateSpec>& candidates, size_t budget, Rng& rng) {
+  std::vector<size_t> idx(candidates.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  std::shuffle(idx.begin(), idx.end(), rng.engine());
+  if (idx.size() > budget) idx.resize(budget);
+  return idx;
+}
+
+}  // namespace themis::aggregate

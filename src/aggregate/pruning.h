@@ -1,0 +1,31 @@
+#ifndef THEMIS_AGGREGATE_PRUNING_H_
+#define THEMIS_AGGREGATE_PRUNING_H_
+
+#include <vector>
+
+#include "aggregate/aggregate.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace themis::aggregate {
+
+/// Aggregate selection (Sec 5.1): given many candidate aggregates and a
+/// budget B, choose the B most informative ones using a modified k-order
+/// t-cherry junction tree construction (Alg 4). Cluster-separator pairs are
+/// scored I(X_C) - I(X_S); only clusters with support in Γ are considered
+/// (the mutual information must be computable from Γ alone); multiple tree
+/// iterations are allowed when B exceeds the attribute count, and duplicate
+/// clusters are disallowed.
+///
+/// Returns the indices into `candidates` of the selected aggregates, in
+/// selection order, at most `budget` of them.
+std::vector<size_t> SelectAggregatesTCherry(
+    const std::vector<AggregateSpec>& candidates, size_t budget);
+
+/// Baseline for Fig 15: selects `budget` candidates uniformly at random.
+std::vector<size_t> SelectAggregatesRandom(
+    const std::vector<AggregateSpec>& candidates, size_t budget, Rng& rng);
+
+}  // namespace themis::aggregate
+
+#endif  // THEMIS_AGGREGATE_PRUNING_H_

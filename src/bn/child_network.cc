@@ -1,0 +1,99 @@
+#include "bn/child_network.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace themis::bn {
+
+namespace {
+
+struct NodeSpec {
+  const char* name;
+  int domain_size;
+};
+
+/// The 20 CHILD nodes with their published domain sizes.
+constexpr NodeSpec kNodes[] = {
+    {"BirthAsphyxia", 2}, {"Disease", 6},     {"Age", 3},
+    {"Sick", 2},          {"DuctFlow", 3},    {"CardiacMixing", 4},
+    {"LungParench", 3},   {"LungFlow", 3},    {"LVH", 2},
+    {"Grunting", 2},      {"HypDistrib", 2},  {"HypoxiaInO2", 3},
+    {"CO2", 3},           {"ChestXray", 5},   {"LVHreport", 2},
+    {"GruntingReport", 2},{"LowerBodyO2", 3}, {"RUQO2", 3},
+    {"CO2Report", 2},     {"XrayReport", 5},
+};
+
+/// The 25 published arcs, by node name.
+constexpr std::pair<const char*, const char*> kArcs[] = {
+    {"BirthAsphyxia", "Disease"},
+    {"Disease", "Sick"},
+    {"Disease", "DuctFlow"},
+    {"Disease", "CardiacMixing"},
+    {"Disease", "LungParench"},
+    {"Disease", "LungFlow"},
+    {"Disease", "LVH"},
+    {"Disease", "Age"},
+    {"Sick", "Age"},
+    {"Sick", "Grunting"},
+    {"LungParench", "Grunting"},
+    {"LVH", "LVHreport"},
+    {"DuctFlow", "HypDistrib"},
+    {"CardiacMixing", "HypDistrib"},
+    {"CardiacMixing", "HypoxiaInO2"},
+    {"LungParench", "HypoxiaInO2"},
+    {"LungParench", "CO2"},
+    {"LungParench", "ChestXray"},
+    {"LungFlow", "ChestXray"},
+    {"Grunting", "GruntingReport"},
+    {"HypDistrib", "LowerBodyO2"},
+    {"HypoxiaInO2", "LowerBodyO2"},
+    {"HypoxiaInO2", "RUQO2"},
+    {"CO2", "CO2Report"},
+    {"ChestXray", "XrayReport"},
+};
+
+}  // namespace
+
+BayesianNetwork MakeChildNetwork(uint64_t seed) {
+  auto schema = std::make_shared<data::Schema>();
+  for (const NodeSpec& spec : kNodes) {
+    std::vector<std::string> labels;
+    for (int v = 0; v < spec.domain_size; ++v) {
+      labels.push_back(std::string(spec.name) + "_" + std::to_string(v));
+    }
+    schema->AddAttribute(spec.name, std::move(labels));
+  }
+
+  Dag dag(schema->num_attributes());
+  for (const auto& [from, to] : kArcs) {
+    auto fi = schema->AttributeIndex(from);
+    auto ti = schema->AttributeIndex(to);
+    THEMIS_CHECK(fi.ok() && ti.ok());
+    THEMIS_CHECK_OK(dag.AddEdge(*fi, *ti));
+  }
+
+  BayesianNetwork network(schema, dag);
+  // Deterministic skewed CPT rows: p_j ∝ exp(2 g_j), g ~ N(0,1). The skew
+  // keeps the network far from uniform so structure/parameter recovery is
+  // actually tested.
+  Rng rng(seed);
+  for (size_t v = 0; v < network.num_nodes(); ++v) {
+    Cpt& cpt = network.mutable_cpt(v);
+    for (size_t cfg = 0; cfg < cpt.num_configs(); ++cfg) {
+      double total = 0;
+      std::vector<double> row(cpt.child_size());
+      for (size_t j = 0; j < cpt.child_size(); ++j) {
+        row[j] = std::exp(2.0 * rng.Normal(0, 1));
+        total += row[j];
+      }
+      for (size_t j = 0; j < cpt.child_size(); ++j) {
+        cpt.SetProb(cfg, static_cast<data::ValueCode>(j), row[j] / total);
+      }
+    }
+  }
+  return network;
+}
+
+}  // namespace themis::bn

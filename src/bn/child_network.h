@@ -1,0 +1,23 @@
+#ifndef THEMIS_BN_CHILD_NETWORK_H_
+#define THEMIS_BN_CHILD_NETWORK_H_
+
+#include "bn/bayes_net.h"
+
+namespace themis::bn {
+
+/// The CHILD Bayesian network (Spiegelhalter's congenital heart disease
+/// network from the bnlearn repository): 20 discrete nodes, 25 arcs. The
+/// paper samples its synthetic CHILD dataset (n = 20,000) from this
+/// network to evaluate aggregate pruning (Fig 15).
+///
+/// The structure (nodes, domains, arcs) is the published one; the CPTs are
+/// synthetic — generated deterministically from `seed` with skewed
+/// Dirichlet-style rows — because the exact published tables are not
+/// bundled here. This preserves what Fig 15 measures: a known ground-truth
+/// network to compare learned models against (see DESIGN.md,
+/// substitutions).
+BayesianNetwork MakeChildNetwork(uint64_t seed = 7);
+
+}  // namespace themis::bn
+
+#endif  // THEMIS_BN_CHILD_NETWORK_H_

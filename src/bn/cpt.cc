@@ -1,0 +1,93 @@
+#include "bn/cpt.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace themis::bn {
+
+Cpt::Cpt(size_t child, size_t child_size, std::vector<size_t> parents,
+         std::vector<size_t> parent_sizes)
+    : child_(child),
+      child_size_(child_size),
+      parents_(std::move(parents)),
+      parent_sizes_(std::move(parent_sizes)) {
+  THEMIS_CHECK(child_size_ > 0);
+  THEMIS_CHECK(parents_.size() == parent_sizes_.size());
+  num_configs_ = 1;
+  for (size_t s : parent_sizes_) {
+    THEMIS_CHECK(s > 0);
+    num_configs_ *= s;
+  }
+  probs_.assign(num_configs_ * child_size_, 0.0);
+}
+
+size_t Cpt::ConfigIndex(const data::TupleKey& parent_codes) const {
+  THEMIS_DCHECK(parent_codes.size() == parents_.size());
+  size_t idx = 0;
+  for (size_t i = 0; i < parents_.size(); ++i) {
+    THEMIS_DCHECK(parent_codes[i] >= 0 &&
+                  static_cast<size_t>(parent_codes[i]) < parent_sizes_[i]);
+    idx = idx * parent_sizes_[i] + static_cast<size_t>(parent_codes[i]);
+  }
+  return idx;
+}
+
+data::TupleKey Cpt::DecodeConfig(size_t config) const {
+  data::TupleKey codes(parents_.size());
+  for (size_t ii = 0; ii < parents_.size(); ++ii) {
+    const size_t i = parents_.size() - 1 - ii;
+    codes[i] = static_cast<data::ValueCode>(config % parent_sizes_[i]);
+    config /= parent_sizes_[i];
+  }
+  return codes;
+}
+
+void Cpt::FillUniform() {
+  const double p = 1.0 / static_cast<double>(child_size_);
+  for (double& v : probs_) v = p;
+}
+
+void Cpt::NormalizeRows() {
+  for (size_t cfg = 0; cfg < num_configs_; ++cfg) {
+    double total = 0;
+    for (size_t j = 0; j < child_size_; ++j) {
+      total += probs_[cfg * child_size_ + j];
+    }
+    if (total <= 0) {
+      for (size_t j = 0; j < child_size_; ++j) {
+        probs_[cfg * child_size_ + j] =
+            1.0 / static_cast<double>(child_size_);
+      }
+    } else {
+      for (size_t j = 0; j < child_size_; ++j) {
+        probs_[cfg * child_size_ + j] /= total;
+      }
+    }
+  }
+}
+
+bool Cpt::RowsAreSimplexes(double tol) const {
+  for (size_t cfg = 0; cfg < num_configs_; ++cfg) {
+    double total = 0;
+    for (size_t j = 0; j < child_size_; ++j) {
+      const double p = probs_[cfg * child_size_ + j];
+      if (p < -tol || !std::isfinite(p)) return false;
+      total += p;
+    }
+    if (std::abs(total - 1.0) > tol) return false;
+  }
+  return true;
+}
+
+data::ValueCode Cpt::Sample(size_t config, Rng& rng) const {
+  const double r = rng.UniformDouble();
+  double acc = 0;
+  for (size_t j = 0; j < child_size_; ++j) {
+    acc += probs_[config * child_size_ + j];
+    if (r < acc) return static_cast<data::ValueCode>(j);
+  }
+  return static_cast<data::ValueCode>(child_size_ - 1);
+}
+
+}  // namespace themis::bn

@@ -1,0 +1,141 @@
+#include "bn/dag.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace themis::bn {
+
+bool Dag::HasEdge(size_t from, size_t to) const {
+  THEMIS_DCHECK(from < num_nodes() && to < num_nodes());
+  const auto& p = parents_[to];
+  return std::binary_search(p.begin(), p.end(), from);
+}
+
+bool Dag::Reaches(size_t start, size_t target) const {
+  // DFS along child edges; graph is small (tens of nodes).
+  std::vector<bool> visited(num_nodes(), false);
+  std::vector<size_t> stack = {start};
+  while (!stack.empty()) {
+    size_t u = stack.back();
+    stack.pop_back();
+    if (u == target) return true;
+    if (visited[u]) continue;
+    visited[u] = true;
+    for (size_t v = 0; v < num_nodes(); ++v) {
+      if (HasEdge(u, v) && !visited[v]) stack.push_back(v);
+    }
+  }
+  return false;
+}
+
+bool Dag::WouldCreateCycle(size_t from, size_t to) const {
+  if (from == to) return true;
+  return Reaches(to, from);
+}
+
+Status Dag::AddEdge(size_t from, size_t to) {
+  if (from >= num_nodes() || to >= num_nodes()) {
+    return Status::InvalidArgument("node index out of range");
+  }
+  if (HasEdge(from, to)) return Status::AlreadyExists("edge exists");
+  if (WouldCreateCycle(from, to)) {
+    return Status::FailedPrecondition("edge would create a cycle");
+  }
+  auto& p = parents_[to];
+  p.insert(std::upper_bound(p.begin(), p.end(), from), from);
+  return Status::OK();
+}
+
+Status Dag::RemoveEdge(size_t from, size_t to) {
+  if (!HasEdge(from, to)) return Status::NotFound("edge absent");
+  auto& p = parents_[to];
+  p.erase(std::find(p.begin(), p.end(), from));
+  return Status::OK();
+}
+
+Status Dag::ReverseEdge(size_t from, size_t to) {
+  if (!HasEdge(from, to)) return Status::NotFound("edge absent");
+  THEMIS_RETURN_IF_ERROR(RemoveEdge(from, to));
+  Status add = AddEdge(to, from);
+  if (!add.ok()) {
+    // Roll back.
+    THEMIS_CHECK_OK(AddEdge(from, to));
+    return add;
+  }
+  return Status::OK();
+}
+
+std::vector<size_t> Dag::Children(size_t node) const {
+  std::vector<size_t> out;
+  for (size_t v = 0; v < num_nodes(); ++v) {
+    if (HasEdge(node, v)) out.push_back(v);
+  }
+  return out;
+}
+
+size_t Dag::num_edges() const {
+  size_t s = 0;
+  for (const auto& p : parents_) s += p.size();
+  return s;
+}
+
+std::vector<std::pair<size_t, size_t>> Dag::Edges() const {
+  std::vector<std::pair<size_t, size_t>> out;
+  for (size_t to = 0; to < num_nodes(); ++to) {
+    for (size_t from : parents_[to]) out.emplace_back(from, to);
+  }
+  return out;
+}
+
+std::vector<size_t> Dag::TopologicalOrder() const {
+  std::vector<size_t> in_degree(num_nodes());
+  for (size_t v = 0; v < num_nodes(); ++v) {
+    in_degree[v] = parents_[v].size();
+  }
+  std::vector<size_t> order;
+  std::vector<size_t> ready;
+  for (size_t v = 0; v < num_nodes(); ++v) {
+    if (in_degree[v] == 0) ready.push_back(v);
+  }
+  while (!ready.empty()) {
+    size_t u = ready.back();
+    ready.pop_back();
+    order.push_back(u);
+    for (size_t v = 0; v < num_nodes(); ++v) {
+      if (HasEdge(u, v) && --in_degree[v] == 0) ready.push_back(v);
+    }
+  }
+  THEMIS_CHECK(order.size() == num_nodes()) << "graph has a cycle";
+  return order;
+}
+
+std::vector<size_t> Dag::Ancestors(size_t node) const {
+  std::vector<bool> visited(num_nodes(), false);
+  std::vector<size_t> stack(parents_[node].begin(), parents_[node].end());
+  while (!stack.empty()) {
+    size_t u = stack.back();
+    stack.pop_back();
+    if (visited[u]) continue;
+    visited[u] = true;
+    for (size_t p : parents_[u]) {
+      if (!visited[p]) stack.push_back(p);
+    }
+  }
+  std::vector<size_t> out;
+  for (size_t v = 0; v < num_nodes(); ++v) {
+    if (visited[v]) out.push_back(v);
+  }
+  return out;
+}
+
+std::string Dag::ToString() const {
+  std::vector<std::string> parts;
+  for (const auto& [from, to] : Edges()) {
+    parts.push_back(StrFormat("X%zu -> X%zu", from, to));
+  }
+  return Join(parts, ", ");
+}
+
+}  // namespace themis::bn

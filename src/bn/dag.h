@@ -1,0 +1,66 @@
+#ifndef THEMIS_BN_DAG_H_
+#define THEMIS_BN_DAG_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace themis::bn {
+
+/// Directed acyclic graph over attribute indices 0..n-1. Stores parent
+/// lists (the natural representation for Bayesian-network factors
+/// Pr(X_i | Pa(X_i))) and enforces acyclicity on mutation.
+class Dag {
+ public:
+  explicit Dag(size_t num_nodes) : parents_(num_nodes) {}
+
+  size_t num_nodes() const { return parents_.size(); }
+
+  bool HasEdge(size_t from, size_t to) const;
+
+  /// Adds from -> to. Fails if it exists or would create a cycle.
+  Status AddEdge(size_t from, size_t to);
+
+  /// Removes from -> to. Fails if absent.
+  Status RemoveEdge(size_t from, size_t to);
+
+  /// Reverses from -> to. Fails if absent or reversal creates a cycle.
+  Status ReverseEdge(size_t from, size_t to);
+
+  /// True if adding from -> to would create a directed cycle.
+  bool WouldCreateCycle(size_t from, size_t to) const;
+
+  /// Parents of `node`, sorted ascending.
+  const std::vector<size_t>& Parents(size_t node) const {
+    return parents_[node];
+  }
+
+  /// Children of `node` (computed), sorted ascending.
+  std::vector<size_t> Children(size_t node) const;
+
+  size_t num_edges() const;
+
+  /// All edges as (from, to) pairs, deterministic order.
+  std::vector<std::pair<size_t, size_t>> Edges() const;
+
+  /// A topological order (parents before children).
+  std::vector<size_t> TopologicalOrder() const;
+
+  /// All ancestors of `node` (transitive parents), excluding `node`.
+  std::vector<size_t> Ancestors(size_t node) const;
+
+  /// "X2 -> X5, X0 -> X2, ..." for debugging.
+  std::string ToString() const;
+
+ private:
+  /// True if `target` is reachable from `start` along directed edges.
+  bool Reaches(size_t start, size_t target) const;
+
+  std::vector<std::vector<size_t>> parents_;
+};
+
+}  // namespace themis::bn
+
+#endif  // THEMIS_BN_DAG_H_

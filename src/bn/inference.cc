@@ -1,0 +1,284 @@
+#include "bn/inference.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/logging.h"
+
+namespace themis::bn {
+
+namespace {
+
+/// Sparse factor: attribute list (sorted ascending) and a hash map from
+/// value tuples (in attribute order) to non-negative reals.
+struct Factor {
+  std::vector<size_t> attrs;
+  std::unordered_map<data::TupleKey, double, data::TupleKeyHash> values;
+
+  bool Contains(size_t attr) const {
+    return std::binary_search(attrs.begin(), attrs.end(), attr);
+  }
+};
+
+/// Builds the factor for `node`'s CPT with evidence applied: evidence
+/// attributes are fixed to their values and dropped from the factor scope.
+Factor CptFactor(const BayesianNetwork& bn, size_t node,
+                 const Evidence& evidence) {
+  const Cpt& cpt = bn.cpt(node);
+  // Scope before evidence: parents + child, sorted.
+  std::vector<size_t> scope = cpt.parents();
+  scope.push_back(node);
+  std::sort(scope.begin(), scope.end());
+
+  Factor f;
+  for (size_t a : scope) {
+    if (evidence.count(a) == 0) f.attrs.push_back(a);
+  }
+
+  // Position of each free scope attribute within the factor key.
+  for (size_t cfg = 0; cfg < cpt.num_configs(); ++cfg) {
+    const data::TupleKey parent_codes = cpt.DecodeConfig(cfg);
+    // Check evidence on parents.
+    bool parents_ok = true;
+    for (size_t i = 0; i < cpt.parents().size(); ++i) {
+      auto it = evidence.find(cpt.parents()[i]);
+      if (it != evidence.end() && it->second != parent_codes[i]) {
+        parents_ok = false;
+        break;
+      }
+    }
+    if (!parents_ok) continue;
+
+    auto child_ev = evidence.find(node);
+    const size_t j_begin =
+        child_ev == evidence.end() ? 0 : static_cast<size_t>(child_ev->second);
+    const size_t j_end = child_ev == evidence.end()
+                             ? cpt.child_size()
+                             : static_cast<size_t>(child_ev->second) + 1;
+    for (size_t j = j_begin; j < j_end; ++j) {
+      const double p = cpt.Prob(cfg, static_cast<data::ValueCode>(j));
+      if (p == 0.0) continue;
+      data::TupleKey key;
+      key.reserve(f.attrs.size());
+      for (size_t a : f.attrs) {
+        if (a == node) {
+          key.push_back(static_cast<data::ValueCode>(j));
+        } else {
+          // a is a free parent; find its position in parents().
+          auto pit = std::find(cpt.parents().begin(), cpt.parents().end(), a);
+          key.push_back(
+              parent_codes[static_cast<size_t>(pit - cpt.parents().begin())]);
+        }
+      }
+      f.values[key] += p;
+    }
+  }
+  return f;
+}
+
+/// Product of two sparse factors (hash join on the shared attributes).
+Factor Multiply(const Factor& a, const Factor& b) {
+  // Merged scope, sorted.
+  Factor out;
+  std::set_union(a.attrs.begin(), a.attrs.end(), b.attrs.begin(),
+                 b.attrs.end(), std::back_inserter(out.attrs));
+
+  // Positions of shared attrs in a and b; positions of each factor's attrs
+  // in the merged key.
+  std::vector<size_t> shared;
+  std::set_intersection(a.attrs.begin(), a.attrs.end(), b.attrs.begin(),
+                        b.attrs.end(), std::back_inserter(shared));
+  auto positions_in = [](const std::vector<size_t>& subset,
+                         const std::vector<size_t>& full) {
+    std::vector<size_t> pos;
+    pos.reserve(subset.size());
+    for (size_t s : subset) {
+      pos.push_back(static_cast<size_t>(
+          std::lower_bound(full.begin(), full.end(), s) - full.begin()));
+    }
+    return pos;
+  };
+  const std::vector<size_t> shared_in_a = positions_in(shared, a.attrs);
+  const std::vector<size_t> shared_in_b = positions_in(shared, b.attrs);
+  const std::vector<size_t> a_in_out = positions_in(a.attrs, out.attrs);
+  const std::vector<size_t> b_in_out = positions_in(b.attrs, out.attrs);
+
+  // Index b by its shared-attribute sub-key.
+  std::unordered_map<data::TupleKey,
+                     std::vector<const std::pair<const data::TupleKey, double>*>,
+                     data::TupleKeyHash>
+      b_index;
+  for (const auto& entry : b.values) {
+    data::TupleKey sub(shared_in_b.size());
+    for (size_t i = 0; i < shared_in_b.size(); ++i) {
+      sub[i] = entry.first[shared_in_b[i]];
+    }
+    b_index[sub].push_back(&entry);
+  }
+
+  for (const auto& [akey, aval] : a.values) {
+    data::TupleKey sub(shared_in_a.size());
+    for (size_t i = 0; i < shared_in_a.size(); ++i) sub[i] = akey[shared_in_a[i]];
+    auto it = b_index.find(sub);
+    if (it == b_index.end()) continue;
+    for (const auto* bentry : it->second) {
+      data::TupleKey key(out.attrs.size());
+      for (size_t i = 0; i < a.attrs.size(); ++i) key[a_in_out[i]] = akey[i];
+      for (size_t i = 0; i < b.attrs.size(); ++i) {
+        key[b_in_out[i]] = bentry->first[i];
+      }
+      out.values[key] += aval * bentry->second;
+    }
+  }
+  return out;
+}
+
+/// Sums attribute `attr` out of `f`.
+Factor SumOut(const Factor& f, size_t attr) {
+  Factor out;
+  size_t pos = 0;
+  for (size_t i = 0; i < f.attrs.size(); ++i) {
+    if (f.attrs[i] == attr) {
+      pos = i;
+    } else {
+      out.attrs.push_back(f.attrs[i]);
+    }
+  }
+  for (const auto& [key, v] : f.values) {
+    data::TupleKey sub;
+    sub.reserve(key.size() - 1);
+    for (size_t i = 0; i < key.size(); ++i) {
+      if (i != pos) sub.push_back(key[i]);
+    }
+    out.values[sub] += v;
+  }
+  return out;
+}
+
+/// Runs variable elimination: multiplies/eliminates until only the target
+/// attributes remain, returning the single resulting factor.
+Factor Eliminate(const BayesianNetwork& bn,
+                 const std::vector<size_t>& targets,
+                 const Evidence& evidence) {
+  std::vector<Factor> factors;
+  factors.reserve(bn.num_nodes());
+  for (size_t v = 0; v < bn.num_nodes(); ++v) {
+    factors.push_back(CptFactor(bn, v, evidence));
+  }
+
+  std::set<size_t> keep(targets.begin(), targets.end());
+  std::set<size_t> to_eliminate;
+  for (size_t v = 0; v < bn.num_nodes(); ++v) {
+    if (keep.count(v) == 0 && evidence.count(v) == 0) to_eliminate.insert(v);
+  }
+
+  while (!to_eliminate.empty()) {
+    // Min-work heuristic: eliminate the variable whose combined factor has
+    // the fewest entries.
+    size_t best_var = 0;
+    size_t best_cost = SIZE_MAX;
+    for (size_t var : to_eliminate) {
+      size_t cost = 0;
+      for (const Factor& f : factors) {
+        if (f.Contains(var)) cost += f.values.size();
+      }
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_var = var;
+      }
+    }
+
+    std::vector<Factor> remaining;
+    Factor combined;
+    bool have = false;
+    for (Factor& f : factors) {
+      if (f.Contains(best_var)) {
+        if (!have) {
+          combined = std::move(f);
+          have = true;
+        } else {
+          combined = Multiply(combined, f);
+        }
+      } else {
+        remaining.push_back(std::move(f));
+      }
+    }
+    if (have) remaining.push_back(SumOut(combined, best_var));
+    factors = std::move(remaining);
+    to_eliminate.erase(best_var);
+  }
+
+  // Multiply everything that remains (scopes ⊆ targets, possibly empty).
+  Factor result;
+  result.values[{}] = 1.0;
+  for (const Factor& f : factors) result = Multiply(result, f);
+  return result;
+}
+
+}  // namespace
+
+Result<double> VariableElimination::Probability(
+    const Evidence& evidence) const {
+  if (evidence.empty()) return 1.0;
+  for (const auto& [attr, code] : evidence) {
+    if (attr >= network_->num_nodes()) {
+      return Status::InvalidArgument("evidence attribute out of range");
+    }
+    if (code < 0 ||
+        static_cast<size_t>(code) >=
+            network_->schema()->domain(attr).size()) {
+      return Status::InvalidArgument("evidence value out of domain");
+    }
+  }
+  Factor f = Eliminate(*network_, {}, evidence);
+  double p = 0;
+  for (const auto& [key, v] : f.values) p += v;
+  return p;
+}
+
+Result<stats::FreqTable> VariableElimination::Marginal(
+    const std::vector<size_t>& targets) const {
+  return Marginal(targets, Evidence{});
+}
+
+Result<stats::FreqTable> VariableElimination::Marginal(
+    const std::vector<size_t>& targets, const Evidence& evidence) const {
+  if (targets.empty()) {
+    return Status::InvalidArgument("Marginal requires at least one target");
+  }
+  for (size_t t : targets) {
+    if (t >= network_->num_nodes()) {
+      return Status::InvalidArgument("target attribute out of range");
+    }
+    if (evidence.count(t)) {
+      return Status::InvalidArgument("target overlaps evidence");
+    }
+  }
+  Factor f = Eliminate(*network_, targets, evidence);
+
+  // Reorder the factor keys (sorted attrs) into the requested target order
+  // and normalize.
+  std::vector<size_t> sorted = targets;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<size_t> pos(targets.size());
+  for (size_t i = 0; i < targets.size(); ++i) {
+    pos[i] = static_cast<size_t>(
+        std::lower_bound(sorted.begin(), sorted.end(), targets[i]) -
+        sorted.begin());
+  }
+  double total = 0;
+  for (const auto& [key, v] : f.values) total += v;
+  if (total <= 0) {
+    return Status::FailedPrecondition(
+        "evidence has zero probability under the network");
+  }
+  stats::FreqTable out(targets);
+  for (const auto& [key, v] : f.values) {
+    data::TupleKey reordered(targets.size());
+    for (size_t i = 0; i < targets.size(); ++i) reordered[i] = key[pos[i]];
+    out.Add(reordered, v / total);
+  }
+  return out;
+}
+
+}  // namespace themis::bn

@@ -1,0 +1,45 @@
+#ifndef THEMIS_BN_INFERENCE_H_
+#define THEMIS_BN_INFERENCE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "bn/bayes_net.h"
+#include "stats/freq_table.h"
+#include "util/status.h"
+
+namespace themis::bn {
+
+/// A partial assignment: attribute index -> value code.
+using Evidence = std::unordered_map<size_t, data::ValueCode>;
+
+/// Exact inference on a discrete BN via variable elimination with sparse
+/// (hash-map) factors. Used for Themis's probabilistic point-query
+/// answering, n * Pr(X1 = x1, ..., Xd = xd) (Sec 4.2.4), and for computing
+/// parent-joint distributions during constrained parameter learning.
+class VariableElimination {
+ public:
+  explicit VariableElimination(const BayesianNetwork* network)
+      : network_(network) {}
+
+  /// Pr(evidence): probability that a population tuple takes exactly the
+  /// listed values on the listed attributes.
+  Result<double> Probability(const Evidence& evidence) const;
+
+  /// Joint distribution over `targets` (normalized). Targets must be
+  /// distinct attribute indices.
+  Result<stats::FreqTable> Marginal(const std::vector<size_t>& targets) const;
+
+  /// Joint distribution over `targets` given `evidence` (normalized over
+  /// the evidence-consistent worlds). Targets and evidence must be
+  /// disjoint.
+  Result<stats::FreqTable> Marginal(const std::vector<size_t>& targets,
+                                    const Evidence& evidence) const;
+
+ private:
+  const BayesianNetwork* network_;
+};
+
+}  // namespace themis::bn
+
+#endif  // THEMIS_BN_INFERENCE_H_

@@ -1,0 +1,91 @@
+#include "bn/learn.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace themis::bn {
+
+const char* BnVariantName(BnVariant variant) {
+  switch (variant) {
+    case BnVariant::kSS:
+      return "SS";
+    case BnVariant::kSB:
+      return "SB";
+    case BnVariant::kBS:
+      return "BS";
+    case BnVariant::kBB:
+      return "BB";
+    case BnVariant::kAB:
+      return "AB";
+  }
+  return "?";
+}
+
+Result<BayesianNetwork> LearnBayesNet(
+    const data::SchemaPtr& schema, const data::Table* sample,
+    const aggregate::AggregateSet* aggregates,
+    const BnLearnOptions& options, BnLearnStats* stats) {
+  StructureLearnOptions structure_options = options.structure;
+  ParameterLearnOptions parameter_options = options.parameters;
+  switch (options.variant) {
+    case BnVariant::kSS:
+      structure_options.source = StructureSource::kSampleOnly;
+      parameter_options.source = ParameterSource::kSampleOnly;
+      break;
+    case BnVariant::kSB:
+      structure_options.source = StructureSource::kSampleOnly;
+      parameter_options.source = ParameterSource::kBoth;
+      break;
+    case BnVariant::kBS:
+      structure_options.source = StructureSource::kBoth;
+      parameter_options.source = ParameterSource::kSampleOnly;
+      break;
+    case BnVariant::kBB:
+      structure_options.source = StructureSource::kBoth;
+      parameter_options.source = ParameterSource::kBoth;
+      break;
+    case BnVariant::kAB:
+      structure_options.source = StructureSource::kAggregatesOnly;
+      parameter_options.source = ParameterSource::kBoth;
+      break;
+  }
+
+  Timer timer;
+  THEMIS_ASSIGN_OR_RETURN(
+      StructureLearnResult structure,
+      LearnStructure(schema, sample, aggregates, structure_options));
+  const double structure_seconds = timer.Seconds();
+
+  BayesianNetwork network(schema, structure.dag);
+
+  timer.Restart();
+  ParameterLearnStats parameter_stats;
+  THEMIS_RETURN_IF_ERROR(LearnParameters(network, sample, aggregates,
+                                         parameter_options,
+                                         &parameter_stats));
+
+  // AB: attributes outside Γ's coverage stay disconnected and uniform (the
+  // paper's uniformity assumption) — overwrite whatever the sample said.
+  if (options.variant == BnVariant::kAB && aggregates != nullptr) {
+    std::vector<size_t> covered = aggregates->CoveredAttributes();
+    std::set<size_t> covered_set(covered.begin(), covered.end());
+    for (size_t v = 0; v < network.num_nodes(); ++v) {
+      if (covered_set.count(v) == 0) {
+        network.mutable_cpt(v).FillUniform();
+      }
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->structure = std::move(structure);
+    stats->parameters = parameter_stats;
+    stats->structure_seconds = structure_seconds;
+    stats->parameter_seconds = timer.Seconds();
+  }
+  return network;
+}
+
+}  // namespace themis::bn

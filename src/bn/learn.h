@@ -1,0 +1,44 @@
+#ifndef THEMIS_BN_LEARN_H_
+#define THEMIS_BN_LEARN_H_
+
+#include <string>
+
+#include "bn/parameter_learning.h"
+#include "bn/structure_learning.h"
+#include "util/status.h"
+
+namespace themis::bn {
+
+/// The five Bayesian-network learning variants compared in Sec 6.6. The
+/// first letter is the structure source, the second the parameter source:
+/// S = sample only, B = both sample and aggregates, A = aggregates only
+/// (uncovered attributes become disconnected uniform nodes).
+enum class BnVariant { kSS, kSB, kBS, kBB, kAB };
+
+const char* BnVariantName(BnVariant variant);
+
+struct BnLearnOptions {
+  BnVariant variant = BnVariant::kBB;
+  StructureLearnOptions structure;
+  ParameterLearnOptions parameters;
+};
+
+struct BnLearnStats {
+  StructureLearnResult structure;
+  ParameterLearnStats parameters;
+  double structure_seconds = 0;
+  double parameter_seconds = 0;
+};
+
+/// End-to-end BN learning: structure (two-phase hill climbing) then
+/// parameters (constrained MLE in topological order), honoring the variant
+/// selection. For kAB, attributes not covered by Γ remain disconnected with
+/// uniform CPTs (the paper's uniformity assumption).
+Result<BayesianNetwork> LearnBayesNet(
+    const data::SchemaPtr& schema, const data::Table* sample,
+    const aggregate::AggregateSet* aggregates,
+    const BnLearnOptions& options = {}, BnLearnStats* stats = nullptr);
+
+}  // namespace themis::bn
+
+#endif  // THEMIS_BN_LEARN_H_

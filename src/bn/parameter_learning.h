@@ -1,0 +1,50 @@
+#ifndef THEMIS_BN_PARAMETER_LEARNING_H_
+#define THEMIS_BN_PARAMETER_LEARNING_H_
+
+#include "aggregate/aggregate.h"
+#include "bn/bayes_net.h"
+#include "data/table.h"
+#include "solver/constrained_mle.h"
+#include "util/status.h"
+
+namespace themis::bn {
+
+/// Where parameter information comes from (the second letter of the
+/// paper's SS/SB/BS/AB/BB variant names).
+enum class ParameterSource {
+  kSampleOnly,  ///< S: per-family MLE from the sample
+  kBoth,        ///< B: sample MLE constrained by the aggregates (Eq. 2)
+};
+
+struct ParameterLearnOptions {
+  ParameterSource source = ParameterSource::kBoth;
+  solver::ConstrainedMleOptions solver;
+};
+
+struct ParameterLearnStats {
+  int constrained_nodes = 0;      ///< nodes solved with ≥1 agg constraint
+  int total_constraints = 0;      ///< aggregate constraints added in total
+  long total_solver_iterations = 0;
+  double max_violation = 0;       ///< worst residual across all nodes
+};
+
+/// Fills the CPTs of `network` in topological order (Sec 5.2: parents are
+/// solved before children so ancestor probabilities are constants in each
+/// child's constraints).
+///
+/// With ParameterSource::kBoth, each node's factor is the solution of the
+/// simplified constrained MLE (Eq. 2): the sample's family counts maximize
+/// likelihood while every aggregate whose attributes intersect the family
+/// in a set containing the child contributes linear equality constraints
+/// (aggregates are first marginalized onto that intersection, as in
+/// Example 5.1 where the (O,DE) aggregate becomes a constraint over O
+/// alone). With kSampleOnly, plain per-family MLE is used (uniform rows
+/// for unseen parent configurations).
+Status LearnParameters(BayesianNetwork& network, const data::Table* sample,
+                       const aggregate::AggregateSet* aggregates,
+                       const ParameterLearnOptions& options = {},
+                       ParameterLearnStats* stats = nullptr);
+
+}  // namespace themis::bn
+
+#endif  // THEMIS_BN_PARAMETER_LEARNING_H_

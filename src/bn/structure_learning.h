@@ -1,0 +1,53 @@
+#ifndef THEMIS_BN_STRUCTURE_LEARNING_H_
+#define THEMIS_BN_STRUCTURE_LEARNING_H_
+
+#include <set>
+#include <vector>
+
+#include "aggregate/aggregate.h"
+#include "bn/dag.h"
+#include "data/table.h"
+#include "util/status.h"
+
+namespace themis::bn {
+
+/// Where structure information comes from (the first letter of the paper's
+/// SS/SB/BS/AB/BB variant names, Sec 6.6).
+enum class StructureSource {
+  kSampleOnly,      ///< S: phase 2 only, greedy HC over the sample
+  kAggregatesOnly,  ///< A: phase 1 only; uncovered attrs stay disconnected
+  kBoth,            ///< B: the paper's two-phase algorithm (Alg 2)
+};
+
+struct StructureLearnOptions {
+  StructureSource source = StructureSource::kBoth;
+  /// Restrict to at most this many parents per node. The paper's
+  /// experiments limit networks to trees (max_parents = 1, Sec 6.1).
+  size_t max_parents = 1;
+  /// Minimum score improvement to accept a move (guards float noise).
+  double min_delta = 1e-9;
+  /// Safety bound on hill-climbing moves.
+  int max_moves = 10000;
+};
+
+struct StructureLearnResult {
+  Dag dag{0};
+  /// Edges added during the Γ phase; these were "locked in" and phase 2
+  /// could not remove or reverse them (Sec 4.2.2).
+  std::set<std::pair<size_t, size_t>> locked_edges;
+  double final_score = 0;
+  int moves = 0;
+};
+
+/// Two-phase greedy hill-climbing structure learning (Alg 2 / Alg 3): BIC-
+/// scored moves (add / remove / reverse), phase 1 restricted to moves whose
+/// families have joint support in Γ, phase-1 edges locked against later
+/// removal, phase 2 continuing over the sample.
+Result<StructureLearnResult> LearnStructure(
+    const data::SchemaPtr& schema, const data::Table* sample,
+    const aggregate::AggregateSet* aggregates,
+    const StructureLearnOptions& options = {});
+
+}  // namespace themis::bn
+
+#endif  // THEMIS_BN_STRUCTURE_LEARNING_H_

@@ -1,0 +1,203 @@
+#include "core/evaluator.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "bn/inference.h"
+#include "sql/parser.h"
+#include "util/logging.h"
+
+namespace themis::core {
+
+HybridEvaluator::HybridEvaluator(const ThemisModel* model,
+                                 std::string table_name)
+    : model_(model), table_name_(std::move(table_name)) {
+  THEMIS_CHECK(model_ != nullptr);
+  sample_executor_.RegisterTable(table_name_, &model_->reweighted_sample());
+  bn_executors_.reserve(model_->bn_samples().size());
+  for (const data::Table& bn_sample : model_->bn_samples()) {
+    sql::Executor exec;
+    exec.RegisterTable(table_name_, &bn_sample);
+    bn_executors_.push_back(std::move(exec));
+  }
+}
+
+const std::unordered_map<data::TupleKey, double, data::TupleKeyHash>&
+HybridEvaluator::GroupIndex(const std::vector<size_t>& attrs) const {
+  auto it = group_index_cache_.find(attrs);
+  if (it == group_index_cache_.end()) {
+    it = group_index_cache_
+             .emplace(attrs, model_->reweighted_sample().GroupWeights(attrs))
+             .first;
+  }
+  return it->second;
+}
+
+bool HybridEvaluator::SampleContains(const std::vector<size_t>& attrs,
+                                     const data::TupleKey& values) const {
+  return GroupIndex(attrs).count(values) > 0;
+}
+
+double HybridEvaluator::SampleMass(const std::vector<size_t>& attrs,
+                                   const data::TupleKey& values) const {
+  const auto& index = GroupIndex(attrs);
+  auto it = index.find(values);
+  return it == index.end() ? 0.0 : it->second;
+}
+
+Result<double> HybridEvaluator::BnPointEstimate(
+    const std::vector<size_t>& attrs, const data::TupleKey& values) const {
+  if (model_->network() == nullptr) {
+    return Status::FailedPrecondition("model has no Bayesian network");
+  }
+  bn::Evidence evidence;
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    evidence[attrs[i]] = values[i];
+  }
+  bn::VariableElimination ve(model_->network());
+  THEMIS_ASSIGN_OR_RETURN(double p, ve.Probability(evidence));
+  return model_->population_size() * p;
+}
+
+Result<double> HybridEvaluator::PointEstimate(
+    const std::vector<size_t>& attrs, const data::TupleKey& values,
+    AnswerMode mode) const {
+  if (attrs.size() != values.size() || attrs.empty()) {
+    return Status::InvalidArgument("PointEstimate: attrs/values mismatch");
+  }
+  switch (mode) {
+    case AnswerMode::kSampleOnly:
+      return SampleMass(attrs, values);
+    case AnswerMode::kBnOnly:
+      return BnPointEstimate(attrs, values);
+    case AnswerMode::kHybrid:
+      // Sec 4.3: sample answer when the tuple is present, BN otherwise.
+      if (SampleContains(attrs, values) || model_->network() == nullptr) {
+        return SampleMass(attrs, values);
+      }
+      return BnPointEstimate(attrs, values);
+  }
+  return Status::Internal("unreachable");
+}
+
+Result<sql::QueryResult> HybridEvaluator::BnGroupBy(
+    const sql::SelectStatement& stmt) const {
+  if (bn_executors_.empty()) {
+    return Status::FailedPrecondition("model has no BN samples");
+  }
+  // Execute on every generated sample; keep groups appearing in all K
+  // answers and average the aggregate values (Sec 4.2.4).
+  std::map<std::vector<std::string>, std::pair<std::vector<double>, size_t>>
+      merged;
+  sql::QueryResult shape;
+  for (size_t k = 0; k < bn_executors_.size(); ++k) {
+    THEMIS_ASSIGN_OR_RETURN(sql::QueryResult result,
+                            bn_executors_[k].Execute(stmt));
+    if (k == 0) {
+      shape.group_names = result.group_names;
+      shape.value_names = result.value_names;
+    }
+    for (const sql::ResultRow& row : result.rows) {
+      auto [it, inserted] = merged.try_emplace(
+          row.group, std::vector<double>(row.values.size(), 0.0), 0u);
+      for (size_t i = 0; i < row.values.size(); ++i) {
+        it->second.first[i] += row.values[i];
+      }
+      it->second.second += 1;
+    }
+  }
+  sql::QueryResult out = shape;
+  const size_t k_total = bn_executors_.size();
+  for (auto& [group, acc] : merged) {
+    if (acc.second != k_total) continue;  // phantom-group suppression
+    sql::ResultRow row;
+    row.group = group;
+    row.values = acc.first;
+    for (double& v : row.values) v /= static_cast<double>(k_total);
+    out.rows.push_back(std::move(row));
+  }
+  return out;
+}
+
+std::optional<std::pair<std::vector<size_t>, data::TupleKey>>
+HybridEvaluator::AsPointQuery(const sql::SelectStatement& stmt) const {
+  if (stmt.tables.size() != 1 || !stmt.group_by.empty() ||
+      stmt.items.size() != 1 ||
+      stmt.items[0].func != sql::AggFunc::kCount || stmt.where.empty()) {
+    return std::nullopt;
+  }
+  const data::Schema& schema = *model_->reweighted_sample().schema();
+  std::vector<size_t> attrs;
+  data::TupleKey values;
+  for (const sql::Predicate& pred : stmt.where) {
+    if (pred.is_join || pred.op != sql::CompareOp::kEq ||
+        pred.literals.size() != 1) {
+      return std::nullopt;
+    }
+    auto attr = schema.AttributeIndex(pred.lhs.column);
+    if (!attr.ok()) return std::nullopt;
+    auto code = schema.domain(*attr).Code(pred.literals[0].text);
+    if (!code.ok()) {
+      // Value outside the active domain: probability zero either way;
+      // signal with an empty-key sentinel handled by the caller.
+      return std::pair{std::vector<size_t>{}, data::TupleKey{}};
+    }
+    attrs.push_back(*attr);
+    values.push_back(*code);
+  }
+  return std::pair{std::move(attrs), std::move(values)};
+}
+
+Result<sql::QueryResult> HybridEvaluator::Query(const std::string& sql,
+                                                AnswerMode mode) const {
+  THEMIS_ASSIGN_OR_RETURN(sql::SelectStatement stmt, sql::Parse(sql));
+
+  const bool has_bn =
+      model_->network() != nullptr && !bn_executors_.empty();
+  if (mode == AnswerMode::kSampleOnly || !has_bn) {
+    return sample_executor_.Execute(stmt);
+  }
+
+  // Pure point queries (d-dimensional COUNT(*) with equality predicates)
+  // route through the Sec 4.3 point rule with *exact* BN inference instead
+  // of the sampled GROUP BY machinery.
+  if (auto point = AsPointQuery(stmt); point.has_value()) {
+    double estimate = 0;
+    if (!point->first.empty()) {
+      THEMIS_ASSIGN_OR_RETURN(
+          estimate, PointEstimate(point->first, point->second, mode));
+    }
+    sql::QueryResult result;
+    result.value_names = {"count"};
+    result.rows.push_back({{}, {estimate}});
+    return result;
+  }
+  if (mode == AnswerMode::kBnOnly) {
+    // Pure point query? Use exact inference; otherwise generated samples.
+    return BnGroupBy(stmt);
+  }
+
+  // Hybrid: sample answer unioned with BN-only groups (Sec 4.3).
+  THEMIS_ASSIGN_OR_RETURN(sql::QueryResult sample_result,
+                          sample_executor_.Execute(stmt));
+  auto bn_result = BnGroupBy(stmt);
+  if (!bn_result.ok()) return sample_result;
+
+  std::set<std::vector<std::string>> sample_groups;
+  for (const sql::ResultRow& row : sample_result.rows) {
+    sample_groups.insert(row.group);
+  }
+  for (const sql::ResultRow& row : bn_result->rows) {
+    if (sample_groups.count(row.group) == 0) {
+      sample_result.rows.push_back(row);
+    }
+  }
+  std::sort(sample_result.rows.begin(), sample_result.rows.end(),
+            [](const sql::ResultRow& a, const sql::ResultRow& b) {
+              return a.group < b.group;
+            });
+  return sample_result;
+}
+
+}  // namespace themis::core

@@ -1,0 +1,92 @@
+#ifndef THEMIS_CORE_EVALUATOR_H_
+#define THEMIS_CORE_EVALUATOR_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/model.h"
+#include "sql/ast.h"
+#include "sql/executor.h"
+#include "util/status.h"
+
+namespace themis::core {
+
+/// Which machinery answered (or should answer) a query.
+enum class AnswerMode {
+  kHybrid,      ///< the paper's evaluator (Sec 4.3)
+  kSampleOnly,  ///< reweighted sample only (AQP / IPF / LinReg baselines)
+  kBnOnly,      ///< Bayesian network only (BB et al. baselines)
+};
+
+/// Themis's hybrid query evaluator (Sec 4.3).
+///
+/// Point queries: if the queried tuple exists in the (reweighted) sample,
+/// answer from the sample; otherwise use direct BN inference,
+/// n · Pr(X₁=x₁, ..., X_d=x_d).
+///
+/// GROUP BY queries: the reweighted-sample answer, unioned with groups
+/// that appear in the BN answer but not the sample answer. The BN answer
+/// comes from the K pre-generated uniformly-scaled samples: only groups
+/// present in all K runs survive (phantom-group suppression) and their
+/// values are averaged.
+class HybridEvaluator {
+ public:
+  /// `model` must outlive the evaluator. `table_name` is the name the
+  /// sample is registered under for SQL queries.
+  HybridEvaluator(const ThemisModel* model,
+                  std::string table_name = "sample");
+
+  const std::string& table_name() const { return table_name_; }
+
+  /// d-dimensional point query: estimated COUNT(*) of tuples with
+  /// `values` on `attrs` (attribute indices into the sample schema).
+  Result<double> PointEstimate(const std::vector<size_t>& attrs,
+                               const data::TupleKey& values,
+                               AnswerMode mode = AnswerMode::kHybrid) const;
+
+  /// True if some sample tuple matches `values` on `attrs`.
+  bool SampleContains(const std::vector<size_t>& attrs,
+                      const data::TupleKey& values) const;
+
+  /// Executes a SQL query (point, group-by, join) under the given mode.
+  Result<sql::QueryResult> Query(const std::string& sql,
+                                 AnswerMode mode = AnswerMode::kHybrid) const;
+
+ private:
+  /// If `stmt` is a pure point query (single table, one COUNT(*), only
+  /// equality predicates, no GROUP BY), returns its (attrs, values); an
+  /// empty pair means "value outside the active domain" (count 0).
+  std::optional<std::pair<std::vector<size_t>, data::TupleKey>> AsPointQuery(
+      const sql::SelectStatement& stmt) const;
+
+  /// Σ weight over sample rows matching the key (0 when absent).
+  double SampleMass(const std::vector<size_t>& attrs,
+                    const data::TupleKey& values) const;
+
+  /// n · Pr(values on attrs) by exact BN inference.
+  Result<double> BnPointEstimate(const std::vector<size_t>& attrs,
+                                 const data::TupleKey& values) const;
+
+  /// Runs `stmt` over the K BN samples, keeping groups present in all K
+  /// and averaging their values.
+  Result<sql::QueryResult> BnGroupBy(const sql::SelectStatement& stmt) const;
+
+  /// Group-weight index per attribute set, built lazily.
+  const std::unordered_map<data::TupleKey, double, data::TupleKeyHash>&
+  GroupIndex(const std::vector<size_t>& attrs) const;
+
+  const ThemisModel* model_;
+  std::string table_name_;
+  sql::Executor sample_executor_;
+  std::vector<sql::Executor> bn_executors_;  // one per BN sample
+  mutable std::map<std::vector<size_t>,
+                   std::unordered_map<data::TupleKey, double,
+                                      data::TupleKeyHash>>
+      group_index_cache_;
+};
+
+}  // namespace themis::core
+
+#endif  // THEMIS_CORE_EVALUATOR_H_

@@ -1,0 +1,50 @@
+#ifndef THEMIS_CORE_OPTIONS_H_
+#define THEMIS_CORE_OPTIONS_H_
+
+#include <cstdint>
+
+#include "bn/learn.h"
+#include "linalg/nnls.h"
+#include "reweight/ipf.h"
+
+namespace themis::core {
+
+/// Which sample reweighting technique the model uses (Sec 4.1). The paper's
+/// hybrid uses IPF (its best reweighter, Fig 14).
+enum class ReweightMethod { kUniform, kLinReg, kIpf };
+
+const char* ReweightMethodName(ReweightMethod method);
+
+/// Build-time configuration of a Themis model.
+struct ThemisOptions {
+  ReweightMethod reweight = ReweightMethod::kIpf;
+  reweight::IpfOptions ipf;
+  linalg::NnlsOptions nnls;
+
+  /// Bayesian network learning settings (variant, tree restriction, solver).
+  bn::BnLearnOptions bn;
+
+  /// K: number of BN-generated samples used to answer GROUP BY queries
+  /// (Sec 4.2.4; the paper uses K = 10).
+  size_t bn_group_by_samples = 10;
+
+  /// Rows per generated BN sample; 0 means "same as the input sample".
+  size_t bn_sample_rows = 0;
+
+  /// Aggregate budget B for t-cherry pruning of the >=2D aggregates
+  /// (Sec 5.1); 0 keeps every supplied aggregate.
+  size_t aggregate_budget = 0;
+
+  /// |P|; 0 infers it as the largest total count among the aggregates.
+  double population_size = 0;
+
+  /// Disables the probabilistic model entirely (reweighting-only model);
+  /// used by the baseline configurations in the experiments.
+  bool enable_bn = true;
+
+  uint64_t seed = 42;
+};
+
+}  // namespace themis::core
+
+#endif  // THEMIS_CORE_OPTIONS_H_

@@ -1,0 +1,103 @@
+#include "core/themis_db.h"
+
+#include "util/logging.h"
+
+namespace themis::core {
+
+ThemisDb::ThemisDb(ThemisOptions options) : options_(std::move(options)) {}
+
+Status ThemisDb::InsertSample(const std::string& name, data::Table sample) {
+  if (pending_sample_ != nullptr) {
+    return Status::AlreadyExists(
+        "a sample is already registered (multi-sample support is future "
+        "work)");
+  }
+  if (sample.num_rows() == 0) {
+    return Status::InvalidArgument("sample is empty");
+  }
+  table_name_ = name;
+  pending_aggregates_ =
+      std::make_unique<aggregate::AggregateSet>(sample.schema());
+  pending_sample_ = std::make_unique<data::Table>(std::move(sample));
+  return Status::OK();
+}
+
+Status ThemisDb::InsertAggregate(const std::string& table_name,
+                                 aggregate::AggregateSpec aggregate) {
+  if (pending_sample_ == nullptr) {
+    return Status::FailedPrecondition("insert the sample first");
+  }
+  if (table_name != table_name_) {
+    return Status::NotFound("unknown table '" + table_name + "'");
+  }
+  for (size_t attr : aggregate.attrs) {
+    if (attr >= pending_sample_->schema()->num_attributes()) {
+      return Status::InvalidArgument("aggregate attribute out of range");
+    }
+  }
+  pending_aggregates_->Add(std::move(aggregate));
+  model_.reset();
+  evaluator_.reset();
+  return Status::OK();
+}
+
+Status ThemisDb::InsertAggregateFrom(
+    const std::string& table_name, const data::Table& population,
+    const std::vector<std::string>& attr_names) {
+  if (pending_sample_ == nullptr) {
+    return Status::FailedPrecondition("insert the sample first");
+  }
+  std::vector<size_t> attrs;
+  for (const std::string& name : attr_names) {
+    THEMIS_ASSIGN_OR_RETURN(size_t idx,
+                            population.schema()->AttributeIndex(name));
+    attrs.push_back(idx);
+  }
+  return InsertAggregate(table_name,
+                         aggregate::ComputeAggregate(population, attrs));
+}
+
+Status ThemisDb::Build() {
+  if (pending_sample_ == nullptr) {
+    return Status::FailedPrecondition("no sample inserted");
+  }
+  auto model = ThemisModel::Build(pending_sample_->Clone(),
+                                  *pending_aggregates_, options_);
+  if (!model.ok()) return model.status();
+  model_ = std::make_unique<ThemisModel>(std::move(model).value());
+  evaluator_ = std::make_unique<HybridEvaluator>(model_.get(), table_name_);
+  return Status::OK();
+}
+
+Result<sql::QueryResult> ThemisDb::Query(const std::string& sql,
+                                         AnswerMode mode) const {
+  if (evaluator_ == nullptr) {
+    return Status::FailedPrecondition("call Build() before querying");
+  }
+  return evaluator_->Query(sql, mode);
+}
+
+Result<double> ThemisDb::PointQuery(
+    const std::vector<std::pair<std::string, std::string>>& equalities,
+    AnswerMode mode) const {
+  if (evaluator_ == nullptr) {
+    return Status::FailedPrecondition("call Build() before querying");
+  }
+  const data::SchemaPtr& schema = model_->reweighted_sample().schema();
+  std::vector<size_t> attrs;
+  data::TupleKey values;
+  for (const auto& [attr_name, value_label] : equalities) {
+    THEMIS_ASSIGN_OR_RETURN(size_t idx, schema->AttributeIndex(attr_name));
+    auto code = schema->domain(idx).Code(value_label);
+    if (!code.ok()) {
+      // Value outside the active domain: the open-world estimate is the
+      // BN's, but with no domain entry the probability is zero.
+      return 0.0;
+    }
+    attrs.push_back(idx);
+    values.push_back(*code);
+  }
+  return evaluator_->PointEstimate(attrs, values, mode);
+}
+
+}  // namespace themis::core

@@ -1,0 +1,72 @@
+#ifndef THEMIS_CORE_THEMIS_DB_H_
+#define THEMIS_CORE_THEMIS_DB_H_
+
+#include <memory>
+#include <string>
+
+#include "core/evaluator.h"
+#include "core/model.h"
+#include "util/status.h"
+
+namespace themis::core {
+
+/// The user-facing open-world database facade: insert a biased sample and
+/// the published population aggregates, build, and issue SQL queries that
+/// are answered approximately *as if over the population* (OWQP).
+///
+///   ThemisDb db;
+///   db.InsertSample("flights", std::move(biased_sample));
+///   db.InsertAggregate("flights", per_state_counts);
+///   THEMIS_CHECK_OK(db.Build());
+///   auto result = db.Query(
+///       "SELECT origin_state, COUNT(*) FROM flights "
+///       "GROUP BY origin_state");
+class ThemisDb {
+ public:
+  explicit ThemisDb(ThemisOptions options = {});
+
+  /// Registers the biased sample relation. Exactly one sample is supported
+  /// (multi-sample integration is the paper's future work).
+  Status InsertSample(const std::string& name, data::Table sample);
+
+  /// Adds one population aggregate over the sample's attributes (by name).
+  Status InsertAggregate(const std::string& table_name,
+                         aggregate::AggregateSpec aggregate);
+
+  /// Convenience: computes GROUP BY COUNT(*) over `attr_names` on
+  /// `population` and inserts it — how a data provider would publish Γ.
+  Status InsertAggregateFrom(const std::string& table_name,
+                             const data::Table& population,
+                             const std::vector<std::string>& attr_names);
+
+  /// Learns the model. Must be called after inserts and before queries;
+  /// call again after adding aggregates to rebuild.
+  Status Build();
+
+  bool built() const { return evaluator_ != nullptr; }
+
+  /// Answers SQL approximately over the population (hybrid by default).
+  Result<sql::QueryResult> Query(
+      const std::string& sql,
+      AnswerMode mode = AnswerMode::kHybrid) const;
+
+  /// Point-query convenience: COUNT(*) WHERE attr1=v1 AND ... by name.
+  Result<double> PointQuery(
+      const std::vector<std::pair<std::string, std::string>>& equalities,
+      AnswerMode mode = AnswerMode::kHybrid) const;
+
+  /// The underlying model (after Build).
+  const ThemisModel* model() const { return model_.get(); }
+
+ private:
+  ThemisOptions options_;
+  std::string table_name_;
+  std::unique_ptr<data::Table> pending_sample_;
+  std::unique_ptr<aggregate::AggregateSet> pending_aggregates_;
+  std::unique_ptr<ThemisModel> model_;
+  std::unique_ptr<HybridEvaluator> evaluator_;
+};
+
+}  // namespace themis::core
+
+#endif  // THEMIS_CORE_THEMIS_DB_H_

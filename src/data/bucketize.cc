@@ -1,0 +1,44 @@
+#include "data/bucketize.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace themis::data {
+
+EquiWidthBucketizer::EquiWidthBucketizer(double lo, double hi,
+                                         size_t num_buckets)
+    : lo_(lo), hi_(hi), num_buckets_(num_buckets) {
+  THEMIS_CHECK(num_buckets >= 1);
+  THEMIS_CHECK(hi > lo);
+  width_ = (hi - lo) / static_cast<double>(num_buckets);
+}
+
+size_t EquiWidthBucketizer::Bucket(double value) const {
+  if (value <= lo_) return 0;
+  if (value >= hi_) return num_buckets_ - 1;
+  size_t b = static_cast<size_t>((value - lo_) / width_);
+  return std::min(b, num_buckets_ - 1);
+}
+
+std::string EquiWidthBucketizer::Label(size_t b) const {
+  THEMIS_CHECK(b < num_buckets_);
+  const double lo = lo_ + width_ * static_cast<double>(b);
+  return StrFormat("[%g,%g)", lo, lo + width_);
+}
+
+std::vector<std::string> EquiWidthBucketizer::Labels() const {
+  std::vector<std::string> out;
+  out.reserve(num_buckets_);
+  for (size_t b = 0; b < num_buckets_; ++b) out.push_back(Label(b));
+  return out;
+}
+
+double EquiWidthBucketizer::Midpoint(size_t b) const {
+  THEMIS_CHECK(b < num_buckets_);
+  return lo_ + width_ * (static_cast<double>(b) + 0.5);
+}
+
+}  // namespace themis::data

@@ -1,0 +1,44 @@
+#ifndef THEMIS_DATA_BUCKETIZE_H_
+#define THEMIS_DATA_BUCKETIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace themis::data {
+
+/// Equi-width bucketizer for continuous attributes. Themis supports
+/// continuous data types by bucketizing their active domains (Sec 3,
+/// footnote 2); this mirrors the paper's preprocessing step.
+class EquiWidthBucketizer {
+ public:
+  /// `lo`/`hi` bound the value range; `num_buckets` >= 1. Values outside
+  /// the range are clamped into the first/last bucket.
+  EquiWidthBucketizer(double lo, double hi, size_t num_buckets);
+
+  size_t num_buckets() const { return num_buckets_; }
+
+  /// Bucket index for `value`, in [0, num_buckets()).
+  size_t Bucket(double value) const;
+
+  /// Display label for bucket b, "[lo,hi)" style.
+  std::string Label(size_t b) const;
+
+  /// All labels in bucket order (these become the attribute's domain).
+  std::vector<std::string> Labels() const;
+
+  /// Midpoint of bucket b, used when a numeric stand-in for the bucket is
+  /// needed (e.g. AVG over a bucketized attribute).
+  double Midpoint(size_t b) const;
+
+ private:
+  double lo_;
+  double hi_;
+  size_t num_buckets_;
+  double width_;
+};
+
+}  // namespace themis::data
+
+#endif  // THEMIS_DATA_BUCKETIZE_H_

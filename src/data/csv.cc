@@ -1,0 +1,72 @@
+#include "data/csv.h"
+
+#include <fstream>
+
+#include "util/string_util.h"
+
+namespace themis::data {
+
+Status WriteCsv(const Table& table, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open '" + path + "' for write");
+  const Schema& schema = *table.schema();
+  for (size_t a = 0; a < schema.num_attributes(); ++a) {
+    out << CsvEscape(schema.attribute_name(a)) << ",";
+  }
+  out << "weight\n";
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t a = 0; a < schema.num_attributes(); ++a) {
+      out << CsvEscape(schema.domain(a).Label(table.Get(r, a))) << ",";
+    }
+    out << table.weight(r) << "\n";
+  }
+  if (!out) return Status::IoError("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+Result<Table> ReadCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open '" + path + "' for read");
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::ParseError("empty CSV file '" + path + "'");
+  }
+  std::vector<std::string> header = SplitCsvLine(line);
+  bool has_weight = !header.empty() && header.back() == "weight";
+  size_t num_attrs = has_weight ? header.size() - 1 : header.size();
+  if (num_attrs == 0) {
+    return Status::ParseError("CSV '" + path + "' has no attribute columns");
+  }
+  auto schema = std::make_shared<Schema>();
+  for (size_t a = 0; a < num_attrs; ++a) {
+    schema->AddAttribute(std::string(Trim(header[a])));
+  }
+  Table table(schema);
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (Trim(line).empty()) continue;
+    std::vector<std::string> fields = SplitCsvLine(line);
+    if (fields.size() != header.size()) {
+      return Status::ParseError(StrFormat(
+          "CSV '%s' line %zu: expected %zu fields, got %zu", path.c_str(),
+          line_no, header.size(), fields.size()));
+    }
+    std::vector<std::string> labels(fields.begin(),
+                                    fields.begin() + num_attrs);
+    table.AppendRowLabels(labels);
+    if (has_weight) {
+      char* end = nullptr;
+      double w = std::strtod(fields.back().c_str(), &end);
+      if (end == fields.back().c_str()) {
+        return Status::ParseError(
+            StrFormat("CSV '%s' line %zu: bad weight '%s'", path.c_str(),
+                      line_no, fields.back().c_str()));
+      }
+      table.set_weight(table.num_rows() - 1, w);
+    }
+  }
+  return table;
+}
+
+}  // namespace themis::data

@@ -1,0 +1,22 @@
+#ifndef THEMIS_DATA_CSV_H_
+#define THEMIS_DATA_CSV_H_
+
+#include <string>
+
+#include "data/table.h"
+#include "util/status.h"
+
+namespace themis::data {
+
+/// Writes `table` to `path` as CSV: header row of attribute names plus a
+/// trailing "weight" column; one row per tuple using display labels.
+Status WriteCsv(const Table& table, const std::string& path);
+
+/// Reads a CSV produced by WriteCsv (or any header-first CSV whose final
+/// column may optionally be named "weight"). Labels are interned into a
+/// fresh schema.
+Result<Table> ReadCsv(const std::string& path);
+
+}  // namespace themis::data
+
+#endif  // THEMIS_DATA_CSV_H_

@@ -1,0 +1,45 @@
+#include "data/domain.h"
+
+#include "util/logging.h"
+
+namespace themis::data {
+
+Domain::Domain(std::string name, std::vector<std::string> labels)
+    : name_(std::move(name)), labels_(std::move(labels)) {
+  for (size_t i = 0; i < labels_.size(); ++i) {
+    auto [it, inserted] =
+        index_.emplace(labels_[i], static_cast<ValueCode>(i));
+    THEMIS_CHECK(inserted) << "duplicate label '" << labels_[i]
+                           << "' in domain " << name_;
+  }
+}
+
+ValueCode Domain::Intern(const std::string& label) {
+  auto it = index_.find(label);
+  if (it != index_.end()) return it->second;
+  ValueCode code = static_cast<ValueCode>(labels_.size());
+  labels_.push_back(label);
+  index_.emplace(label, code);
+  return code;
+}
+
+Result<ValueCode> Domain::Code(const std::string& label) const {
+  auto it = index_.find(label);
+  if (it == index_.end()) {
+    return Status::NotFound("value '" + label + "' not in domain of " +
+                            name_);
+  }
+  return it->second;
+}
+
+bool Domain::Contains(const std::string& label) const {
+  return index_.count(label) > 0;
+}
+
+const std::string& Domain::Label(ValueCode code) const {
+  THEMIS_CHECK(code >= 0 && static_cast<size_t>(code) < labels_.size())
+      << "code " << code << " out of range for domain " << name_;
+  return labels_[static_cast<size_t>(code)];
+}
+
+}  // namespace themis::data

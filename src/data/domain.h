@@ -1,0 +1,54 @@
+#ifndef THEMIS_DATA_DOMAIN_H_
+#define THEMIS_DATA_DOMAIN_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace themis::data {
+
+/// Dictionary-encoded value: an index into the attribute's active domain.
+/// Themis assumes each attribute's active domain is discrete and ordered
+/// (Sec 3); continuous attributes are bucketized first.
+using ValueCode = int32_t;
+inline constexpr ValueCode kNullCode = -1;
+
+/// The active domain of one attribute: its name and the ordered list of
+/// distinct values (as display labels). Codes are positions in that list.
+class Domain {
+ public:
+  Domain() = default;
+  explicit Domain(std::string name) : name_(std::move(name)) {}
+  Domain(std::string name, std::vector<std::string> labels);
+
+  const std::string& name() const { return name_; }
+
+  /// Number of distinct values N_i.
+  size_t size() const { return labels_.size(); }
+
+  /// Adds `label` if absent; returns its code either way.
+  ValueCode Intern(const std::string& label);
+
+  /// Code for `label`, or error if it is not in the active domain.
+  Result<ValueCode> Code(const std::string& label) const;
+
+  /// True if `label` is in the active domain.
+  bool Contains(const std::string& label) const;
+
+  /// Label for `code`. code must be in [0, size()).
+  const std::string& Label(ValueCode code) const;
+
+  const std::vector<std::string>& labels() const { return labels_; }
+
+ private:
+  std::string name_;
+  std::vector<std::string> labels_;
+  std::unordered_map<std::string, ValueCode> index_;
+};
+
+}  // namespace themis::data
+
+#endif  // THEMIS_DATA_DOMAIN_H_

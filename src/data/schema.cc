@@ -1,0 +1,41 @@
+#include "data/schema.h"
+
+#include "util/logging.h"
+
+namespace themis::data {
+
+size_t Schema::AddAttribute(const std::string& name) {
+  THEMIS_CHECK(index_.count(name) == 0)
+      << "duplicate attribute '" << name << "'";
+  size_t idx = domains_.size();
+  domains_.emplace_back(name);
+  index_.emplace(name, idx);
+  return idx;
+}
+
+size_t Schema::AddAttribute(const std::string& name,
+                            std::vector<std::string> labels) {
+  THEMIS_CHECK(index_.count(name) == 0)
+      << "duplicate attribute '" << name << "'";
+  size_t idx = domains_.size();
+  domains_.emplace_back(name, std::move(labels));
+  index_.emplace(name, idx);
+  return idx;
+}
+
+Result<size_t> Schema::AttributeIndex(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) {
+    return Status::NotFound("attribute '" + name + "' not in schema");
+  }
+  return it->second;
+}
+
+std::vector<std::string> Schema::AttributeNames() const {
+  std::vector<std::string> names;
+  names.reserve(domains_.size());
+  for (const auto& d : domains_) names.push_back(d.name());
+  return names;
+}
+
+}  // namespace themis::data

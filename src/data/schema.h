@@ -1,0 +1,52 @@
+#ifndef THEMIS_DATA_SCHEMA_H_
+#define THEMIS_DATA_SCHEMA_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "data/domain.h"
+#include "util/status.h"
+
+namespace themis::data {
+
+/// Ordered list of attributes A = {A1..Am} with their active domains.
+/// Shared (by shared_ptr) between a population, its samples, and the
+/// aggregate set so value codes agree everywhere.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Adds an attribute with an initially-empty domain; returns its index.
+  size_t AddAttribute(const std::string& name);
+
+  /// Adds an attribute with a fixed domain; returns its index.
+  size_t AddAttribute(const std::string& name,
+                      std::vector<std::string> labels);
+
+  size_t num_attributes() const { return domains_.size(); }
+
+  /// Index of attribute `name`, or NotFound.
+  Result<size_t> AttributeIndex(const std::string& name) const;
+
+  Domain& domain(size_t i) { return domains_[i]; }
+  const Domain& domain(size_t i) const { return domains_[i]; }
+
+  const std::string& attribute_name(size_t i) const {
+    return domains_[i].name();
+  }
+
+  /// All attribute names in order.
+  std::vector<std::string> AttributeNames() const;
+
+ private:
+  std::vector<Domain> domains_;
+  std::unordered_map<std::string, size_t> index_;
+};
+
+using SchemaPtr = std::shared_ptr<Schema>;
+
+}  // namespace themis::data
+
+#endif  // THEMIS_DATA_SCHEMA_H_

@@ -1,0 +1,30 @@
+#ifndef THEMIS_DATA_TUPLE_KEY_H_
+#define THEMIS_DATA_TUPLE_KEY_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "data/domain.h"
+
+namespace themis::data {
+
+/// Composite key over a subset of attribute values; used for group-by
+/// hashing, sample-membership lookups, and aggregate-group identification.
+using TupleKey = std::vector<ValueCode>;
+
+struct TupleKeyHash {
+  size_t operator()(const TupleKey& key) const {
+    // FNV-1a over the codes.
+    size_t h = 1469598103934665603ull;
+    for (ValueCode v : key) {
+      h ^= static_cast<size_t>(static_cast<uint32_t>(v));
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+};
+
+}  // namespace themis::data
+
+#endif  // THEMIS_DATA_TUPLE_KEY_H_

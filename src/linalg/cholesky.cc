@@ -1,0 +1,76 @@
+#include "linalg/cholesky.h"
+
+#include <cmath>
+
+namespace themis::linalg {
+
+Result<Cholesky> Cholesky::Factor(const Matrix& a, double jitter) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("Cholesky requires a square matrix");
+  }
+  const size_t n = a.rows();
+  Matrix l(n, n);
+  for (size_t j = 0; j < n; ++j) {
+    double d = a(j, j) + jitter;
+    for (size_t k = 0; k < j; ++k) d -= l(j, k) * l(j, k);
+    if (d <= 0.0 || !std::isfinite(d)) {
+      return Status::FailedPrecondition(
+          "matrix is not positive definite at pivot " + std::to_string(j));
+    }
+    l(j, j) = std::sqrt(d);
+    for (size_t i = j + 1; i < n; ++i) {
+      double s = a(i, j);
+      for (size_t k = 0; k < j; ++k) s -= l(i, k) * l(j, k);
+      l(i, j) = s / l(j, j);
+    }
+  }
+  return Cholesky(std::move(l));
+}
+
+Vector Cholesky::Solve(const Vector& b) const {
+  const size_t n = l_.rows();
+  THEMIS_CHECK(b.size() == n);
+  // Forward substitution: L y = b.
+  Vector y(n);
+  for (size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (size_t k = 0; k < i; ++k) s -= l_(i, k) * y[k];
+    y[i] = s / l_(i, i);
+  }
+  // Back substitution: L^T x = y.
+  Vector x(n);
+  for (size_t ii = 0; ii < n; ++ii) {
+    const size_t i = n - 1 - ii;
+    double s = y[i];
+    for (size_t k = i + 1; k < n; ++k) s -= l_(k, i) * x[k];
+    x[i] = s / l_(i, i);
+  }
+  return x;
+}
+
+double Cholesky::LogDet() const {
+  double s = 0;
+  for (size_t i = 0; i < l_.rows(); ++i) s += std::log(l_(i, i));
+  return 2.0 * s;
+}
+
+Result<Vector> LeastSquares(const Matrix& a, const Vector& b) {
+  if (a.rows() != b.size()) {
+    return Status::InvalidArgument("LeastSquares: dimension mismatch");
+  }
+  if (a.cols() == 0) return Vector{};
+  Matrix gram = a.Gram();
+  Vector atb = a.TransposeMatVec(b);
+  // Scale the ridge to the matrix magnitude so behaviour is invariant to
+  // units; escalate when the unregularized factorization fails.
+  double scale = 0.0;
+  for (size_t i = 0; i < gram.rows(); ++i) scale = std::max(scale, gram(i, i));
+  if (scale == 0.0) scale = 1.0;
+  for (double ridge : {0.0, 1e-12, 1e-9, 1e-6, 1e-3}) {
+    auto chol = Cholesky::Factor(gram, ridge * scale);
+    if (chol.ok()) return chol->Solve(atb);
+  }
+  return Status::FailedPrecondition("LeastSquares: system is singular");
+}
+
+}  // namespace themis::linalg

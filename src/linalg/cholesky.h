@@ -1,0 +1,39 @@
+#ifndef THEMIS_LINALG_CHOLESKY_H_
+#define THEMIS_LINALG_CHOLESKY_H_
+
+#include "linalg/matrix.h"
+#include "linalg/vector_ops.h"
+#include "util/status.h"
+
+namespace themis::linalg {
+
+/// Cholesky factorization A = L L^T of a symmetric positive-definite matrix.
+/// Fails with FailedPrecondition if A is not (numerically) SPD.
+class Cholesky {
+ public:
+  /// Factorizes `a` (which must be square and symmetric). A small ridge
+  /// `jitter` is added to the diagonal to regularize near-singular systems;
+  /// pass 0 for an exact factorization.
+  static Result<Cholesky> Factor(const Matrix& a, double jitter = 0.0);
+
+  /// Solves A x = b using the stored factor.
+  Vector Solve(const Vector& b) const;
+
+  /// log(det A) from the factor diagonal.
+  double LogDet() const;
+
+  const Matrix& lower() const { return l_; }
+
+ private:
+  explicit Cholesky(Matrix l) : l_(std::move(l)) {}
+  Matrix l_;
+};
+
+/// Solves the linear least squares problem min ||A x - b||_2 via normal
+/// equations with adaptive ridge regularization: A^T A x = A^T b. Robust to
+/// rank deficiency (returns the ridge-regularized solution in that case).
+Result<Vector> LeastSquares(const Matrix& a, const Vector& b);
+
+}  // namespace themis::linalg
+
+#endif  // THEMIS_LINALG_CHOLESKY_H_

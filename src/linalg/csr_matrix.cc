@@ -1,0 +1,46 @@
+#include "linalg/csr_matrix.h"
+
+#include "util/logging.h"
+
+namespace themis::linalg {
+
+void BinaryCsrMatrix::AppendRow(const std::vector<size_t>& col_indices) {
+  for (size_t c : col_indices) {
+    THEMIS_DCHECK(c < cols_);
+    col_idx_.push_back(c);
+  }
+  row_ptr_.push_back(col_idx_.size());
+}
+
+std::span<const size_t> BinaryCsrMatrix::Row(size_t r) const {
+  THEMIS_DCHECK(r + 1 < row_ptr_.size());
+  return {col_idx_.data() + row_ptr_[r], row_ptr_[r + 1] - row_ptr_[r]};
+}
+
+Vector BinaryCsrMatrix::MatVec(const Vector& x) const {
+  THEMIS_CHECK(x.size() == cols_);
+  Vector y(rows(), 0.0);
+  for (size_t r = 0; r < rows(); ++r) y[r] = RowDot(r, x);
+  return y;
+}
+
+double BinaryCsrMatrix::RowDot(size_t r, const Vector& x) const {
+  double s = 0;
+  for (size_t c : Row(r)) s += x[c];
+  return s;
+}
+
+Matrix BinaryCsrMatrix::MultiplyDense(const Matrix& x) const {
+  THEMIS_CHECK(x.rows() == cols_);
+  Matrix out(rows(), x.cols());
+  for (size_t r = 0; r < rows(); ++r) {
+    double* orow = out.RowData(r);
+    for (size_t c : Row(r)) {
+      const double* xrow = x.RowData(c);
+      for (size_t j = 0; j < x.cols(); ++j) orow[j] += xrow[j];
+    }
+  }
+  return out;
+}
+
+}  // namespace themis::linalg

@@ -1,0 +1,51 @@
+#ifndef THEMIS_LINALG_CSR_MATRIX_H_
+#define THEMIS_LINALG_CSR_MATRIX_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "linalg/vector_ops.h"
+
+namespace themis::linalg {
+
+/// Sparse binary matrix in compressed-sparse-row form. Themis uses this for
+/// the G0/1 incidence matrix of Sec 4.1: rows are aggregate groups,
+/// columns are sample tuples, and entry (r, c) is 1 iff tuple c participates
+/// in group r. Only the positions of ones are stored.
+class BinaryCsrMatrix {
+ public:
+  /// Incrementally build with AppendRow.
+  BinaryCsrMatrix(size_t cols) : cols_(cols) { row_ptr_.push_back(0); }
+
+  /// Appends a row whose set bits are `col_indices` (need not be sorted;
+  /// duplicates are not allowed and not checked).
+  void AppendRow(const std::vector<size_t>& col_indices);
+
+  size_t rows() const { return row_ptr_.size() - 1; }
+  size_t cols() const { return cols_; }
+  size_t nonzeros() const { return col_idx_.size(); }
+
+  /// Column indices of the ones in row r.
+  std::span<const size_t> Row(size_t r) const;
+
+  /// y = G x (size rows()).
+  Vector MatVec(const Vector& x) const;
+
+  /// Dot product of row r with x (the "G0/1[j] . w" of Alg 1).
+  double RowDot(size_t r, const Vector& x) const;
+
+  /// Dense product G * X where X is nS x m dense; result rows() x m.
+  /// This computes the paper's [G0/1 XS] regression design matrix.
+  Matrix MultiplyDense(const Matrix& x) const;
+
+ private:
+  size_t cols_;
+  std::vector<size_t> row_ptr_;
+  std::vector<size_t> col_idx_;
+};
+
+}  // namespace themis::linalg
+
+#endif  // THEMIS_LINALG_CSR_MATRIX_H_

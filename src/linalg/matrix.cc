@@ -1,0 +1,112 @@
+#include "linalg/matrix.h"
+
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace themis::linalg {
+
+Matrix Matrix::FromRows(const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) return Matrix();
+  Matrix m(rows.size(), rows[0].size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    THEMIS_CHECK(rows[i].size() == m.cols_) << "ragged rows";
+    for (size_t j = 0; j < m.cols_; ++j) m(i, j) = rows[i][j];
+  }
+  return m;
+}
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Vector Matrix::MatVec(const Vector& x) const {
+  THEMIS_CHECK(x.size() == cols_);
+  Vector y(rows_, 0.0);
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* row = RowData(i);
+    double s = 0;
+    for (size_t j = 0; j < cols_; ++j) s += row[j] * x[j];
+    y[i] = s;
+  }
+  return y;
+}
+
+Vector Matrix::TransposeMatVec(const Vector& x) const {
+  THEMIS_CHECK(x.size() == rows_);
+  Vector y(cols_, 0.0);
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* row = RowData(i);
+    const double xi = x[i];
+    if (xi == 0.0) continue;
+    for (size_t j = 0; j < cols_; ++j) y[j] += row[j] * xi;
+  }
+  return y;
+}
+
+Matrix Matrix::MatMul(const Matrix& other) const {
+  THEMIS_CHECK(cols_ == other.rows_);
+  Matrix out(rows_, other.cols_);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(i, k);
+      if (a == 0.0) continue;
+      const double* brow = other.RowData(k);
+      double* orow = out.RowData(i);
+      for (size_t j = 0; j < other.cols_; ++j) orow[j] += a * brow[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::Transpose() const {
+  Matrix out(cols_, rows_);
+  for (size_t i = 0; i < rows_; ++i)
+    for (size_t j = 0; j < cols_; ++j) out(j, i) = (*this)(i, j);
+  return out;
+}
+
+Matrix Matrix::Gram() const {
+  Matrix out(cols_, cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* row = RowData(r);
+    for (size_t i = 0; i < cols_; ++i) {
+      const double a = row[i];
+      if (a == 0.0) continue;
+      double* orow = out.RowData(i);
+      for (size_t j = i; j < cols_; ++j) orow[j] += a * row[j];
+    }
+  }
+  // Mirror the upper triangle.
+  for (size_t i = 0; i < cols_; ++i)
+    for (size_t j = 0; j < i; ++j) out(i, j) = out(j, i);
+  return out;
+}
+
+void Matrix::AppendRow(const Vector& row) {
+  if (rows_ == 0 && cols_ == 0) cols_ = row.size();
+  THEMIS_CHECK(row.size() == cols_) << "row size mismatch";
+  data_.insert(data_.end(), row.begin(), row.end());
+  ++rows_;
+}
+
+double Matrix::FrobeniusNorm() const {
+  double s = 0;
+  for (double v : data_) s += v * v;
+  return std::sqrt(s);
+}
+
+std::string Matrix::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t j = 0; j < cols_; ++j) {
+      out += StrFormat("%10.4f ", (*this)(i, j));
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace themis::linalg

@@ -1,0 +1,78 @@
+#ifndef THEMIS_LINALG_MATRIX_H_
+#define THEMIS_LINALG_MATRIX_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "linalg/vector_ops.h"
+#include "util/logging.h"
+
+namespace themis::linalg {
+
+/// Dense row-major matrix of doubles. Sized for the solver workloads in
+/// Themis (constraint systems with at most a few thousand rows/columns);
+/// all operations are straightforward O(n^3)/O(n^2) loops.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Builds from nested initializer-style data (row vectors). All rows must
+  /// have equal length.
+  static Matrix FromRows(const std::vector<std::vector<double>>& rows);
+
+  /// Identity matrix of size n.
+  static Matrix Identity(size_t n);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& operator()(size_t i, size_t j) {
+    THEMIS_DCHECK(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+  double operator()(size_t i, size_t j) const {
+    THEMIS_DCHECK(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+
+  /// Pointer to the start of row i (row-major contiguous storage).
+  double* RowData(size_t i) { return data_.data() + i * cols_; }
+  const double* RowData(size_t i) const { return data_.data() + i * cols_; }
+
+  /// y = A x.
+  Vector MatVec(const Vector& x) const;
+
+  /// y = A^T x.
+  Vector TransposeMatVec(const Vector& x) const;
+
+  /// C = A * B.
+  Matrix MatMul(const Matrix& other) const;
+
+  /// Returns A^T.
+  Matrix Transpose() const;
+
+  /// Returns A^T A (symmetric positive semidefinite Gram matrix).
+  Matrix Gram() const;
+
+  /// Appends a row (must match cols(); first row on an empty matrix sets
+  /// the column count).
+  void AppendRow(const Vector& row);
+
+  /// Frobenius norm.
+  double FrobeniusNorm() const;
+
+  /// Multi-line debug rendering.
+  std::string ToString() const;
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+}  // namespace themis::linalg
+
+#endif  // THEMIS_LINALG_MATRIX_H_

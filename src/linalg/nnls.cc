@@ -1,0 +1,118 @@
+#include "linalg/nnls.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "linalg/cholesky.h"
+
+namespace themis::linalg {
+
+namespace {
+
+/// Extracts the submatrix of `a` consisting of the columns listed in `cols`.
+Matrix SelectColumns(const Matrix& a, const std::vector<size_t>& cols) {
+  Matrix out(a.rows(), cols.size());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    const double* row = a.RowData(i);
+    double* orow = out.RowData(i);
+    for (size_t j = 0; j < cols.size(); ++j) orow[j] = row[cols[j]];
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<NnlsResult> Nnls(const Matrix& a, const Vector& b,
+                        const NnlsOptions& options) {
+  if (a.rows() != b.size()) {
+    return Status::InvalidArgument("Nnls: dimension mismatch");
+  }
+  const size_t n = a.cols();
+  Vector x(n, 0.0);
+  std::vector<bool> passive(n, false);
+  std::vector<size_t> passive_list;
+
+  // Gradient of 1/2||Ax-b||^2 is A^T(Ax - b); Lawson-Hanson works with
+  // w = A^T(b - Ax), the negative gradient.
+  Vector residual = b;  // b - A*0
+  Vector w = a.TransposeMatVec(residual);
+
+  int iter = 0;
+  while (iter++ < options.max_iterations) {
+    // Pick the most-violating variable in the active (zero) set.
+    double best = options.tolerance;
+    size_t best_j = n;
+    for (size_t j = 0; j < n; ++j) {
+      if (!passive[j] && w[j] > best) {
+        best = w[j];
+        best_j = j;
+      }
+    }
+    if (best_j == n) break;  // KKT satisfied
+    passive[best_j] = true;
+    passive_list.push_back(best_j);
+
+    // Inner loop: solve the unconstrained LS problem on the passive set and
+    // walk back along the segment to keep feasibility.
+    while (true) {
+      Matrix ap = SelectColumns(a, passive_list);
+      auto z_result = LeastSquares(ap, b);
+      if (!z_result.ok()) return z_result.status();
+      const Vector& z = *z_result;
+
+      bool all_positive = true;
+      for (double v : z) {
+        if (v <= 0.0) {
+          all_positive = false;
+          break;
+        }
+      }
+      if (all_positive) {
+        for (size_t j = 0; j < passive_list.size(); ++j) {
+          x[passive_list[j]] = z[j];
+        }
+        break;
+      }
+      // alpha = min over z_p <= 0 of x_p / (x_p - z_p).
+      double alpha = std::numeric_limits<double>::infinity();
+      for (size_t j = 0; j < passive_list.size(); ++j) {
+        if (z[j] <= 0.0) {
+          const double xp = x[passive_list[j]];
+          const double denom = xp - z[j];
+          if (denom > 0) alpha = std::min(alpha, xp / denom);
+        }
+      }
+      if (!std::isfinite(alpha)) alpha = 0.0;
+      for (size_t j = 0; j < passive_list.size(); ++j) {
+        const size_t col = passive_list[j];
+        x[col] += alpha * (z[j] - x[col]);
+      }
+      // Deactivate variables driven to (numerical) zero.
+      std::vector<size_t> next_list;
+      for (size_t col : passive_list) {
+        if (x[col] > 1e-14) {
+          next_list.push_back(col);
+        } else {
+          x[col] = 0.0;
+          passive[col] = false;
+        }
+      }
+      passive_list = std::move(next_list);
+      if (passive_list.empty()) break;
+    }
+
+    Vector ax = a.MatVec(x);
+    residual = Subtract(b, ax);
+    w = a.TransposeMatVec(residual);
+  }
+
+  NnlsResult result;
+  result.x = std::move(x);
+  result.residual_norm = Norm2(residual);
+  result.iterations = iter;
+  return result;
+}
+
+}  // namespace themis::linalg

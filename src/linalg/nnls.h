@@ -1,0 +1,34 @@
+#ifndef THEMIS_LINALG_NNLS_H_
+#define THEMIS_LINALG_NNLS_H_
+
+#include "linalg/matrix.h"
+#include "linalg/vector_ops.h"
+#include "util/status.h"
+
+namespace themis::linalg {
+
+/// Options for the non-negative least squares solver.
+struct NnlsOptions {
+  /// Tolerance on the dual feasibility (max gradient over the active set).
+  double tolerance = 1e-10;
+  /// Safety bound on outer iterations (roughly #columns in practice).
+  int max_iterations = 10000;
+};
+
+struct NnlsResult {
+  Vector x;              ///< the non-negative solution
+  double residual_norm;  ///< ||A x - b||_2 at the solution
+  int iterations;        ///< outer-loop iterations used
+};
+
+/// Solves min ||A x - b||_2 subject to x >= 0 with the Lawson-Hanson
+/// active-set algorithm. This is the constrained least-squares routine used
+/// by the linear-regression reweighter (Sec 4.1.1 of the paper), which
+/// requires all regression coefficients beta to be non-negative so every
+/// sample tuple receives a non-negative weight.
+Result<NnlsResult> Nnls(const Matrix& a, const Vector& b,
+                        const NnlsOptions& options = {});
+
+}  // namespace themis::linalg
+
+#endif  // THEMIS_LINALG_NNLS_H_

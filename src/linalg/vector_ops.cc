@@ -1,0 +1,58 @@
+#include "linalg/vector_ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace themis::linalg {
+
+double Dot(const Vector& a, const Vector& b) {
+  THEMIS_DCHECK(a.size() == b.size());
+  double s = 0;
+  for (size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double Norm2(const Vector& a) { return std::sqrt(Dot(a, a)); }
+
+double Sum(const Vector& a) {
+  double s = 0;
+  for (double v : a) s += v;
+  return s;
+}
+
+void Axpy(double alpha, const Vector& x, Vector& y) {
+  THEMIS_DCHECK(x.size() == y.size());
+  for (size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void Scale(double alpha, Vector& x) {
+  for (double& v : x) v *= alpha;
+}
+
+double Max(const Vector& a) {
+  THEMIS_DCHECK(!a.empty());
+  return *std::max_element(a.begin(), a.end());
+}
+
+double Min(const Vector& a) {
+  THEMIS_DCHECK(!a.empty());
+  return *std::min_element(a.begin(), a.end());
+}
+
+Vector Subtract(const Vector& a, const Vector& b) {
+  THEMIS_DCHECK(a.size() == b.size());
+  Vector out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+Vector Add(const Vector& a, const Vector& b) {
+  THEMIS_DCHECK(a.size() == b.size());
+  Vector out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+}  // namespace themis::linalg

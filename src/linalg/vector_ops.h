@@ -1,0 +1,42 @@
+#ifndef THEMIS_LINALG_VECTOR_OPS_H_
+#define THEMIS_LINALG_VECTOR_OPS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace themis::linalg {
+
+/// Dense column vectors are plain std::vector<double>; these free functions
+/// provide the BLAS-1 style operations the solvers need.
+using Vector = std::vector<double>;
+
+/// Dot product. Sizes must match.
+double Dot(const Vector& a, const Vector& b);
+
+/// Euclidean norm.
+double Norm2(const Vector& a);
+
+/// Sum of all elements.
+double Sum(const Vector& a);
+
+/// y += alpha * x. Sizes must match.
+void Axpy(double alpha, const Vector& x, Vector& y);
+
+/// x *= alpha.
+void Scale(double alpha, Vector& x);
+
+/// Element-wise maximum entry (requires non-empty vector).
+double Max(const Vector& a);
+
+/// Element-wise minimum entry (requires non-empty vector).
+double Min(const Vector& a);
+
+/// Returns a - b.
+Vector Subtract(const Vector& a, const Vector& b);
+
+/// Returns a + b.
+Vector Add(const Vector& a, const Vector& b);
+
+}  // namespace themis::linalg
+
+#endif  // THEMIS_LINALG_VECTOR_OPS_H_

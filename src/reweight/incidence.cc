@@ -1,0 +1,27 @@
+#include "reweight/incidence.h"
+
+namespace themis::reweight {
+
+IncidenceSystem BuildIncidence(const data::Table& sample,
+                               const aggregate::AggregateSet& aggregates) {
+  IncidenceSystem sys;
+  sys.g = linalg::BinaryCsrMatrix(sample.num_rows());
+  for (size_t ai = 0; ai < aggregates.size(); ++ai) {
+    const aggregate::AggregateSpec& spec = aggregates[ai];
+    auto groups = sample.GroupRows(spec.attrs);
+    for (size_t gi = 0; gi < spec.groups.size(); ++gi) {
+      const auto& [key, count] = spec.groups[gi];
+      auto it = groups.find(key);
+      if (it != groups.end()) {
+        sys.g.AppendRow(it->second);
+      } else {
+        sys.g.AppendRow({});
+      }
+      sys.y.push_back(count);
+      sys.row_origin.emplace_back(ai, gi);
+    }
+  }
+  return sys;
+}
+
+}  // namespace themis::reweight

@@ -1,0 +1,36 @@
+#ifndef THEMIS_REWEIGHT_INCIDENCE_H_
+#define THEMIS_REWEIGHT_INCIDENCE_H_
+
+#include <vector>
+
+#include "aggregate/aggregate.h"
+#include "data/table.h"
+#include "linalg/csr_matrix.h"
+#include "linalg/vector_ops.h"
+
+namespace themis::reweight {
+
+/// The constraint system shared by both reweighting techniques (Sec 4.1):
+/// the 0/1 incidence matrix G0/1 with one row per aggregate group and one
+/// column per sample tuple (entry 1 iff the tuple participates in the
+/// group), and the target vector y of aggregate counts, y = Γ^C_1 ⊕ ... ⊕
+/// Γ^C_B.
+struct IncidenceSystem {
+  linalg::BinaryCsrMatrix g{0};
+  linalg::Vector y;
+  /// For row r: which aggregate it came from and its group key, for
+  /// debugging and tests.
+  std::vector<std::pair<size_t, size_t>> row_origin;  // (agg idx, group idx)
+};
+
+/// Builds the incidence system for `sample` against `aggregates` following
+/// Example 4.1. Rows appear in aggregate order, groups in each aggregate's
+/// stored order. Rows with no participating sample tuple are *kept* here;
+/// the regression reweighter drops them (the paper drops all-zero rows of
+/// G0/1 XS) and IPF skips them.
+IncidenceSystem BuildIncidence(const data::Table& sample,
+                               const aggregate::AggregateSet& aggregates);
+
+}  // namespace themis::reweight
+
+#endif  // THEMIS_REWEIGHT_INCIDENCE_H_

@@ -1,0 +1,62 @@
+#include "reweight/ipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "reweight/incidence.h"
+#include "util/logging.h"
+
+namespace themis::reweight {
+
+Status IpfReweighter::Reweight(data::Table& sample,
+                               const aggregate::AggregateSet& aggregates,
+                               double population_size) {
+  stats_ = IpfStats{};
+  if (sample.num_rows() == 0) {
+    return Status::InvalidArgument("IPF: empty sample");
+  }
+  sample.FillWeights(1.0);
+  if (aggregates.empty()) {
+    SumNormalize(sample, population_size);
+    return Status::OK();
+  }
+
+  IncidenceSystem sys = BuildIncidence(sample, aggregates);
+  std::vector<double>& w = sample.mutable_weights();
+
+  auto max_relative_violation = [&]() {
+    double worst = 0;
+    for (size_t j = 0; j < sys.g.rows(); ++j) {
+      if (sys.g.Row(j).empty()) continue;  // unsatisfiable: no participants
+      const double got = sys.g.RowDot(j, w);
+      const double want = sys.y[j];
+      worst = std::max(worst,
+                       std::abs(got - want) / std::max(1.0, std::abs(want)));
+    }
+    return worst;
+  };
+
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    for (size_t j = 0; j < sys.g.rows(); ++j) {
+      auto participants = sys.g.Row(j);
+      if (participants.empty()) continue;
+      const double got = sys.g.RowDot(j, w);
+      const double want = sys.y[j];
+      if (got == want) continue;
+      if (got <= 0.0) continue;  // weights already driven to zero
+      const double s = want / got;
+      for (size_t c : participants) w[c] *= s;
+    }
+    stats_.iterations = iter + 1;
+    stats_.max_violation = max_relative_violation();
+    if (stats_.max_violation <= options_.tolerance) {
+      stats_.converged = true;
+      break;
+    }
+  }
+
+  if (options_.sum_normalize) SumNormalize(sample, population_size);
+  return Status::OK();
+}
+
+}  // namespace themis::reweight

@@ -1,0 +1,42 @@
+#ifndef THEMIS_REWEIGHT_LINREG_H_
+#define THEMIS_REWEIGHT_LINREG_H_
+
+#include "linalg/nnls.h"
+#include "reweight/reweighter.h"
+
+namespace themis::reweight {
+
+/// Linear-regression reweighting (Sec 4.1.1). Assumes w(t) = β · t_{0/1}
+/// where t_{0/1} is the one-hot encoding of t over the aggregate-covered
+/// attributes (plus an intercept column). Solves
+///   [G0/1 XS] β = y
+/// as a *non-negative* least squares problem (β ≥ 0 so every tuple gets a
+/// non-negative weight), with two of the paper's modifications:
+///  - all-zero rows of G0/1 XS (groups absent from the sample) are dropped
+///    together with their y entries;
+///  - an extra row [nS, 0, ..., 0] with target nS is appended to encourage
+///    a positive intercept so every tuple gets some positive weight.
+/// Weights are sum-normalized to the population size afterwards.
+class LinRegReweighter : public Reweighter {
+ public:
+  explicit LinRegReweighter(linalg::NnlsOptions options = {})
+      : options_(options) {}
+
+  std::string name() const override { return "LinReg"; }
+
+  Status Reweight(data::Table& sample,
+                  const aggregate::AggregateSet& aggregates,
+                  double population_size) override;
+
+  /// The fitted coefficients from the last Reweight call (intercept first,
+  /// then one block per covered attribute). Exposed for tests/inspection.
+  const linalg::Vector& beta() const { return beta_; }
+
+ private:
+  linalg::NnlsOptions options_;
+  linalg::Vector beta_;
+};
+
+}  // namespace themis::reweight
+
+#endif  // THEMIS_REWEIGHT_LINREG_H_

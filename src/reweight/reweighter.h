@@ -1,0 +1,35 @@
+#ifndef THEMIS_REWEIGHT_REWEIGHTER_H_
+#define THEMIS_REWEIGHT_REWEIGHTER_H_
+
+#include <string>
+
+#include "aggregate/aggregate.h"
+#include "data/table.h"
+#include "util/status.h"
+
+namespace themis::reweight {
+
+/// Common interface of the sample reweighting techniques (Sec 4.1). A
+/// reweighter assigns each sample tuple t a weight w(t) — the number of
+/// population tuples it represents — in place in the table's weight column.
+class Reweighter {
+ public:
+  virtual ~Reweighter() = default;
+
+  /// Name used in experiment output ("AQP", "LinReg", "IPF").
+  virtual std::string name() const = 0;
+
+  /// Computes weights for `sample` given the aggregates and the
+  /// (approximate) population size n.
+  virtual Status Reweight(data::Table& sample,
+                          const aggregate::AggregateSet& aggregates,
+                          double population_size) = 0;
+};
+
+/// Multiplicatively rescales all weights so they sum to `population_size`
+/// (the paper's final sum-normalization step). No-op on empty tables.
+void SumNormalize(data::Table& sample, double population_size);
+
+}  // namespace themis::reweight
+
+#endif  // THEMIS_REWEIGHT_REWEIGHTER_H_

@@ -1,0 +1,21 @@
+#include "reweight/uniform.h"
+
+namespace themis::reweight {
+
+void SumNormalize(data::Table& sample, double population_size) {
+  const double total = sample.TotalWeight();
+  if (total <= 0 || sample.num_rows() == 0) return;
+  const double scale = population_size / total;
+  for (double& w : sample.mutable_weights()) w *= scale;
+}
+
+Status UniformReweighter::Reweight(data::Table& sample,
+                                   const aggregate::AggregateSet& aggregates,
+                                   double population_size) {
+  (void)aggregates;  // uniform reweighting ignores Γ
+  sample.FillWeights(1.0);
+  SumNormalize(sample, population_size);
+  return Status::OK();
+}
+
+}  // namespace themis::reweight

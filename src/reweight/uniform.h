@@ -1,0 +1,22 @@
+#ifndef THEMIS_REWEIGHT_UNIFORM_H_
+#define THEMIS_REWEIGHT_UNIFORM_H_
+
+#include "reweight/reweighter.h"
+
+namespace themis::reweight {
+
+/// The default AQP approach: uniform reweighting w(t) = |P| / |S| for every
+/// tuple, equivalent to w(t) ≡ 1 followed by sum-normalization (Sec 4.1.1).
+/// This is the baseline Themis is measured against.
+class UniformReweighter : public Reweighter {
+ public:
+  std::string name() const override { return "AQP"; }
+
+  Status Reweight(data::Table& sample,
+                  const aggregate::AggregateSet& aggregates,
+                  double population_size) override;
+};
+
+}  // namespace themis::reweight
+
+#endif  // THEMIS_REWEIGHT_UNIFORM_H_

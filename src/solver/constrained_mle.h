@@ -1,0 +1,77 @@
+#ifndef THEMIS_SOLVER_CONSTRAINED_MLE_H_
+#define THEMIS_SOLVER_CONSTRAINED_MLE_H_
+
+#include <utility>
+#include <vector>
+
+#include "linalg/vector_ops.h"
+#include "util/status.h"
+
+namespace themis::solver {
+
+/// One simplex block: the listed variables must be non-negative and sum to
+/// one. For BN parameter learning there is one block per parent
+/// configuration k, containing θ_{i,j,k} for all child values j.
+struct SimplexGroup {
+  std::vector<size_t> vars;
+};
+
+/// One linear equality constraint Σ coeff_v · θ_v = target with
+/// *non-negative* coefficients. After the Sec 5.2 simplification every
+/// aggregate constraint on a factor has this form: the coefficients are
+/// the (already-solved, hence constant) ancestor probabilities.
+struct LinearConstraint {
+  std::vector<std::pair<size_t, double>> terms;  // (variable, coefficient)
+  double target = 0;
+};
+
+/// The per-factor constrained maximum-likelihood problem of Eq. 2 after
+/// simplification:
+///   minimize  −Σ_v counts_v · log θ_v
+///   subject to θ ≥ 0, each SimplexGroup sums to 1, and all
+///   LinearConstraints hold.
+struct ConstrainedMleProblem {
+  /// Observation counts (sample statistics); may contain zeros.
+  linalg::Vector counts;
+  /// Partition of the variables into simplex blocks. Every variable must
+  /// appear in exactly one group.
+  std::vector<SimplexGroup> groups;
+  /// Aggregate-derived equality constraints (may be empty).
+  std::vector<LinearConstraint> constraints;
+};
+
+struct ConstrainedMleOptions {
+  int max_iterations = 2000;
+  /// Converged when every constraint (incl. simplexes) is satisfied within
+  /// this relative tolerance.
+  double tolerance = 1e-9;
+  /// Additive smoothing applied to the counts when initializing, so that
+  /// zero-count states can still receive mass demanded by constraints
+  /// (e.g. the sample has no 500-mile flights but Γ says 20% exist).
+  double smoothing = 1e-6;
+};
+
+struct ConstrainedMleSolution {
+  linalg::Vector theta;
+  int iterations = 0;
+  bool converged = false;
+  double max_violation = 0;
+  /// Σ counts_v log θ_v at the solution (0·log 0 treated as 0).
+  double log_likelihood = 0;
+};
+
+/// Solves the problem with iterative proportional scaling: starting from
+/// the (smoothed) empirical distribution, repeatedly rescale the support of
+/// each violated constraint and re-normalize each simplex until all
+/// constraints hold. For feasible systems this converges to the
+/// I-projection of the empirical distribution onto the constraint set,
+/// which is the constrained MLE; for infeasible systems (noisy aggregates)
+/// it returns the approximate fixed point with `converged=false`, matching
+/// the approximate solving behaviour the paper reports.
+Result<ConstrainedMleSolution> SolveConstrainedMle(
+    const ConstrainedMleProblem& problem,
+    const ConstrainedMleOptions& options = {});
+
+}  // namespace themis::solver
+
+#endif  // THEMIS_SOLVER_CONSTRAINED_MLE_H_

@@ -1,0 +1,63 @@
+#ifndef THEMIS_SQL_AST_H_
+#define THEMIS_SQL_AST_H_
+
+#include <string>
+#include <vector>
+
+namespace themis::sql {
+
+/// Column reference, optionally qualified: "o_st" or "t.o_st".
+struct ColumnRef {
+  std::string table_alias;  // empty if unqualified
+  std::string column;
+
+  std::string ToString() const {
+    return table_alias.empty() ? column : table_alias + "." + column;
+  }
+};
+
+enum class AggFunc { kNone, kCount, kSum, kAvg };
+
+/// One item of the SELECT list: a plain group column or an aggregate.
+struct SelectItem {
+  AggFunc func = AggFunc::kNone;
+  ColumnRef column;  // unused for COUNT(*)
+  std::string alias; // optional "AS name"
+};
+
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe, kIn };
+
+/// A literal in a predicate: string or number.
+struct Literal {
+  std::string text;
+  bool is_number = false;
+  double number = 0;
+};
+
+/// A conjunct of the WHERE clause: either column-vs-literal(s) or a join
+/// equality column-vs-column.
+struct Predicate {
+  ColumnRef lhs;
+  CompareOp op = CompareOp::kEq;
+  std::vector<Literal> literals;  // 1 value, or the IN list
+  bool is_join = false;
+  ColumnRef rhs_column;  // when is_join
+};
+
+struct TableRef {
+  std::string name;
+  std::string alias;  // defaults to name
+};
+
+/// The supported statement shape:
+///   SELECT items FROM t [, t2] [WHERE p AND p ...] [GROUP BY cols]
+struct SelectStatement {
+  std::vector<SelectItem> items;
+  std::vector<TableRef> tables;
+  std::vector<Predicate> where;
+  std::vector<ColumnRef> group_by;
+};
+
+}  // namespace themis::sql
+
+#endif  // THEMIS_SQL_AST_H_

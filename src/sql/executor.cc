@@ -1,0 +1,365 @@
+#include "sql/executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+#include "sql/parser.h"
+#include "util/string_util.h"
+
+namespace themis::sql {
+
+namespace {
+
+/// A column reference resolved to (table position, attribute index).
+struct BoundColumn {
+  size_t table = 0;
+  size_t attr = 0;
+};
+
+struct BoundTable {
+  const data::Table* table = nullptr;
+  std::string alias;
+};
+
+/// Per-row aggregate accumulators for one group.
+struct Accumulator {
+  double count_weight = 0;                 // Σ w (COUNT(*))
+  std::vector<double> weighted_sums;       // Σ w·v per SUM/AVG item
+  std::vector<double> weight_totals;       // Σ w per SUM/AVG item
+};
+
+}  // namespace
+
+double NumericValueOfLabel(const std::string& label) {
+  if (label.size() >= 2 && label.front() == '[' && label.back() == ')') {
+    // Equi-width bucket label "[lo,hi)": midpoint.
+    const size_t comma = label.find(',');
+    if (comma != std::string::npos) {
+      const double lo = std::strtod(label.c_str() + 1, nullptr);
+      const double hi = std::strtod(label.c_str() + comma + 1, nullptr);
+      return (lo + hi) / 2.0;
+    }
+  }
+  char* end = nullptr;
+  const double v = std::strtod(label.c_str(), &end);
+  if (end == label.c_str() || end != label.c_str() + label.size()) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  return v;
+}
+
+std::map<std::string, double> QueryResult::ValueMap(
+    size_t value_index) const {
+  std::map<std::string, double> out;
+  for (const ResultRow& row : rows) {
+    std::string key = Join(row.group, "|");
+    if (value_index < row.values.size()) {
+      out[key] = row.values[value_index];
+    }
+  }
+  return out;
+}
+
+std::string QueryResult::ToString() const {
+  std::ostringstream out;
+  for (const auto& name : group_names) out << name << "\t";
+  for (const auto& name : value_names) out << name << "\t";
+  out << "\n";
+  for (const ResultRow& row : rows) {
+    for (const auto& g : row.group) out << g << "\t";
+    for (double v : row.values) out << StrFormat("%.3f", v) << "\t";
+    out << "\n";
+  }
+  return out.str();
+}
+
+void Executor::RegisterTable(const std::string& name,
+                             const data::Table* table) {
+  catalog_[name] = table;
+}
+
+Result<QueryResult> Executor::Query(const std::string& sql) const {
+  THEMIS_ASSIGN_OR_RETURN(SelectStatement stmt, Parse(sql));
+  return Execute(stmt);
+}
+
+Result<QueryResult> Executor::Execute(const SelectStatement& stmt) const {
+  // --- Bind tables. ---
+  if (stmt.tables.empty() || stmt.tables.size() > 2) {
+    return Status::Unimplemented("only 1- and 2-table queries supported");
+  }
+  std::vector<BoundTable> tables;
+  for (const TableRef& ref : stmt.tables) {
+    auto it = catalog_.find(ref.name);
+    if (it == catalog_.end()) {
+      return Status::NotFound("table '" + ref.name + "' not registered");
+    }
+    tables.push_back({it->second, ref.alias});
+  }
+
+  // --- Bind columns. ---
+  auto bind = [&](const ColumnRef& ref) -> Result<BoundColumn> {
+    BoundColumn bound;
+    bool found = false;
+    for (size_t t = 0; t < tables.size(); ++t) {
+      if (!ref.table_alias.empty() &&
+          !EqualsIgnoreCase(ref.table_alias, tables[t].alias)) {
+        continue;
+      }
+      auto idx = tables[t].table->schema()->AttributeIndex(ref.column);
+      if (idx.ok()) {
+        if (found) {
+          return Result<BoundColumn>(Status::InvalidArgument(
+              "ambiguous column '" + ref.ToString() + "'"));
+        }
+        bound = {t, *idx};
+        found = true;
+      }
+    }
+    if (!found) {
+      return Result<BoundColumn>(
+          Status::NotFound("column '" + ref.ToString() + "' not found"));
+    }
+    return bound;
+  };
+
+  // --- Split predicates into per-table filters and join conditions. ---
+  // For a filter, precompute a per-domain-code match mask so row evaluation
+  // is a single array lookup.
+  struct Filter {
+    BoundColumn column;
+    std::vector<char> code_matches;  // indexed by value code
+  };
+  std::vector<Filter> filters;
+  std::vector<std::pair<BoundColumn, BoundColumn>> joins;
+  for (const Predicate& pred : stmt.where) {
+    THEMIS_ASSIGN_OR_RETURN(BoundColumn lhs, bind(pred.lhs));
+    if (pred.is_join) {
+      THEMIS_ASSIGN_OR_RETURN(BoundColumn rhs, bind(pred.rhs_column));
+      if (lhs.table == rhs.table) {
+        return Status::Unimplemented(
+            "same-table column equality not supported");
+      }
+      if (lhs.table > rhs.table) std::swap(lhs, rhs);
+      joins.emplace_back(lhs, rhs);
+      continue;
+    }
+    const data::Domain& domain =
+        tables[lhs.table].table->schema()->domain(lhs.attr);
+    Filter filter;
+    filter.column = lhs;
+    filter.code_matches.assign(domain.size(), 0);
+    switch (pred.op) {
+      case CompareOp::kEq:
+      case CompareOp::kNe:
+      case CompareOp::kIn: {
+        std::vector<char>& m = filter.code_matches;
+        for (const Literal& lit : pred.literals) {
+          auto code = domain.Code(lit.text);
+          if (code.ok()) m[static_cast<size_t>(*code)] = 1;
+        }
+        if (pred.op == CompareOp::kNe) {
+          for (char& c : m) c = !c;
+        }
+        break;
+      }
+      default: {
+        if (pred.literals.size() != 1) {
+          return Status::InvalidArgument("ordered comparison needs 1 literal");
+        }
+        const Literal& lit = pred.literals[0];
+        const double target = lit.is_number
+                                  ? lit.number
+                                  : NumericValueOfLabel(lit.text);
+        if (std::isnan(target)) {
+          return Status::InvalidArgument(
+              "non-numeric literal in ordered comparison");
+        }
+        for (size_t code = 0; code < domain.size(); ++code) {
+          const double v = NumericValueOfLabel(
+              domain.Label(static_cast<data::ValueCode>(code)));
+          if (std::isnan(v)) continue;  // unmatched
+          bool ok = false;
+          switch (pred.op) {
+            case CompareOp::kLt: ok = v < target; break;
+            case CompareOp::kLe: ok = v <= target; break;
+            case CompareOp::kGt: ok = v > target; break;
+            case CompareOp::kGe: ok = v >= target; break;
+            default: break;
+          }
+          filter.code_matches[code] = ok ? 1 : 0;
+        }
+        break;
+      }
+    }
+    filters.push_back(std::move(filter));
+  }
+
+  // --- Bind SELECT / GROUP BY columns. ---
+  std::vector<BoundColumn> group_columns;
+  QueryResult result;
+  for (const ColumnRef& ref : stmt.group_by) {
+    THEMIS_ASSIGN_OR_RETURN(BoundColumn bc, bind(ref));
+    group_columns.push_back(bc);
+    result.group_names.push_back(ref.ToString());
+  }
+  struct AggItem {
+    AggFunc func;
+    BoundColumn column;  // unused for COUNT(*)
+  };
+  std::vector<AggItem> agg_items;
+  for (const SelectItem& item : stmt.items) {
+    if (item.func == AggFunc::kNone) continue;  // plain group column
+    AggItem agg;
+    agg.func = item.func;
+    if (item.func != AggFunc::kCount) {
+      THEMIS_ASSIGN_OR_RETURN(agg.column, bind(item.column));
+    }
+    agg_items.push_back(agg);
+    std::string name = !item.alias.empty() ? item.alias
+                       : item.func == AggFunc::kCount
+                           ? "count"
+                           : (item.func == AggFunc::kSum ? "sum_" : "avg_") +
+                                 item.column.ToString();
+    result.value_names.push_back(std::move(name));
+  }
+
+  // --- Row iteration. ---
+  // Candidate rows per table after filters.
+  auto passes = [&](size_t t, size_t row) {
+    for (const Filter& f : filters) {
+      if (f.column.table != t) continue;
+      const data::ValueCode code = tables[t].table->Get(row, f.column.attr);
+      if (code < 0 || static_cast<size_t>(code) >= f.code_matches.size() ||
+          !f.code_matches[static_cast<size_t>(code)]) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  // Numeric per-code caches for SUM/AVG columns.
+  auto numeric_for = [&](const BoundColumn& bc) {
+    const data::Domain& domain =
+        tables[bc.table].table->schema()->domain(bc.attr);
+    std::vector<double> values(domain.size());
+    for (size_t code = 0; code < domain.size(); ++code) {
+      values[code] =
+          NumericValueOfLabel(domain.Label(static_cast<data::ValueCode>(code)));
+    }
+    return values;
+  };
+  std::vector<std::vector<double>> numeric_cache(agg_items.size());
+  for (size_t i = 0; i < agg_items.size(); ++i) {
+    if (agg_items[i].func != AggFunc::kCount) {
+      numeric_cache[i] = numeric_for(agg_items[i].column);
+    }
+  }
+
+  std::map<std::vector<std::string>, Accumulator> groups;
+  auto accumulate = [&](const std::vector<size_t>& rows, double weight) {
+    // `rows[t]` is the current row of table t.
+    std::vector<std::string> key;
+    key.reserve(group_columns.size());
+    for (const BoundColumn& gc : group_columns) {
+      const data::ValueCode code =
+          tables[gc.table].table->Get(rows[gc.table], gc.attr);
+      key.push_back(
+          tables[gc.table].table->schema()->domain(gc.attr).Label(code));
+    }
+    Accumulator& acc = groups[key];
+    if (acc.weighted_sums.empty()) {
+      acc.weighted_sums.assign(agg_items.size(), 0.0);
+      acc.weight_totals.assign(agg_items.size(), 0.0);
+    }
+    acc.count_weight += weight;
+    for (size_t i = 0; i < agg_items.size(); ++i) {
+      if (agg_items[i].func == AggFunc::kCount) continue;
+      const BoundColumn& bc = agg_items[i].column;
+      const data::ValueCode code =
+          tables[bc.table].table->Get(rows[bc.table], bc.attr);
+      const double v = numeric_cache[i][static_cast<size_t>(code)];
+      if (std::isnan(v)) continue;
+      acc.weighted_sums[i] += weight * v;
+      acc.weight_totals[i] += weight;
+    }
+  };
+
+  if (tables.size() == 1) {
+    const data::Table& t0 = *tables[0].table;
+    for (size_t r = 0; r < t0.num_rows(); ++r) {
+      if (!passes(0, r)) continue;
+      accumulate({r}, t0.weight(r));
+    }
+  } else {
+    if (joins.empty()) {
+      return Status::Unimplemented(
+          "cross joins without join predicates are not supported");
+    }
+    // Hash join: build on table 0, probe with table 1. Keys are label
+    // strings so tables with different schemas still join correctly.
+    const data::Table& t0 = *tables[0].table;
+    const data::Table& t1 = *tables[1].table;
+    std::unordered_map<std::string, std::vector<size_t>> build;
+    for (size_t r = 0; r < t0.num_rows(); ++r) {
+      if (!passes(0, r)) continue;
+      std::string key;
+      for (const auto& [lhs, rhs] : joins) {
+        key += t0.schema()->domain(lhs.attr).Label(t0.Get(r, lhs.attr));
+        key += '\x1f';
+      }
+      build[key].push_back(r);
+    }
+    for (size_t r1 = 0; r1 < t1.num_rows(); ++r1) {
+      if (!passes(1, r1)) continue;
+      std::string key;
+      for (const auto& [lhs, rhs] : joins) {
+        key += t1.schema()->domain(rhs.attr).Label(t1.Get(r1, rhs.attr));
+        key += '\x1f';
+      }
+      auto it = build.find(key);
+      if (it == build.end()) continue;
+      for (size_t r0 : it->second) {
+        accumulate({r0, r1}, t0.weight(r0) * t1.weight(r1));
+      }
+    }
+  }
+
+  // Global aggregates (no GROUP BY) always yield exactly one row, even
+  // when no input rows qualify.
+  if (group_columns.empty() && groups.empty()) {
+    Accumulator zero;
+    zero.weighted_sums.assign(agg_items.size(), 0.0);
+    zero.weight_totals.assign(agg_items.size(), 0.0);
+    groups.emplace(std::vector<std::string>{}, std::move(zero));
+  }
+
+  // --- Materialize rows (std::map keeps them sorted by group key). ---
+  for (auto& [key, acc] : groups) {
+    ResultRow row;
+    row.group = key;
+    for (size_t i = 0; i < agg_items.size(); ++i) {
+      switch (agg_items[i].func) {
+        case AggFunc::kCount:
+          row.values.push_back(acc.count_weight);
+          break;
+        case AggFunc::kSum:
+          row.values.push_back(acc.weighted_sums[i]);
+          break;
+        case AggFunc::kAvg:
+          row.values.push_back(acc.weight_totals[i] > 0
+                                   ? acc.weighted_sums[i] / acc.weight_totals[i]
+                                   : 0.0);
+          break;
+        case AggFunc::kNone:
+          break;
+      }
+    }
+    result.rows.push_back(std::move(row));
+  }
+  return result;
+}
+
+}  // namespace themis::sql

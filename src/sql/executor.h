@@ -1,0 +1,63 @@
+#ifndef THEMIS_SQL_EXECUTOR_H_
+#define THEMIS_SQL_EXECUTOR_H_
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "data/table.h"
+#include "sql/ast.h"
+#include "util/status.h"
+
+namespace themis::sql {
+
+/// One output row: the group-by key (display labels, empty for global
+/// aggregates) and one value per aggregate select item.
+struct ResultRow {
+  std::vector<std::string> group;
+  std::vector<double> values;
+};
+
+/// Result of executing a SELECT. Rows are sorted by group key for
+/// deterministic output.
+struct QueryResult {
+  std::vector<std::string> group_names;
+  std::vector<std::string> value_names;
+  std::vector<ResultRow> rows;
+
+  /// Maps "g1|g2|..." group keys to the value at `value_index`; convenient
+  /// for comparing a truth result against an estimate.
+  std::map<std::string, double> ValueMap(size_t value_index = 0) const;
+
+  /// Pretty-printed table for examples and benchmarks.
+  std::string ToString() const;
+};
+
+/// Numeric interpretation of a domain label for SUM/AVG and ordered
+/// comparisons: plain numbers parse directly; equi-width bucket labels
+/// "[lo,hi)" evaluate to their midpoint; anything else is NaN.
+double NumericValueOfLabel(const std::string& label);
+
+/// Executes SQL over registered, weighted, in-memory tables. COUNT(*) is
+/// evaluated as SUM(weight) and joins multiply weights, so queries over a
+/// reweighted sample estimate the corresponding population answers
+/// (Sec 4.1).
+class Executor {
+ public:
+  /// Registers `table` under `name` (pointer must outlive the executor).
+  void RegisterTable(const std::string& name, const data::Table* table);
+
+  /// Parses and executes `sql`.
+  Result<QueryResult> Query(const std::string& sql) const;
+
+  /// Executes a parsed statement.
+  Result<QueryResult> Execute(const SelectStatement& stmt) const;
+
+ private:
+  std::unordered_map<std::string, const data::Table*> catalog_;
+};
+
+}  // namespace themis::sql
+
+#endif  // THEMIS_SQL_EXECUTOR_H_

@@ -1,0 +1,94 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace themis::sql {
+
+bool Token::IsKeyword(const char* kw) const {
+  return type == TokenType::kIdentifier && EqualsIgnoreCase(text, kw);
+}
+
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  auto peek = [&](size_t off = 0) -> char {
+    return i + off < n ? sql[i + off] : '\0';
+  };
+  while (i < n) {
+    const char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token token;
+    token.position = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '_')) {
+        ++i;
+      }
+      token.type = TokenType::kIdentifier;
+      token.text = sql.substr(start, i - start);
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+      size_t start = i;
+      bool seen_dot = false;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(sql[i])) ||
+                       (sql[i] == '.' && !seen_dot))) {
+        if (sql[i] == '.') seen_dot = true;
+        ++i;
+      }
+      token.type = TokenType::kNumber;
+      token.text = sql.substr(start, i - start);
+    } else if (c == '\'') {
+      ++i;
+      std::string value;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (peek(1) == '\'') {  // escaped quote
+            value += '\'';
+            i += 2;
+            continue;
+          }
+          ++i;
+          closed = true;
+          break;
+        }
+        value += sql[i++];
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated string literal at position " +
+                                  std::to_string(token.position));
+      }
+      token.type = TokenType::kString;
+      token.text = value;
+    } else {
+      token.type = TokenType::kSymbol;
+      // Two-character operators first.
+      if ((c == '<' && (peek(1) == '=' || peek(1) == '>')) ||
+          (c == '>' && peek(1) == '=')) {
+        token.text = sql.substr(i, 2);
+        i += 2;
+      } else if (std::string("(),*.=<>;").find(c) != std::string::npos) {
+        token.text = std::string(1, c);
+        ++i;
+      } else {
+        return Status::ParseError(std::string("unexpected character '") + c +
+                                  "' at position " + std::to_string(i));
+      }
+    }
+    tokens.push_back(std::move(token));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.position = n;
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace themis::sql

@@ -1,0 +1,19 @@
+#ifndef THEMIS_SQL_LEXER_H_
+#define THEMIS_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "sql/token.h"
+#include "util/status.h"
+
+namespace themis::sql {
+
+/// Tokenizes a SQL string into the token stream consumed by the parser.
+/// Supports identifiers, numeric literals, single-quoted strings (with ''
+/// escaping), and the operator/punctuation set of the supported grammar.
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace themis::sql
+
+#endif  // THEMIS_SQL_LEXER_H_

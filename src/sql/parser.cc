@@ -1,0 +1,241 @@
+#include "sql/parser.h"
+
+#include <cstdlib>
+
+#include "sql/lexer.h"
+#include "util/string_util.h"
+
+namespace themis::sql {
+
+namespace {
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<SelectStatement> ParseSelect() {
+    SelectStatement stmt;
+    THEMIS_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    THEMIS_RETURN_IF_ERROR(ParseSelectList(&stmt));
+    THEMIS_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    THEMIS_RETURN_IF_ERROR(ParseTableList(&stmt));
+    if (Cur().IsKeyword("WHERE")) {
+      Advance();
+      THEMIS_RETURN_IF_ERROR(ParseWhere(&stmt));
+    }
+    if (Cur().IsKeyword("GROUP")) {
+      Advance();
+      THEMIS_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      THEMIS_RETURN_IF_ERROR(ParseGroupBy(&stmt));
+    }
+    if (Cur().IsSymbol(";")) Advance();
+    if (Cur().type != TokenType::kEnd) {
+      return Err("unexpected trailing input");
+    }
+    return stmt;
+  }
+
+ private:
+  const Token& Cur() const { return tokens_[pos_]; }
+  const Token& Next() const {
+    return tokens_[std::min(pos_ + 1, tokens_.size() - 1)];
+  }
+  void Advance() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+
+  Status Err(const std::string& msg) const {
+    return Status::ParseError(msg + " at position " +
+                              std::to_string(Cur().position) + " (near '" +
+                              Cur().text + "')");
+  }
+
+  Status ExpectKeyword(const char* kw) {
+    if (!Cur().IsKeyword(kw)) {
+      return Err(std::string("expected ") + kw);
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Status ExpectSymbol(const char* s) {
+    if (!Cur().IsSymbol(s)) {
+      return Err(std::string("expected '") + s + "'");
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  /// ident ('.' ident)?  — the first identifier is a table alias only when
+  /// a dot follows.
+  Result<ColumnRef> ParseColumnRef() {
+    if (Cur().type != TokenType::kIdentifier) {
+      return Result<ColumnRef>(Err("expected column name"));
+    }
+    ColumnRef ref;
+    ref.column = Cur().text;
+    Advance();
+    if (Cur().IsSymbol(".")) {
+      Advance();
+      if (Cur().type != TokenType::kIdentifier) {
+        return Result<ColumnRef>(Err("expected column after '.'"));
+      }
+      ref.table_alias = ref.column;
+      ref.column = Cur().text;
+      Advance();
+    }
+    return ref;
+  }
+
+  Status ParseSelectList(SelectStatement* stmt) {
+    while (true) {
+      SelectItem item;
+      if (Cur().IsKeyword("COUNT")) {
+        Advance();
+        THEMIS_RETURN_IF_ERROR(ExpectSymbol("("));
+        THEMIS_RETURN_IF_ERROR(ExpectSymbol("*"));
+        THEMIS_RETURN_IF_ERROR(ExpectSymbol(")"));
+        item.func = AggFunc::kCount;
+      } else if (Cur().IsKeyword("SUM") || Cur().IsKeyword("AVG")) {
+        item.func = Cur().IsKeyword("SUM") ? AggFunc::kSum : AggFunc::kAvg;
+        Advance();
+        THEMIS_RETURN_IF_ERROR(ExpectSymbol("("));
+        THEMIS_ASSIGN_OR_RETURN(item.column, ParseColumnRef());
+        THEMIS_RETURN_IF_ERROR(ExpectSymbol(")"));
+      } else {
+        THEMIS_ASSIGN_OR_RETURN(item.column, ParseColumnRef());
+      }
+      if (Cur().IsKeyword("AS")) {
+        Advance();
+        if (Cur().type != TokenType::kIdentifier) {
+          return Err("expected alias after AS");
+        }
+        item.alias = Cur().text;
+        Advance();
+      }
+      stmt->items.push_back(std::move(item));
+      if (!Cur().IsSymbol(",")) break;
+      Advance();
+    }
+    return Status::OK();
+  }
+
+  Status ParseTableList(SelectStatement* stmt) {
+    while (true) {
+      if (Cur().type != TokenType::kIdentifier) {
+        return Err("expected table name");
+      }
+      TableRef ref;
+      ref.name = Cur().text;
+      ref.alias = ref.name;
+      Advance();
+      if (Cur().IsKeyword("AS")) {
+        Advance();
+        if (Cur().type != TokenType::kIdentifier) {
+          return Err("expected alias after AS");
+        }
+        ref.alias = Cur().text;
+        Advance();
+      } else if (Cur().type == TokenType::kIdentifier &&
+                 !Cur().IsKeyword("WHERE") && !Cur().IsKeyword("GROUP")) {
+        ref.alias = Cur().text;
+        Advance();
+      }
+      stmt->tables.push_back(std::move(ref));
+      if (!Cur().IsSymbol(",")) break;
+      Advance();
+    }
+    return Status::OK();
+  }
+
+  Result<Literal> ParseLiteral() {
+    Literal lit;
+    if (Cur().type == TokenType::kString) {
+      lit.text = Cur().text;
+    } else if (Cur().type == TokenType::kNumber) {
+      lit.text = Cur().text;
+      lit.is_number = true;
+      lit.number = std::strtod(Cur().text.c_str(), nullptr);
+    } else {
+      return Result<Literal>(Err("expected literal"));
+    }
+    Advance();
+    return lit;
+  }
+
+  Status ParseWhere(SelectStatement* stmt) {
+    while (true) {
+      Predicate pred;
+      THEMIS_ASSIGN_OR_RETURN(pred.lhs, ParseColumnRef());
+      if (Cur().IsKeyword("IN")) {
+        Advance();
+        pred.op = CompareOp::kIn;
+        THEMIS_RETURN_IF_ERROR(ExpectSymbol("("));
+        while (true) {
+          THEMIS_ASSIGN_OR_RETURN(Literal lit, ParseLiteral());
+          pred.literals.push_back(std::move(lit));
+          if (!Cur().IsSymbol(",")) break;
+          Advance();
+        }
+        THEMIS_RETURN_IF_ERROR(ExpectSymbol(")"));
+      } else {
+        if (Cur().IsSymbol("=")) {
+          pred.op = CompareOp::kEq;
+        } else if (Cur().IsSymbol("<>")) {
+          pred.op = CompareOp::kNe;
+        } else if (Cur().IsSymbol("<=")) {
+          pred.op = CompareOp::kLe;
+        } else if (Cur().IsSymbol("<")) {
+          pred.op = CompareOp::kLt;
+        } else if (Cur().IsSymbol(">=")) {
+          pred.op = CompareOp::kGe;
+        } else if (Cur().IsSymbol(">")) {
+          pred.op = CompareOp::kGt;
+        } else {
+          return Err("expected comparison operator");
+        }
+        Advance();
+        // Column-vs-column (join) is only meaningful for equality.
+        if (Cur().type == TokenType::kIdentifier &&
+            (Next().IsSymbol(".") || pred.op == CompareOp::kEq)) {
+          if (pred.op != CompareOp::kEq) {
+            return Err("column-to-column comparison supports only '='");
+          }
+          pred.is_join = true;
+          THEMIS_ASSIGN_OR_RETURN(pred.rhs_column, ParseColumnRef());
+        } else {
+          THEMIS_ASSIGN_OR_RETURN(Literal lit, ParseLiteral());
+          pred.literals.push_back(std::move(lit));
+        }
+      }
+      stmt->where.push_back(std::move(pred));
+      if (!Cur().IsKeyword("AND")) break;
+      Advance();
+    }
+    return Status::OK();
+  }
+
+  Status ParseGroupBy(SelectStatement* stmt) {
+    while (true) {
+      THEMIS_ASSIGN_OR_RETURN(ColumnRef ref, ParseColumnRef());
+      stmt->group_by.push_back(std::move(ref));
+      if (!Cur().IsSymbol(",")) break;
+      Advance();
+    }
+    return Status::OK();
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<SelectStatement> Parse(const std::string& sql) {
+  THEMIS_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseSelect();
+}
+
+}  // namespace themis::sql

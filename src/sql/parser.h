@@ -1,0 +1,16 @@
+#ifndef THEMIS_SQL_PARSER_H_
+#define THEMIS_SQL_PARSER_H_
+
+#include <string>
+
+#include "sql/ast.h"
+#include "util/status.h"
+
+namespace themis::sql {
+
+/// Parses the supported SQL subset (see SelectStatement) into an AST.
+Result<SelectStatement> Parse(const std::string& sql);
+
+}  // namespace themis::sql
+
+#endif  // THEMIS_SQL_PARSER_H_

@@ -1,0 +1,30 @@
+#ifndef THEMIS_SQL_TOKEN_H_
+#define THEMIS_SQL_TOKEN_H_
+
+#include <string>
+
+namespace themis::sql {
+
+enum class TokenType {
+  kIdentifier,  // flights, o_st  (also keywords, matched case-insensitively)
+  kNumber,      // 120, 3.5
+  kString,      // 'CA'
+  kSymbol,      // ( ) , * . = < <= > >= <> ;
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;  // raw text (string tokens hold the unquoted value)
+  size_t position = 0;
+
+  bool IsSymbol(const char* s) const {
+    return type == TokenType::kSymbol && text == s;
+  }
+  /// Case-insensitive keyword match for identifier tokens.
+  bool IsKeyword(const char* kw) const;
+};
+
+}  // namespace themis::sql
+
+#endif  // THEMIS_SQL_TOKEN_H_

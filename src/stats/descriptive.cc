@@ -1,0 +1,51 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace themis::stats {
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0;
+  double s = 0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double Percentile(std::vector<double> xs, double pct) {
+  THEMIS_CHECK(!xs.empty());
+  THEMIS_CHECK(pct >= 0 && pct <= 100);
+  std::sort(xs.begin(), xs.end());
+  if (xs.size() == 1) return xs[0];
+  const double rank = pct / 100.0 * static_cast<double>(xs.size() - 1);
+  const size_t lo = static_cast<size_t>(std::floor(rank));
+  const size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] * (1 - frac) + xs[hi] * frac;
+}
+
+double Median(std::vector<double> xs) { return Percentile(std::move(xs), 50); }
+
+BoxplotSummary Summarize(const std::vector<double>& xs) {
+  BoxplotSummary s;
+  if (xs.empty()) return s;
+  std::vector<double> sorted = xs;
+  std::sort(sorted.begin(), sorted.end());
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.p25 = Percentile(sorted, 25);
+  s.median = Percentile(sorted, 50);
+  s.p75 = Percentile(sorted, 75);
+  s.mean = Mean(sorted);
+  return s;
+}
+
+std::string BoxplotSummary::ToString() const {
+  return StrFormat("%7.2f /%7.2f /%7.2f /%7.2f /%7.2f  (mean %7.2f)", min,
+                   p25, median, p75, max, mean);
+}
+
+}  // namespace themis::stats

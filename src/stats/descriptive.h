@@ -1,0 +1,36 @@
+#ifndef THEMIS_STATS_DESCRIPTIVE_H_
+#define THEMIS_STATS_DESCRIPTIVE_H_
+
+#include <string>
+#include <vector>
+
+namespace themis::stats {
+
+/// Mean of `xs` (0 for empty input).
+double Mean(const std::vector<double>& xs);
+
+/// Linear-interpolated percentile, pct in [0, 100]. Requires non-empty xs.
+double Percentile(std::vector<double> xs, double pct);
+
+/// Median (50th percentile).
+double Median(std::vector<double> xs);
+
+/// Five-number boxplot summary plus mean; what Figs 3/4/14 of the paper
+/// display per method/sample combination.
+struct BoxplotSummary {
+  double min = 0;
+  double p25 = 0;
+  double median = 0;
+  double p75 = 0;
+  double max = 0;
+  double mean = 0;
+
+  /// Single-line rendering: "min/p25/med/p75/max (mean)".
+  std::string ToString() const;
+};
+
+BoxplotSummary Summarize(const std::vector<double>& xs);
+
+}  // namespace themis::stats
+
+#endif  // THEMIS_STATS_DESCRIPTIVE_H_

@@ -1,0 +1,49 @@
+#ifndef THEMIS_STATS_FREQ_TABLE_H_
+#define THEMIS_STATS_FREQ_TABLE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "data/table.h"
+#include "data/tuple_key.h"
+
+namespace themis::stats {
+
+/// A (possibly unnormalized) distribution over the joint values of a subset
+/// of attributes. Keys are value-code tuples in the order of `attrs`.
+class FreqTable {
+ public:
+  FreqTable() = default;
+  explicit FreqTable(std::vector<size_t> attrs) : attrs_(std::move(attrs)) {}
+
+  /// Builds from a weighted table: mass of a key = sum of row weights.
+  static FreqTable FromTable(const data::Table& table,
+                             const std::vector<size_t>& attrs);
+
+  const std::vector<size_t>& attrs() const { return attrs_; }
+
+  void Add(const data::TupleKey& key, double mass);
+  double Mass(const data::TupleKey& key) const;
+  double TotalMass() const;
+  size_t num_groups() const { return mass_.size(); }
+
+  /// Returns a copy scaled so TotalMass() == 1 (requires positive mass).
+  FreqTable Normalized() const;
+
+  /// Marginalizes onto the attribute subset `keep` (indices into the
+  /// original table's schema, must be a subset of attrs()).
+  FreqTable MarginalizeTo(const std::vector<size_t>& keep) const;
+
+  const std::unordered_map<data::TupleKey, double, data::TupleKeyHash>&
+  entries() const {
+    return mass_;
+  }
+
+ private:
+  std::vector<size_t> attrs_;
+  std::unordered_map<data::TupleKey, double, data::TupleKeyHash> mass_;
+};
+
+}  // namespace themis::stats
+
+#endif  // THEMIS_STATS_FREQ_TABLE_H_

@@ -1,0 +1,52 @@
+#include "stats/info.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace themis::stats {
+
+double Entropy(const FreqTable& dist) {
+  const double total = dist.TotalMass();
+  THEMIS_CHECK(total > 0) << "entropy of empty distribution";
+  double h = 0;
+  for (const auto& [k, v] : dist.entries()) {
+    if (v <= 0) continue;
+    const double p = v / total;
+    h -= p * std::log(p);
+  }
+  return h;
+}
+
+double InformationContent(const FreqTable& joint) {
+  double sum_marginals = 0;
+  for (size_t attr : joint.attrs()) {
+    sum_marginals += Entropy(joint.MarginalizeTo({attr}));
+  }
+  return sum_marginals - Entropy(joint);
+}
+
+double MutualInformation(const FreqTable& joint2d) {
+  THEMIS_CHECK(joint2d.attrs().size() == 2)
+      << "MutualInformation expects a 2D joint";
+  return InformationContent(joint2d);
+}
+
+double KlDivergence(const FreqTable& p, const FreqTable& q, double epsilon) {
+  const double pt = p.TotalMass();
+  const double qt = q.TotalMass() + epsilon * static_cast<double>(
+                                                  p.entries().size());
+  THEMIS_CHECK(pt > 0 && qt > 0);
+  double kl = 0;
+  for (const auto& [key, pv] : p.entries()) {
+    if (pv <= 0) continue;
+    const double pp = pv / pt;
+    const double qv = q.Mass(key) + epsilon;
+    if (qv <= 0) return std::numeric_limits<double>::infinity();
+    kl += pp * std::log(pp / (qv / qt));
+  }
+  return kl;
+}
+
+}  // namespace themis::stats

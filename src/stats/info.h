@@ -1,0 +1,28 @@
+#ifndef THEMIS_STATS_INFO_H_
+#define THEMIS_STATS_INFO_H_
+
+#include "stats/freq_table.h"
+
+namespace themis::stats {
+
+/// Shannon entropy H(X) in nats of a distribution (normalizes internally;
+/// requires positive total mass).
+double Entropy(const FreqTable& dist);
+
+/// Information content I(X_C) = sum_i H(X_i) - H(X_C) (Sec 5.1). The
+/// higher-order generalization of mutual information used to score t-cherry
+/// cluster-separator pairs.
+double InformationContent(const FreqTable& joint);
+
+/// Mutual information I(X;Y) of a 2-attribute joint distribution.
+double MutualInformation(const FreqTable& joint2d);
+
+/// KL divergence KL(p || q) in nats over matching attribute sets. Mass in p
+/// outside q's support contributes +infinity unless `epsilon` > 0, in which
+/// case q is smoothed by epsilon per group.
+double KlDivergence(const FreqTable& p, const FreqTable& q,
+                    double epsilon = 0.0);
+
+}  // namespace themis::stats
+
+#endif  // THEMIS_STATS_INFO_H_

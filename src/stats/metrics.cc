@@ -1,0 +1,38 @@
+#include "stats/metrics.h"
+
+#include <cmath>
+
+namespace themis::stats {
+
+double PercentDifference(double truth, double estimate) {
+  if (truth == 0.0 && estimate == 0.0) return 0.0;
+  const double denom = std::abs(truth + estimate);
+  if (denom == 0.0) return kMaxPercentDifference;
+  const double pd = 200.0 * std::abs(truth - estimate) / denom;
+  return std::min(pd, kMaxPercentDifference);
+}
+
+double GroupByPercentDifference(
+    const std::unordered_map<data::TupleKey, double, data::TupleKeyHash>&
+        truth,
+    const std::unordered_map<data::TupleKey, double, data::TupleKeyHash>&
+        estimate) {
+  if (truth.empty() && estimate.empty()) return 0.0;
+  double total = 0;
+  size_t count = 0;
+  for (const auto& [key, tv] : truth) {
+    auto it = estimate.find(key);
+    total += (it == estimate.end()) ? kMaxPercentDifference
+                                    : PercentDifference(tv, it->second);
+    ++count;
+  }
+  for (const auto& [key, ev] : estimate) {
+    if (truth.count(key) == 0) {
+      total += kMaxPercentDifference;  // phantom group
+      ++count;
+    }
+  }
+  return total / static_cast<double>(count);
+}
+
+}  // namespace themis::stats

@@ -1,0 +1,32 @@
+#ifndef THEMIS_STATS_METRICS_H_
+#define THEMIS_STATS_METRICS_H_
+
+#include <unordered_map>
+
+#include "data/tuple_key.h"
+
+namespace themis::stats {
+
+/// Maximum value of the percent-difference metric; attained by missed
+/// groups (in truth, absent from the estimate) and phantom groups (in the
+/// estimate, absent from the truth).
+inline constexpr double kMaxPercentDifference = 200.0;
+
+/// The paper's error metric (Sec 6.3): percent difference
+///   200 * |true - est| / |true + est|
+/// chosen over percent error so that small true values are not
+/// over-weighted and missed/phantom groups saturate at 200.
+double PercentDifference(double truth, double estimate);
+
+/// Average percent difference across the union of groups in a truth and an
+/// estimated GROUP BY answer. Groups only in the truth (missed) or only in
+/// the estimate (phantom) contribute the maximum error of 200 (Sec 6.3).
+double GroupByPercentDifference(
+    const std::unordered_map<data::TupleKey, double, data::TupleKeyHash>&
+        truth,
+    const std::unordered_map<data::TupleKey, double, data::TupleKeyHash>&
+        estimate);
+
+}  // namespace themis::stats
+
+#endif  // THEMIS_STATS_METRICS_H_

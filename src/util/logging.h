@@ -1,0 +1,81 @@
+#ifndef THEMIS_UTIL_LOGGING_H_
+#define THEMIS_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace themis {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global minimum level for log output. Messages below this are dropped.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// Stream-style log line builder; flushes to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+/// Like LogMessage but aborts the process on destruction. Used by
+/// THEMIS_CHECK for invariant violations (programming errors, not
+/// recoverable conditions -- those use Status).
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* expr);
+  [[noreturn]] ~FatalLogMessage();
+
+  FatalLogMessage(const FatalLogMessage&) = delete;
+  FatalLogMessage& operator=(const FatalLogMessage&) = delete;
+
+  template <typename T>
+  FatalLogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define THEMIS_LOG(level)                                               \
+  ::themis::internal::LogMessage(::themis::LogLevel::k##level, __FILE__, \
+                                 __LINE__)
+
+/// Aborts with a message when `cond` is false. For internal invariants only.
+#define THEMIS_CHECK(cond)                                            \
+  if (!(cond))                                                        \
+  ::themis::internal::FatalLogMessage(__FILE__, __LINE__, #cond)
+
+#define THEMIS_CHECK_OK(expr)                                        \
+  do {                                                               \
+    ::themis::Status _st = (expr);                                   \
+    THEMIS_CHECK(_st.ok()) << _st.ToString();                        \
+  } while (0)
+
+#define THEMIS_DCHECK(cond) THEMIS_CHECK(cond)
+
+}  // namespace themis
+
+#endif  // THEMIS_UTIL_LOGGING_H_

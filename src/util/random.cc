@@ -1,0 +1,56 @@
+#include "util/random.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace themis {
+
+int64_t Rng::Zipf(int64_t n, double s) {
+  THEMIS_DCHECK(n > 0);
+  std::vector<double> weights(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    weights[static_cast<size_t>(i)] =
+        1.0 / std::pow(static_cast<double>(i + 1), s);
+  }
+  return static_cast<int64_t>(Categorical(weights));
+}
+
+size_t Rng::Categorical(const std::vector<double>& weights) {
+  THEMIS_DCHECK(!weights.empty());
+  double total = 0;
+  for (double w : weights) {
+    THEMIS_DCHECK(w >= 0);
+    total += w;
+  }
+  THEMIS_DCHECK(total > 0);
+  double r = UniformDouble() * total;
+  double acc = 0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+CategoricalSampler::CategoricalSampler(const std::vector<double>& weights) {
+  THEMIS_CHECK(!weights.empty());
+  cdf_.resize(weights.size());
+  double total = 0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    THEMIS_CHECK(weights[i] >= 0);
+    total += weights[i];
+    cdf_[i] = total;
+  }
+  THEMIS_CHECK(total > 0);
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;
+}
+
+size_t CategoricalSampler::Sample(Rng& rng) const {
+  double r = rng.UniformDouble();
+  auto it = std::upper_bound(cdf_.begin(), cdf_.end(), r);
+  if (it == cdf_.end()) return cdf_.size() - 1;
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+}  // namespace themis

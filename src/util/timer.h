@@ -1,0 +1,30 @@
+#ifndef THEMIS_UTIL_TIMER_H_
+#define THEMIS_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace themis {
+
+/// Wall-clock stopwatch used by the benchmark harnesses to report solver
+/// and query times.
+class Timer {
+ public:
+  Timer() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last Restart().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace themis
+
+#endif  // THEMIS_UTIL_TIMER_H_

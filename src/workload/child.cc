@@ -1,0 +1,15 @@
+#include "workload/child.h"
+
+#include "util/random.h"
+
+namespace themis::workload {
+
+data::Table GenerateChild(const ChildConfig& config) {
+  bn::BayesianNetwork network = bn::MakeChildNetwork(config.network_seed);
+  Rng rng(config.sample_seed);
+  // Weight 1 per row: this *is* the population.
+  return network.SampleTable(config.num_rows,
+                             static_cast<double>(config.num_rows), rng);
+}
+
+}  // namespace themis::workload

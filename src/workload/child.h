@@ -1,0 +1,23 @@
+#ifndef THEMIS_WORKLOAD_CHILD_H_
+#define THEMIS_WORKLOAD_CHILD_H_
+
+#include <cstdint>
+
+#include "bn/child_network.h"
+#include "data/table.h"
+
+namespace themis::workload {
+
+/// The paper's synthetic CHILD dataset (Sec 6.2): n rows forward-sampled
+/// from the CHILD Bayesian network (default n = 20,000 as in the paper).
+struct ChildConfig {
+  size_t num_rows = 20000;
+  uint64_t network_seed = 7;
+  uint64_t sample_seed = 3;
+};
+
+data::Table GenerateChild(const ChildConfig& config = {});
+
+}  // namespace themis::workload
+
+#endif  // THEMIS_WORKLOAD_CHILD_H_

@@ -1,0 +1,120 @@
+#include "workload/experiment.h"
+
+#include <cstdlib>
+
+#include "util/logging.h"
+
+namespace themis::workload {
+
+double EnvScale() {
+  const char* env = std::getenv("THEMIS_SCALE");
+  if (env == nullptr) return 1.0;
+  const double scale = std::strtod(env, nullptr);
+  return scale > 0 ? scale : 1.0;
+}
+
+std::vector<std::vector<size_t>> AllSubsets(const std::vector<size_t>& attrs,
+                                            size_t d) {
+  std::vector<std::vector<size_t>> out;
+  if (d == 0 || d > attrs.size()) return out;
+  std::vector<size_t> pick(d);
+  // Lexicographic combination enumeration.
+  std::vector<size_t> idx(d);
+  for (size_t i = 0; i < d; ++i) idx[i] = i;
+  while (true) {
+    for (size_t i = 0; i < d; ++i) pick[i] = attrs[idx[i]];
+    out.push_back(pick);
+    // Advance.
+    size_t i = d;
+    while (i > 0) {
+      --i;
+      if (idx[i] != i + attrs.size() - d) break;
+      if (i == 0) return out;
+    }
+    if (idx[i] == i + attrs.size() - d) return out;
+    ++idx[i];
+    for (size_t j = i + 1; j < d; ++j) idx[j] = idx[j - 1] + 1;
+  }
+}
+
+aggregate::AggregateSet MakeAggregates(
+    const data::Table& population,
+    const std::vector<std::vector<size_t>>& attr_sets) {
+  aggregate::AggregateSet out(population.schema());
+  for (const auto& attrs : attr_sets) {
+    out.Add(aggregate::ComputeAggregate(population, attrs));
+  }
+  return out;
+}
+
+Result<MethodSuite> MethodSuite::Build(
+    const data::Table& sample, const aggregate::AggregateSet& aggregates,
+    double population_size, const core::ThemisOptions& base_options) {
+  MethodSuite suite;
+
+  auto build_model = [&](core::ReweightMethod method,
+                         bool enable_bn) -> Result<core::ThemisModel> {
+    core::ThemisOptions options = base_options;
+    options.reweight = method;
+    options.enable_bn = enable_bn;
+    options.population_size = population_size;
+    return core::ThemisModel::Build(sample.Clone(), aggregates, options);
+  };
+
+  THEMIS_ASSIGN_OR_RETURN(auto aqp,
+                          build_model(core::ReweightMethod::kUniform, false));
+  THEMIS_ASSIGN_OR_RETURN(auto linreg,
+                          build_model(core::ReweightMethod::kLinReg, false));
+  THEMIS_ASSIGN_OR_RETURN(auto ipf,
+                          build_model(core::ReweightMethod::kIpf, false));
+  THEMIS_ASSIGN_OR_RETURN(auto full,
+                          build_model(core::ReweightMethod::kIpf, true));
+
+  suite.aqp_model_ = std::make_unique<core::ThemisModel>(std::move(aqp));
+  suite.linreg_model_ =
+      std::make_unique<core::ThemisModel>(std::move(linreg));
+  suite.ipf_model_ = std::make_unique<core::ThemisModel>(std::move(ipf));
+  suite.full_model_ = std::make_unique<core::ThemisModel>(std::move(full));
+
+  suite.aqp_ =
+      std::make_unique<core::HybridEvaluator>(suite.aqp_model_.get());
+  suite.linreg_ =
+      std::make_unique<core::HybridEvaluator>(suite.linreg_model_.get());
+  suite.ipf_ =
+      std::make_unique<core::HybridEvaluator>(suite.ipf_model_.get());
+  suite.full_ =
+      std::make_unique<core::HybridEvaluator>(suite.full_model_.get());
+  return suite;
+}
+
+Result<std::pair<const core::HybridEvaluator*, core::AnswerMode>>
+MethodSuite::Route(const std::string& method) const {
+  using core::AnswerMode;
+  if (method == "AQP") return std::pair<const core::HybridEvaluator*, AnswerMode>{
+        aqp_.get(), AnswerMode::kSampleOnly};
+  if (method == "LinReg") {
+    return std::pair<const core::HybridEvaluator*, AnswerMode>{
+        linreg_.get(), AnswerMode::kSampleOnly};
+  }
+  if (method == "IPF") return std::pair<const core::HybridEvaluator*, AnswerMode>{
+        ipf_.get(), AnswerMode::kSampleOnly};
+  if (method == "BB") return std::pair<const core::HybridEvaluator*, AnswerMode>{
+        full_.get(), AnswerMode::kBnOnly};
+  if (method == "Hybrid") return std::pair<const core::HybridEvaluator*, AnswerMode>{
+        full_.get(), AnswerMode::kHybrid};
+  return Status::InvalidArgument("unknown method '" + method + "'");
+}
+
+Result<std::vector<double>> MethodSuite::Errors(
+    const std::string& method, const std::vector<PointQuery>& queries) const {
+  THEMIS_ASSIGN_OR_RETURN(auto route, Route(method));
+  return EvaluatePointQueries(*route.first, route.second, queries);
+}
+
+Result<sql::QueryResult> MethodSuite::Query(const std::string& method,
+                                            const std::string& sql) const {
+  THEMIS_ASSIGN_OR_RETURN(auto route, Route(method));
+  return route.first->Query(sql, route.second);
+}
+
+}  // namespace themis::workload

@@ -1,0 +1,134 @@
+#include "workload/flights.h"
+
+#include <cmath>
+
+#include "data/bucketize.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace themis::workload {
+
+namespace {
+
+struct StateInfo {
+  const char* abbr;
+  double population;  // millions, rough — drives origin skew
+  double x, y;        // rough map coordinates (hundreds of miles)
+};
+
+/// 51 states (incl. DC); coordinates are coarse map positions good enough
+/// to induce a realistic distance structure.
+constexpr StateInfo kStates[] = {
+    {"AL", 4.9, 18.0, 7.0},  {"AK", 0.7, 2.0, 18.0},  {"AZ", 7.3, 7.0, 7.0},
+    {"AR", 3.0, 15.5, 8.0},  {"CA", 39.5, 3.0, 8.0},  {"CO", 5.8, 10.0, 10.0},
+    {"CT", 3.6, 23.5, 12.5}, {"DE", 1.0, 23.0, 11.0}, {"DC", 0.7, 22.5, 10.8},
+    {"FL", 21.5, 21.0, 4.0}, {"GA", 10.6, 19.5, 6.5}, {"HI", 1.4, 0.0, 2.0},
+    {"ID", 1.8, 6.0, 13.0},  {"IL", 12.7, 16.0, 11.0},{"IN", 6.7, 17.5, 11.0},
+    {"IA", 3.2, 14.5, 11.5}, {"KS", 2.9, 12.5, 9.5},  {"KY", 4.5, 18.0, 9.5},
+    {"LA", 4.6, 15.5, 5.5},  {"ME", 1.3, 25.0, 14.5}, {"MD", 6.0, 22.5, 10.5},
+    {"MA", 6.9, 24.0, 13.0}, {"MI", 10.0, 17.5, 12.5},{"MN", 5.6, 14.0, 13.5},
+    {"MS", 3.0, 16.5, 6.5},  {"MO", 6.1, 15.0, 9.5},  {"MT", 1.1, 8.0, 14.5},
+    {"NE", 1.9, 12.0, 11.0}, {"NV", 3.1, 5.0, 9.5},   {"NH", 1.4, 24.0, 13.5},
+    {"NJ", 8.9, 23.2, 11.5}, {"NM", 2.1, 9.0, 7.0},   {"NY", 19.5, 22.5, 12.5},
+    {"NC", 10.5, 21.0, 8.5}, {"ND", 0.8, 12.0, 14.5}, {"OH", 11.7, 18.5, 11.0},
+    {"OK", 4.0, 12.5, 8.0},  {"OR", 4.2, 3.5, 13.5},  {"PA", 12.8, 21.5, 11.5},
+    {"RI", 1.1, 24.2, 12.8}, {"SC", 5.1, 20.5, 7.5},  {"SD", 0.9, 12.0, 12.5},
+    {"TN", 6.8, 17.5, 8.5},  {"TX", 29.0, 12.0, 5.5}, {"UT", 3.2, 7.0, 10.0},
+    {"VT", 0.6, 23.5, 13.8}, {"VA", 8.5, 21.5, 9.8},  {"WA", 7.6, 4.0, 15.0},
+    {"WV", 1.8, 20.0, 10.0}, {"WI", 5.8, 15.5, 12.5}, {"WY", 0.6, 9.5, 12.0},
+};
+constexpr size_t kNumStates = sizeof(kStates) / sizeof(kStates[0]);
+
+/// Seasonal month weights (summer + holiday peaks).
+constexpr double kMonthWeights[12] = {0.8, 0.75, 0.9, 0.95, 1.0, 1.2,
+                                      1.3, 1.25, 0.95, 0.9, 0.85, 1.15};
+
+double StateDistanceMiles(size_t a, size_t b) {
+  const double dx = (kStates[a].x - kStates[b].x) * 100.0;
+  const double dy = (kStates[a].y - kStates[b].y) * 100.0;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace
+
+data::Table GenerateFlights(const FlightsConfig& config) {
+  auto schema = std::make_shared<data::Schema>();
+  // F: month labels.
+  std::vector<std::string> months;
+  for (int m = 1; m <= 12; ++m) months.push_back(StrFormat("%02d", m));
+  schema->AddAttribute("fl_date", months);
+  // O, DE: state labels.
+  std::vector<std::string> states;
+  for (const StateInfo& s : kStates) states.emplace_back(s.abbr);
+  schema->AddAttribute("origin_state", states);
+  schema->AddAttribute("dest_state", states);
+  // E, DT: bucketized continuous attributes.
+  data::EquiWidthBucketizer elapsed_buckets(0, 600, 20);   // 30-minute wide
+  data::EquiWidthBucketizer distance_buckets(0, 3000, 15); // 200-mile wide
+  schema->AddAttribute("elapsed_time", elapsed_buckets.Labels());
+  schema->AddAttribute("distance", distance_buckets.Labels());
+
+  data::Table table(schema);
+  Rng rng(config.seed);
+
+  // Origin sampler: population-proportional.
+  std::vector<double> origin_weights(kNumStates);
+  for (size_t s = 0; s < kNumStates; ++s) {
+    origin_weights[s] = kStates[s].population;
+  }
+  CategoricalSampler origin_sampler(origin_weights);
+
+  // Destination samplers, one per origin: popularity decayed by distance,
+  // with a same-state short-hop boost.
+  std::vector<CategoricalSampler> dest_samplers;
+  dest_samplers.reserve(kNumStates);
+  for (size_t o = 0; o < kNumStates; ++o) {
+    std::vector<double> w(kNumStates);
+    for (size_t d = 0; d < kNumStates; ++d) {
+      const double dist = StateDistanceMiles(o, d);
+      w[d] = kStates[d].population * std::exp(-dist / 1200.0);
+      if (d == o) w[d] *= 1.5;
+    }
+    dest_samplers.emplace_back(w);
+  }
+
+  // Month samplers: base seasonality, with a winter boost for warm states.
+  std::vector<double> base_month(kMonthWeights, kMonthWeights + 12);
+  CategoricalSampler month_sampler(base_month);
+  std::vector<double> warm_month = base_month;
+  warm_month[11] *= 1.5;  // Dec
+  warm_month[0] *= 1.5;   // Jan
+  warm_month[1] *= 1.4;   // Feb
+  CategoricalSampler warm_month_sampler(warm_month);
+
+  std::vector<data::ValueCode> row(5);
+  for (size_t r = 0; r < config.num_rows; ++r) {
+    const size_t o = origin_sampler.Sample(rng);
+    const size_t d = dest_samplers[o].Sample(rng);
+    const bool warm = std::string_view(kStates[o].abbr) == "FL" ||
+                      std::string_view(kStates[o].abbr) == "AZ" ||
+                      std::string_view(kStates[o].abbr) == "HI";
+    const size_t month =
+        (warm ? warm_month_sampler : month_sampler).Sample(rng);
+
+    double distance = StateDistanceMiles(o, d);
+    if (distance < 80.0) distance = 80.0;  // intra-state hop
+    distance *= (1.0 + 0.1 * rng.Normal(0, 1));
+    distance = std::clamp(distance, 50.0, 2999.0);
+    // Elapsed strongly tracks distance: cruise ~470 mph plus taxi/climb.
+    double elapsed = distance / 7.8 + 28.0 + 12.0 * rng.Normal(0, 1);
+    elapsed = std::clamp(elapsed, 20.0, 599.0);
+
+    row[FlightsAttrs::kDate] = static_cast<data::ValueCode>(month);
+    row[FlightsAttrs::kOrigin] = static_cast<data::ValueCode>(o);
+    row[FlightsAttrs::kDest] = static_cast<data::ValueCode>(d);
+    row[FlightsAttrs::kElapsed] =
+        static_cast<data::ValueCode>(elapsed_buckets.Bucket(elapsed));
+    row[FlightsAttrs::kDistance] =
+        static_cast<data::ValueCode>(distance_buckets.Bucket(distance));
+    table.AppendRow(row);
+  }
+  return table;
+}
+
+}  // namespace themis::workload

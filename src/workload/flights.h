@@ -1,0 +1,40 @@
+#ifndef THEMIS_WORKLOAD_FLIGHTS_H_
+#define THEMIS_WORKLOAD_FLIGHTS_H_
+
+#include <cstdint>
+
+#include "data/table.h"
+
+namespace themis::workload {
+
+/// Synthetic stand-in for the paper's BTS Flights 2005 dataset (Sec 6.2,
+/// n = 6,992,839 — scaled down here; see DESIGN.md). Five attributes as in
+/// Table 2:
+///   F  fl_date      month "01".."12", seasonally skewed
+///   O  origin_state 51 states, population-skewed (CA/TX/FL/NY heavy)
+///   DE dest_state   conditioned on O: distance-decayed popularity
+///   E  elapsed_time minutes, bucketized (width 30 over [0,600)) and
+///                   strongly correlated with DT (the correlation that
+///                   breaks LinReg in Fig 14)
+///   DT distance     miles, bucketized (width 200 over [0,3000)), derived
+///                   from inter-state geometry
+struct FlightsConfig {
+  size_t num_rows = 200000;
+  uint64_t seed = 1;
+};
+
+/// Attribute order: F, O, DE, E, DT (indices 0..4).
+data::Table GenerateFlights(const FlightsConfig& config = {});
+
+/// Attribute indices in the generated schema.
+struct FlightsAttrs {
+  static constexpr size_t kDate = 0;      // F
+  static constexpr size_t kOrigin = 1;    // O
+  static constexpr size_t kDest = 2;      // DE
+  static constexpr size_t kElapsed = 3;   // E
+  static constexpr size_t kDistance = 4;  // DT
+};
+
+}  // namespace themis::workload
+
+#endif  // THEMIS_WORKLOAD_FLIGHTS_H_

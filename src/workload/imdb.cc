@@ -1,0 +1,91 @@
+#include "workload/imdb.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/bucketize.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace themis::workload {
+
+data::Table GenerateImdb(const ImdbConfig& config) {
+  auto schema = std::make_shared<data::Schema>();
+  data::EquiWidthBucketizer year_buckets(1950, 2020, 14);    // 5-year
+  data::EquiWidthBucketizer birth_buckets(1900, 2000, 10);   // 10-year
+  data::EquiWidthBucketizer runtime_buckets(60, 180, 8);     // 15-minute
+  schema->AddAttribute("movie_year", year_buckets.Labels());
+  schema->AddAttribute("movie_country", {"US", "GB", "CA"});
+  std::vector<std::string> names;
+  names.reserve(config.num_names);
+  for (size_t i = 0; i < config.num_names; ++i) {
+    names.push_back(StrFormat("N%05zu", i));
+  }
+  schema->AddAttribute("name", names);
+  schema->AddAttribute("gender", {"M", "F"});
+  schema->AddAttribute("actor_birth", birth_buckets.Labels());
+  std::vector<std::string> ratings;
+  for (int r = 1; r <= 10; ++r) ratings.push_back(std::to_string(r));
+  schema->AddAttribute("rating", ratings);
+  schema->AddAttribute(
+      "top_250_rank",
+      {"none", "[1,50)", "[50,100)", "[100,150)", "[150,200)", "[200,250)"});
+  schema->AddAttribute("runtime", runtime_buckets.Labels());
+
+  data::Table table(schema);
+  Rng rng(config.seed);
+
+  // Dense name attribute with Zipf skew: a few prolific actors, long tail.
+  std::vector<double> name_weights(config.num_names);
+  for (size_t i = 0; i < config.num_names; ++i) {
+    name_weights[i] = 1.0 / std::pow(static_cast<double>(i + 1), 0.8);
+  }
+  CategoricalSampler name_sampler(name_weights);
+  CategoricalSampler country_sampler({0.60, 0.25, 0.15});
+  // Movie production grows over time.
+  std::vector<double> year_weights(14);
+  for (size_t i = 0; i < 14; ++i) year_weights[i] = 1.0 + 0.25 * static_cast<double>(i);
+  CategoricalSampler year_sampler(year_weights);
+
+  std::vector<data::ValueCode> row(8);
+  for (size_t r = 0; r < config.num_rows; ++r) {
+    const size_t year_bucket = year_sampler.Sample(rng);
+    const double year = 1950.0 + 5.0 * (static_cast<double>(year_bucket) + 0.5);
+    const size_t country = country_sampler.Sample(rng);
+    const size_t name = name_sampler.Sample(rng);
+    const bool male = rng.Bernoulli(0.58);
+    // Actor age at release between ~20 and ~60, so birth tracks year.
+    double birth = year - (20.0 + 40.0 * rng.UniformDouble());
+    birth = std::clamp(birth, 1900.0, 1999.0);
+    // Ratings: roughly bell-shaped around 6, slight GB boost.
+    double rating = 6.0 + 1.8 * rng.Normal(0, 1) + (country == 1 ? 0.4 : 0);
+    const int rating_value =
+        static_cast<int>(std::clamp(std::round(rating), 1.0, 10.0));
+    // Top-250 membership concentrates at high ratings.
+    size_t rank_code = 0;  // "none"
+    const double top_prob =
+        rating_value >= 8 ? 0.10 : (rating_value == 7 ? 0.02 : 0.002);
+    if (rng.Bernoulli(top_prob)) {
+      rank_code = 1 + static_cast<size_t>(rng.UniformInt(0, 4));
+    }
+    // Runtimes drift longer for newer movies.
+    double runtime =
+        95.0 + 0.35 * (year - 1950.0) + 18.0 * rng.Normal(0, 1);
+    runtime = std::clamp(runtime, 60.0, 179.0);
+
+    row[ImdbAttrs::kMovieYear] = static_cast<data::ValueCode>(year_bucket);
+    row[ImdbAttrs::kCountry] = static_cast<data::ValueCode>(country);
+    row[ImdbAttrs::kName] = static_cast<data::ValueCode>(name);
+    row[ImdbAttrs::kGender] = male ? 0 : 1;
+    row[ImdbAttrs::kBirth] =
+        static_cast<data::ValueCode>(birth_buckets.Bucket(birth));
+    row[ImdbAttrs::kRating] = static_cast<data::ValueCode>(rating_value - 1);
+    row[ImdbAttrs::kTopRank] = static_cast<data::ValueCode>(rank_code);
+    row[ImdbAttrs::kRuntime] =
+        static_cast<data::ValueCode>(runtime_buckets.Bucket(runtime));
+    table.AppendRow(row);
+  }
+  return table;
+}
+
+}  // namespace themis::workload

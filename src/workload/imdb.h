@@ -1,0 +1,44 @@
+#ifndef THEMIS_WORKLOAD_IMDB_H_
+#define THEMIS_WORKLOAD_IMDB_H_
+
+#include <cstdint>
+
+#include "data/table.h"
+
+namespace themis::workload {
+
+/// Synthetic stand-in for the paper's IMDB actor–movie dataset (Sec 6.2,
+/// n = 846,380, movies released in US/GB/CA — scaled down here). Eight
+/// attributes as in Table 2:
+///   MY movie_year    5-year buckets over [1950, 2020)
+///   MC movie_country US / GB / CA, skewed
+///   N  name          dense attribute: `num_names` distinct actor ids with
+///                    Zipf skew (the attribute that breaks BB on R159)
+///   G  gender        M / F
+///   B  actor_birth   10-year buckets over [1900, 2000), tracks MY
+///   RG rating        1..10, correlated with TR
+///   TR top_250_rank  "none" plus 50-wide rank buckets, likelier when RG
+///                    is high
+///   RT runtime       15-minute buckets over [60, 180), drifts up with MY
+struct ImdbConfig {
+  size_t num_rows = 120000;
+  size_t num_names = 2000;
+  uint64_t seed = 2;
+};
+
+data::Table GenerateImdb(const ImdbConfig& config = {});
+
+struct ImdbAttrs {
+  static constexpr size_t kMovieYear = 0;  // MY
+  static constexpr size_t kCountry = 1;    // MC
+  static constexpr size_t kName = 2;       // N
+  static constexpr size_t kGender = 3;     // G
+  static constexpr size_t kBirth = 4;      // B
+  static constexpr size_t kRating = 5;     // RG
+  static constexpr size_t kTopRank = 6;    // TR
+  static constexpr size_t kRuntime = 7;    // RT
+};
+
+}  // namespace themis::workload
+
+#endif  // THEMIS_WORKLOAD_IMDB_H_

@@ -1,0 +1,114 @@
+#include "workload/queries.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "stats/metrics.h"
+#include "util/logging.h"
+
+namespace themis::workload {
+
+const char* HitterClassName(HitterClass hitters) {
+  switch (hitters) {
+    case HitterClass::kHeavy:
+      return "heavy";
+    case HitterClass::kLight:
+      return "light";
+    case HitterClass::kRandom:
+      return "random";
+  }
+  return "?";
+}
+
+std::vector<PointQuery> MakePointQueries(const data::Table& population,
+                                         const std::vector<size_t>& attrs,
+                                         HitterClass hitters, size_t count,
+                                         Rng& rng) {
+  std::vector<size_t> sorted = attrs;
+  std::sort(sorted.begin(), sorted.end());
+  auto groups = population.GroupWeights(sorted);
+  std::vector<std::pair<data::TupleKey, double>> entries(groups.begin(),
+                                                         groups.end());
+  std::sort(entries.begin(), entries.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+
+  // Candidate pool per hitter class: top / bottom decile (at least `count`
+  // wide when the relation has few groups) or everything.
+  size_t begin = 0, end = entries.size();
+  if (hitters != HitterClass::kRandom && !entries.empty()) {
+    const size_t decile = std::max(entries.size() / 10, std::min(count, entries.size()));
+    if (hitters == HitterClass::kHeavy) {
+      end = std::min(decile, entries.size());
+    } else {
+      begin = entries.size() - std::min(decile, entries.size());
+    }
+  }
+
+  std::vector<PointQuery> queries;
+  queries.reserve(count);
+  // Heavy/light hitters draw uniformly within their decile; random draws
+  // are count-weighted — "any existing value" means the value of a
+  // randomly chosen population tuple, so frequent values appear more
+  // often (with rare groups in the tail), matching the paper's random
+  // query error profiles.
+  std::unique_ptr<CategoricalSampler> mass_sampler;
+  if (hitters == HitterClass::kRandom && begin < end) {
+    std::vector<double> weights;
+    weights.reserve(end - begin);
+    for (size_t i = begin; i < end; ++i) weights.push_back(entries[i].second);
+    mass_sampler = std::make_unique<CategoricalSampler>(weights);
+  }
+  for (size_t i = 0; i < count && begin < end; ++i) {
+    const size_t pick =
+        mass_sampler != nullptr
+            ? begin + mass_sampler->Sample(rng)
+            : begin + static_cast<size_t>(rng.UniformInt(
+                          0, static_cast<int64_t>(end - begin) - 1));
+    PointQuery query;
+    query.attrs = sorted;
+    query.values = entries[pick].first;
+    query.true_count = entries[pick].second;
+    queries.push_back(std::move(query));
+  }
+  return queries;
+}
+
+std::vector<PointQuery> MakeMixedPointQueries(const data::Table& population,
+                                              size_t min_dim, size_t max_dim,
+                                              HitterClass hitters,
+                                              size_t count, Rng& rng) {
+  const size_t m = population.num_attributes();
+  THEMIS_CHECK(min_dim >= 1 && max_dim <= m && min_dim <= max_dim);
+  std::vector<PointQuery> queries;
+  queries.reserve(count);
+  while (queries.size() < count) {
+    const size_t d = static_cast<size_t>(
+        rng.UniformInt(static_cast<int64_t>(min_dim),
+                       static_cast<int64_t>(max_dim)));
+    // Random attribute subset of size d.
+    std::vector<size_t> attrs(m);
+    for (size_t i = 0; i < m; ++i) attrs[i] = i;
+    std::shuffle(attrs.begin(), attrs.end(), rng.engine());
+    attrs.resize(d);
+    auto batch = MakePointQueries(population, attrs, hitters, 1, rng);
+    for (auto& q : batch) queries.push_back(std::move(q));
+  }
+  return queries;
+}
+
+std::vector<double> EvaluatePointQueries(
+    const core::HybridEvaluator& evaluator, core::AnswerMode mode,
+    const std::vector<PointQuery>& queries) {
+  std::vector<double> errors;
+  errors.reserve(queries.size());
+  for (const PointQuery& query : queries) {
+    auto estimate = evaluator.PointEstimate(query.attrs, query.values, mode);
+    const double est = estimate.ok() ? *estimate : 0.0;
+    errors.push_back(stats::PercentDifference(query.true_count, est));
+  }
+  return errors;
+}
+
+}  // namespace themis::workload

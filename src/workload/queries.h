@@ -1,0 +1,55 @@
+#ifndef THEMIS_WORKLOAD_QUERIES_H_
+#define THEMIS_WORKLOAD_QUERIES_H_
+
+#include <string>
+#include <vector>
+
+#include "core/evaluator.h"
+#include "data/table.h"
+#include "util/random.h"
+
+namespace themis::workload {
+
+/// One d-dimensional point query with its population ground truth:
+/// SELECT COUNT(*) WHERE A1 = v1 AND ... AND Ad = vd (Sec 6.3).
+struct PointQuery {
+  std::vector<size_t> attrs;
+  data::TupleKey values;
+  double true_count = 0;
+};
+
+/// How the selection values of a point-query workload are drawn from the
+/// population's existing groups (Sec 6.3).
+enum class HitterClass {
+  kHeavy,   ///< largest-count groups
+  kLight,   ///< smallest-count groups
+  kRandom,  ///< any existing group
+};
+
+const char* HitterClassName(HitterClass hitters);
+
+/// Draws `count` point queries over `attrs` whose selection values come
+/// from the population's heavy hitters / light hitters / random existing
+/// groups. Heavy and light draw from the top/bottom decile by count.
+std::vector<PointQuery> MakePointQueries(const data::Table& population,
+                                         const std::vector<size_t>& attrs,
+                                         HitterClass hitters, size_t count,
+                                         Rng& rng);
+
+/// Draws `count` queries over random attribute subsets of size
+/// `min_dim..max_dim` (the paper's "all attribute sets of size two to
+/// five" for Flights; random 3D sets for IMDB).
+std::vector<PointQuery> MakeMixedPointQueries(const data::Table& population,
+                                              size_t min_dim, size_t max_dim,
+                                              HitterClass hitters,
+                                              size_t count, Rng& rng);
+
+/// Percent-difference errors (Sec 6.3) of answering each query with the
+/// given evaluator/mode.
+std::vector<double> EvaluatePointQueries(
+    const core::HybridEvaluator& evaluator, core::AnswerMode mode,
+    const std::vector<PointQuery>& queries);
+
+}  // namespace themis::workload
+
+#endif  // THEMIS_WORKLOAD_QUERIES_H_

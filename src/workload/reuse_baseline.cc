@@ -1,0 +1,44 @@
+#include "workload/reuse_baseline.h"
+
+#include <algorithm>
+
+namespace themis::workload {
+
+Result<std::unordered_map<data::TupleKey, double, data::TupleKeyHash>>
+ReuseBaseline::GroupByPair(size_t attr_a, size_t attr_b) const {
+  std::unordered_map<data::TupleKey, double, data::TupleKeyHash> out;
+  // Sample statistics (unweighted counts suffice for the conditionals).
+  auto joint = sample_->GroupWeights({attr_a, attr_b});
+  auto marginal_a = sample_->GroupWeights({attr_a});
+  const double ns = sample_->TotalWeight();
+  if (ns <= 0) return Status::InvalidArgument("empty sample");
+
+  // Known distribution of A, if any aggregate supports it.
+  const bool have_prior = aggregates_ != nullptr &&
+                          aggregates_->HasJointSupport({attr_a});
+  stats::FreqTable prior;
+  double prior_total = 0;
+  if (have_prior) {
+    auto dist = aggregates_->JointDistribution({attr_a});
+    if (!dist.ok()) return dist.status();
+    prior = std::move(dist).value();
+    prior_total = prior.TotalMass();
+  }
+
+  for (const auto& [key, joint_count] : joint) {
+    const data::TupleKey a_key{key[0]};
+    const double a_count = marginal_a[a_key];
+    if (a_count <= 0) continue;
+    const double conditional = joint_count / a_count;  // Pr(B=b | A=a)
+    double pr_a;
+    if (have_prior && prior_total > 0) {
+      pr_a = prior.Mass(a_key) / prior_total;  // reused known answer
+    } else {
+      pr_a = a_count / ns;  // sample fallback == uniform reweighting
+    }
+    out[key] = population_size_ * pr_a * conditional;
+  }
+  return out;
+}
+
+}  // namespace themis::workload

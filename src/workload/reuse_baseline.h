@@ -1,0 +1,43 @@
+#ifndef THEMIS_WORKLOAD_REUSE_BASELINE_H_
+#define THEMIS_WORKLOAD_REUSE_BASELINE_H_
+
+#include <unordered_map>
+
+#include "aggregate/aggregate.h"
+#include "data/table.h"
+#include "data/tuple_key.h"
+#include "util/status.h"
+
+namespace themis::workload {
+
+/// Re-implementation of the reuse technique of Galakatos et al. [33] as
+/// the paper evaluates it (Sec 6.4, Table 6): a GROUP BY COUNT(*) over
+/// attribute pair (A, B) is rewritten with conditional probabilities,
+///   count(A=a, B=b) ≈ n · Pr(A=a) · Pr(B=b | A=a),
+/// where Pr(A) comes from a known 1D population aggregate when available
+/// (reusing the prior/known answer) and Pr(B|A) comes from the sample. If
+/// no aggregate over A is known, the joint falls back to the sample alone
+/// — equivalent to uniform reweighting, which is exactly the limitation
+/// Table 6's DT-DE row demonstrates.
+class ReuseBaseline {
+ public:
+  ReuseBaseline(const data::Table* sample,
+                const aggregate::AggregateSet* aggregates,
+                double population_size)
+      : sample_(sample),
+        aggregates_(aggregates),
+        population_size_(population_size) {}
+
+  /// Estimated GROUP BY attr_a, attr_b COUNT(*) result keyed by (a, b).
+  Result<std::unordered_map<data::TupleKey, double, data::TupleKeyHash>>
+  GroupByPair(size_t attr_a, size_t attr_b) const;
+
+ private:
+  const data::Table* sample_;
+  const aggregate::AggregateSet* aggregates_;
+  double population_size_;
+};
+
+}  // namespace themis::workload
+
+#endif  // THEMIS_WORKLOAD_REUSE_BASELINE_H_

@@ -1,0 +1,125 @@
+#include "workload/sampler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+#include "workload/flights.h"
+#include "workload/imdb.h"
+
+namespace themis::workload {
+
+namespace {
+
+/// Picks `k` distinct elements of `pool` uniformly (partial Fisher–Yates).
+std::vector<size_t> Choose(std::vector<size_t> pool, size_t k, Rng& rng) {
+  k = std::min(k, pool.size());
+  for (size_t i = 0; i < k; ++i) {
+    const size_t j =
+        i + static_cast<size_t>(rng.UniformInt(
+                0, static_cast<int64_t>(pool.size() - i) - 1));
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(k);
+  return pool;
+}
+
+data::Table RowsToTable(const data::Table& population,
+                        std::vector<size_t> rows) {
+  std::sort(rows.begin(), rows.end());
+  data::Table out(population.schema());
+  std::vector<data::ValueCode> codes(population.num_attributes());
+  for (size_t r : rows) {
+    for (size_t a = 0; a < codes.size(); ++a) codes[a] = population.Get(r, a);
+    out.AppendRow(codes);
+  }
+  return out;
+}
+
+}  // namespace
+
+data::Table UniformSample(const data::Table& population, double fraction,
+                          Rng& rng) {
+  const size_t k = static_cast<size_t>(
+      std::ceil(fraction * static_cast<double>(population.num_rows())));
+  std::vector<size_t> all(population.num_rows());
+  std::iota(all.begin(), all.end(), 0);
+  return RowsToTable(population, Choose(std::move(all), k, rng));
+}
+
+Result<data::Table> BiasedSample(const data::Table& population,
+                                 double fraction, double bias,
+                                 const SelectionCriterion& criterion,
+                                 Rng& rng) {
+  if (fraction <= 0 || fraction > 1 || bias < 0 || bias > 1) {
+    return Status::InvalidArgument("BiasedSample: bad fraction/bias");
+  }
+  const data::Domain& domain =
+      population.schema()->domain(criterion.attr);
+  std::vector<char> matches(domain.size(), 0);
+  for (const std::string& label : criterion.labels) {
+    auto code = domain.Code(label);
+    if (!code.ok()) {
+      return Status::InvalidArgument("criterion label '" + label +
+                                     "' not in domain");
+    }
+    matches[static_cast<size_t>(*code)] = 1;
+  }
+  std::vector<size_t> in, out;
+  for (size_t r = 0; r < population.num_rows(); ++r) {
+    const data::ValueCode code = population.Get(r, criterion.attr);
+    (matches[static_cast<size_t>(code)] ? in : out).push_back(r);
+  }
+  const size_t total = static_cast<size_t>(
+      std::ceil(fraction * static_cast<double>(population.num_rows())));
+  const size_t biased = std::min(
+      static_cast<size_t>(std::round(bias * static_cast<double>(total))),
+      in.size());
+  const size_t rest = std::min(total - biased, out.size());
+  std::vector<size_t> rows = Choose(std::move(in), biased, rng);
+  std::vector<size_t> unbiased_rows = Choose(std::move(out), rest, rng);
+  rows.insert(rows.end(), unbiased_rows.begin(), unbiased_rows.end());
+  return RowsToTable(population, std::move(rows));
+}
+
+Result<data::Table> MakeFlightsSample(const data::Table& population,
+                                      const std::string& name,
+                                      double fraction, uint64_t seed) {
+  Rng rng(seed);
+  if (name == "Unif") return UniformSample(population, fraction, rng);
+  if (name == "June") {
+    return BiasedSample(population, fraction, 0.9,
+                        {FlightsAttrs::kDate, {"06"}}, rng);
+  }
+  const SelectionCriterion corners{FlightsAttrs::kOrigin,
+                                   {"CA", "NY", "FL", "WA"}};
+  if (name == "SCorners") {
+    return BiasedSample(population, fraction, 0.9, corners, rng);
+  }
+  if (name == "Corners") {
+    return BiasedSample(population, fraction, 1.0, corners, rng);
+  }
+  return Status::InvalidArgument("unknown Flights sample '" + name + "'");
+}
+
+Result<data::Table> MakeImdbSample(const data::Table& population,
+                                   const std::string& name, double fraction,
+                                   uint64_t seed) {
+  Rng rng(seed);
+  if (name == "Unif") return UniformSample(population, fraction, rng);
+  if (name == "GB") {
+    return BiasedSample(population, fraction, 0.9,
+                        {ImdbAttrs::kCountry, {"GB"}}, rng);
+  }
+  const SelectionCriterion r159{ImdbAttrs::kRating, {"1", "5", "9"}};
+  if (name == "SR159") {
+    return BiasedSample(population, fraction, 0.9, r159, rng);
+  }
+  if (name == "R159") {
+    return BiasedSample(population, fraction, 1.0, r159, rng);
+  }
+  return Status::InvalidArgument("unknown IMDB sample '" + name + "'");
+}
+
+}  // namespace themis::workload

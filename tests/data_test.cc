@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "data/bucketize.h"
+#include "data/csv.h"
+#include "data/domain.h"
+#include "data/schema.h"
+#include "data/table.h"
+
+namespace themis::data {
+namespace {
+
+TEST(DomainTest, InternAssignsSequentialCodes) {
+  Domain d("state");
+  EXPECT_EQ(d.Intern("CA"), 0);
+  EXPECT_EQ(d.Intern("NY"), 1);
+  EXPECT_EQ(d.Intern("CA"), 0);  // idempotent
+  EXPECT_EQ(d.size(), 2u);
+}
+
+TEST(DomainTest, FixedDomainLookup) {
+  Domain d("m", {"01", "02", "03"});
+  EXPECT_EQ(d.size(), 3u);
+  auto code = d.Code("02");
+  ASSERT_TRUE(code.ok());
+  EXPECT_EQ(*code, 1);
+  EXPECT_FALSE(d.Code("04").ok());
+  EXPECT_TRUE(d.Contains("03"));
+  EXPECT_FALSE(d.Contains("x"));
+  EXPECT_EQ(d.Label(2), "03");
+}
+
+TEST(SchemaTest, AttributeIndexing) {
+  Schema s;
+  EXPECT_EQ(s.AddAttribute("a"), 0u);
+  EXPECT_EQ(s.AddAttribute("b", {"x", "y"}), 1u);
+  EXPECT_EQ(s.num_attributes(), 2u);
+  auto idx = s.AttributeIndex("b");
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(*idx, 1u);
+  EXPECT_FALSE(s.AttributeIndex("zzz").ok());
+  EXPECT_EQ(s.AttributeNames(), (std::vector<std::string>{"a", "b"}));
+}
+
+SchemaPtr TwoAttrSchema() {
+  auto schema = std::make_shared<Schema>();
+  schema->AddAttribute("x", {"a", "b", "c"});
+  schema->AddAttribute("y", {"0", "1"});
+  return schema;
+}
+
+TEST(TableTest, AppendAndGet) {
+  Table t(TwoAttrSchema());
+  t.AppendRow({0, 1});
+  t.AppendRowLabels({"c", "0"});
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.Get(0, 0), 0);
+  EXPECT_EQ(t.Get(1, 0), 2);
+  EXPECT_EQ(t.Get(1, 1), 0);
+}
+
+TEST(TableTest, WeightsDefaultToOne) {
+  Table t(TwoAttrSchema());
+  t.AppendRow({0, 0});
+  t.AppendRow({1, 1});
+  EXPECT_DOUBLE_EQ(t.TotalWeight(), 2.0);
+  t.set_weight(0, 5.0);
+  EXPECT_DOUBLE_EQ(t.TotalWeight(), 6.0);
+  t.FillWeights(2.0);
+  EXPECT_DOUBLE_EQ(t.TotalWeight(), 4.0);
+}
+
+TEST(TableTest, GroupRowsAndWeights) {
+  Table t(TwoAttrSchema());
+  t.AppendRow({0, 0});
+  t.AppendRow({0, 1});
+  t.AppendRow({0, 0});
+  t.set_weight(2, 3.0);
+  auto groups = t.GroupRows({0, 1});
+  EXPECT_EQ(groups.size(), 2u);
+  EXPECT_EQ((groups[{0, 0}].size()), 2u);
+  auto weights = t.GroupWeights({0, 1});
+  EXPECT_DOUBLE_EQ((weights[{0, 0}]), 4.0);
+  EXPECT_DOUBLE_EQ((weights[{0, 1}]), 1.0);
+}
+
+TEST(TableTest, GroupBySubsetOfAttrs) {
+  Table t(TwoAttrSchema());
+  t.AppendRow({0, 0});
+  t.AppendRow({1, 0});
+  t.AppendRow({0, 1});
+  auto groups = t.GroupWeights({1});
+  EXPECT_DOUBLE_EQ(groups[{0}], 2.0);
+  EXPECT_DOUBLE_EQ(groups[{1}], 1.0);
+}
+
+TEST(TableTest, FilterPreservesWeights) {
+  Table t(TwoAttrSchema());
+  t.AppendRow({0, 0});
+  t.AppendRow({1, 1});
+  t.set_weight(1, 7.0);
+  Table f = t.Filter({false, true});
+  EXPECT_EQ(f.num_rows(), 1u);
+  EXPECT_EQ(f.Get(0, 0), 1);
+  EXPECT_DOUBLE_EQ(f.weight(0), 7.0);
+}
+
+TEST(TableTest, CloneIsIndependent) {
+  Table t(TwoAttrSchema());
+  t.AppendRow({0, 0});
+  Table c = t.Clone();
+  c.set_weight(0, 9.0);
+  EXPECT_DOUBLE_EQ(t.weight(0), 1.0);
+  EXPECT_DOUBLE_EQ(c.weight(0), 9.0);
+}
+
+TEST(BucketizerTest, BucketsAndClamping) {
+  EquiWidthBucketizer b(0, 100, 10);
+  EXPECT_EQ(b.Bucket(0), 0u);
+  EXPECT_EQ(b.Bucket(5), 0u);
+  EXPECT_EQ(b.Bucket(10), 1u);
+  EXPECT_EQ(b.Bucket(99.9), 9u);
+  EXPECT_EQ(b.Bucket(100), 9u);   // clamped
+  EXPECT_EQ(b.Bucket(-5), 0u);    // clamped
+  EXPECT_EQ(b.Bucket(1e9), 9u);   // clamped
+}
+
+TEST(BucketizerTest, LabelsAndMidpoints) {
+  EquiWidthBucketizer b(0, 30, 3);
+  EXPECT_EQ(b.Label(0), "[0,10)");
+  EXPECT_EQ(b.Label(2), "[20,30)");
+  EXPECT_DOUBLE_EQ(b.Midpoint(1), 15.0);
+  EXPECT_EQ(b.Labels().size(), 3u);
+}
+
+TEST(CsvTest, RoundTrip) {
+  Table t(TwoAttrSchema());
+  t.AppendRowLabels({"a", "1"});
+  t.AppendRowLabels({"b", "0"});
+  t.set_weight(0, 2.5);
+  const std::string path = std::filesystem::temp_directory_path() /
+                           "themis_csv_test.csv";
+  ASSERT_TRUE(WriteCsv(t, path).ok());
+  auto loaded = ReadCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_rows(), 2u);
+  EXPECT_EQ(loaded->schema()->num_attributes(), 2u);
+  EXPECT_EQ(loaded->schema()->domain(0).Label(loaded->Get(0, 0)), "a");
+  EXPECT_DOUBLE_EQ(loaded->weight(0), 2.5);
+  EXPECT_DOUBLE_EQ(loaded->weight(1), 1.0);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, MissingFileFails) {
+  EXPECT_FALSE(ReadCsv("/nonexistent/path.csv").ok());
+}
+
+TEST(CsvTest, RaggedRowFails) {
+  const std::string path = std::filesystem::temp_directory_path() /
+                           "themis_csv_bad.csv";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("a,b,weight\n1,2,1\n1\n", f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(ReadCsv(path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace themis::data

@@ -1,0 +1,254 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sql/executor.h"
+#include "sql/lexer.h"
+#include "sql/parser.h"
+
+namespace themis::sql {
+namespace {
+
+TEST(LexerTest, TokenKinds) {
+  auto tokens = Tokenize("SELECT COUNT(*) FROM t WHERE a = 'CA' AND b <= 30");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_TRUE((*tokens)[0].IsKeyword("select"));
+  EXPECT_TRUE((*tokens)[2].IsSymbol("("));
+  EXPECT_TRUE((*tokens)[3].IsSymbol("*"));
+  bool saw_string = false, saw_le = false, saw_number = false;
+  for (const Token& t : *tokens) {
+    if (t.type == TokenType::kString && t.text == "CA") saw_string = true;
+    if (t.IsSymbol("<=")) saw_le = true;
+    if (t.type == TokenType::kNumber && t.text == "30") saw_number = true;
+  }
+  EXPECT_TRUE(saw_string && saw_le && saw_number);
+  EXPECT_EQ(tokens->back().type, TokenType::kEnd);
+}
+
+TEST(LexerTest, EscapedQuote) {
+  auto tokens = Tokenize("'O''Hare'");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "O'Hare");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_FALSE(Tokenize("'abc").ok());
+}
+
+TEST(LexerTest, BadCharacterFails) {
+  EXPECT_FALSE(Tokenize("a ! b").ok());
+}
+
+TEST(ParserTest, SimpleCount) {
+  auto stmt = Parse("SELECT COUNT(*) FROM flights");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_EQ(stmt->items.size(), 1u);
+  EXPECT_EQ(stmt->items[0].func, AggFunc::kCount);
+  ASSERT_EQ(stmt->tables.size(), 1u);
+  EXPECT_EQ(stmt->tables[0].name, "flights");
+  EXPECT_TRUE(stmt->where.empty());
+}
+
+TEST(ParserTest, PointQueryShape) {
+  auto stmt = Parse(
+      "SELECT COUNT(*) FROM f WHERE a = 'x' AND b = 'y' AND c = 3");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_EQ(stmt->where.size(), 3u);
+  EXPECT_EQ(stmt->where[0].op, CompareOp::kEq);
+  EXPECT_EQ(stmt->where[0].literals[0].text, "x");
+  EXPECT_TRUE(stmt->where[2].literals[0].is_number);
+}
+
+TEST(ParserTest, GroupByWithAggregatesAndAlias) {
+  auto stmt = Parse(
+      "SELECT o, AVG(e) AS avg_e, SUM(weight) FROM f GROUP BY o");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_EQ(stmt->items.size(), 3u);
+  EXPECT_EQ(stmt->items[0].func, AggFunc::kNone);
+  EXPECT_EQ(stmt->items[1].func, AggFunc::kAvg);
+  EXPECT_EQ(stmt->items[1].alias, "avg_e");
+  EXPECT_EQ(stmt->items[2].func, AggFunc::kSum);
+  ASSERT_EQ(stmt->group_by.size(), 1u);
+  EXPECT_EQ(stmt->group_by[0].column, "o");
+}
+
+TEST(ParserTest, InListAndComparisons) {
+  auto stmt = Parse("SELECT COUNT(*) FROM f WHERE d IN ('CO','WY') AND e < 120");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_EQ(stmt->where.size(), 2u);
+  EXPECT_EQ(stmt->where[0].op, CompareOp::kIn);
+  EXPECT_EQ(stmt->where[0].literals.size(), 2u);
+  EXPECT_EQ(stmt->where[1].op, CompareOp::kLt);
+}
+
+TEST(ParserTest, SelfJoinWithQualifiedColumns) {
+  auto stmt = Parse(
+      "SELECT t.o, s.de, COUNT(*) FROM f t, f s "
+      "WHERE t.de = s.o GROUP BY t.o, s.de");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_EQ(stmt->tables.size(), 2u);
+  EXPECT_EQ(stmt->tables[0].alias, "t");
+  EXPECT_EQ(stmt->tables[1].alias, "s");
+  ASSERT_EQ(stmt->where.size(), 1u);
+  EXPECT_TRUE(stmt->where[0].is_join);
+  EXPECT_EQ(stmt->where[0].lhs.table_alias, "t");
+  EXPECT_EQ(stmt->where[0].rhs_column.table_alias, "s");
+}
+
+TEST(ParserTest, TrailingSemicolonAllowed) {
+  EXPECT_TRUE(Parse("SELECT COUNT(*) FROM f;").ok());
+}
+
+TEST(ParserTest, Rejections) {
+  EXPECT_FALSE(Parse("SELEC COUNT(*) FROM f").ok());
+  EXPECT_FALSE(Parse("SELECT COUNT(*) FROM").ok());
+  EXPECT_FALSE(Parse("SELECT COUNT(* FROM f").ok());
+  EXPECT_FALSE(Parse("SELECT COUNT(*) FROM f WHERE").ok());
+  EXPECT_FALSE(Parse("SELECT COUNT(*) FROM f GROUP x").ok());
+  EXPECT_FALSE(Parse("SELECT COUNT(*) FROM f extra junk").ok());
+}
+
+TEST(NumericLabelTest, PlainNumbersAndBuckets) {
+  EXPECT_DOUBLE_EQ(NumericValueOfLabel("42"), 42.0);
+  EXPECT_DOUBLE_EQ(NumericValueOfLabel("3.5"), 3.5);
+  EXPECT_DOUBLE_EQ(NumericValueOfLabel("[30,60)"), 45.0);
+  EXPECT_TRUE(std::isnan(NumericValueOfLabel("CA")));
+  EXPECT_TRUE(std::isnan(NumericValueOfLabel("")));
+}
+
+/// Small weighted table for executor tests: flights-like shape.
+class ExecutorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    schema_ = std::make_shared<data::Schema>();
+    schema_->AddAttribute("o", {"CA", "NY", "WY"});
+    schema_->AddAttribute("de", {"CA", "NY", "WY"});
+    schema_->AddAttribute("e", {"[0,60)", "[60,120)", "[120,180)"});
+    table_ = std::make_unique<data::Table>(schema_);
+    // rows: (o, de, e, weight)
+    Append("CA", "NY", "[0,60)", 2.0);
+    Append("CA", "NY", "[60,120)", 3.0);
+    Append("CA", "WY", "[120,180)", 1.0);
+    Append("NY", "CA", "[0,60)", 4.0);
+    Append("WY", "CA", "[60,120)", 5.0);
+    executor_.RegisterTable("f", table_.get());
+  }
+
+  void Append(const char* o, const char* de, const char* e, double w) {
+    table_->AppendRowLabels({o, de, e});
+    table_->set_weight(table_->num_rows() - 1, w);
+  }
+
+  data::SchemaPtr schema_;
+  std::unique_ptr<data::Table> table_;
+  Executor executor_;
+};
+
+TEST_F(ExecutorTest, GlobalCountSumsWeights) {
+  auto result = executor_.Query("SELECT COUNT(*) FROM f");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(result->rows[0].values[0], 15.0);
+}
+
+TEST_F(ExecutorTest, PointQueryFiltersEquality) {
+  auto result =
+      executor_.Query("SELECT COUNT(*) FROM f WHERE o = 'CA' AND de = 'NY'");
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->rows[0].values[0], 5.0);
+}
+
+TEST_F(ExecutorTest, MissingValueMatchesNothing) {
+  auto result = executor_.Query("SELECT COUNT(*) FROM f WHERE o = 'ZZ'");
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->rows[0].values[0], 0.0);
+}
+
+TEST_F(ExecutorTest, GroupByCount) {
+  auto result = executor_.Query("SELECT o, COUNT(*) FROM f GROUP BY o");
+  ASSERT_TRUE(result.ok());
+  auto map = result->ValueMap();
+  EXPECT_DOUBLE_EQ(map["CA"], 6.0);
+  EXPECT_DOUBLE_EQ(map["NY"], 4.0);
+  EXPECT_DOUBLE_EQ(map["WY"], 5.0);
+}
+
+TEST_F(ExecutorTest, RangePredicateOnBuckets) {
+  // e < 120 keeps the [0,60) and [60,120) buckets (midpoints 30 / 90).
+  auto result = executor_.Query("SELECT COUNT(*) FROM f WHERE e < 120");
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->rows[0].values[0], 14.0);
+}
+
+TEST_F(ExecutorTest, AvgIsWeighted) {
+  // AVG(e) over o = CA: weights 2,3,1 on midpoints 30,90,150 -> 480/6 = 80.
+  auto result = executor_.Query("SELECT AVG(e) FROM f WHERE o = 'CA'");
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->rows[0].values[0], 80.0);
+}
+
+TEST_F(ExecutorTest, SumIsWeighted) {
+  auto result = executor_.Query("SELECT SUM(e) FROM f WHERE o = 'CA'");
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->rows[0].values[0], 480.0);
+}
+
+TEST_F(ExecutorTest, InPredicate) {
+  auto result =
+      executor_.Query("SELECT COUNT(*) FROM f WHERE o IN ('CA', 'WY')");
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->rows[0].values[0], 11.0);
+}
+
+TEST_F(ExecutorTest, NotEqualPredicate) {
+  auto result = executor_.Query("SELECT COUNT(*) FROM f WHERE o <> 'CA'");
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->rows[0].values[0], 9.0);
+}
+
+TEST_F(ExecutorTest, SelfJoinMultipliesWeights) {
+  // Layover join: f t, f s WHERE t.de = s.o. Pairs:
+  //  t=(CA,NY,w2) & s=(NY,CA,w4): 8      t=(CA,NY,w3) & s=(NY,CA,w4): 12
+  //  t=(CA,WY,w1) & s=(WY,CA,w5): 5
+  //  t=(NY,CA,w4) & s rows with o=CA: w2,w3,w1 -> 8+12+4
+  //  t=(WY,CA,w5) & same: 10+15+5
+  auto result = executor_.Query(
+      "SELECT COUNT(*) FROM f t, f s WHERE t.de = s.o");
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->rows[0].values[0], 8 + 12 + 5 + 24 + 30);
+}
+
+TEST_F(ExecutorTest, JoinWithGroupByAndFilter) {
+  auto result = executor_.Query(
+      "SELECT t.o, COUNT(*) FROM f t, f s "
+      "WHERE t.de = s.o AND t.de IN ('WY') GROUP BY t.o");
+  ASSERT_TRUE(result.ok());
+  auto map = result->ValueMap();
+  EXPECT_DOUBLE_EQ(map["CA"], 5.0);  // (CA,WY,1) x (WY,CA,5)
+}
+
+TEST_F(ExecutorTest, UnknownTableAndColumnFail) {
+  EXPECT_FALSE(executor_.Query("SELECT COUNT(*) FROM nope").ok());
+  EXPECT_FALSE(executor_.Query("SELECT COUNT(*) FROM f WHERE zz = 'x'").ok());
+}
+
+TEST_F(ExecutorTest, AmbiguousColumnFails) {
+  EXPECT_FALSE(
+      executor_.Query("SELECT COUNT(*) FROM f a, f b WHERE o = 'CA' AND a.de = b.o")
+          .ok());
+}
+
+TEST_F(ExecutorTest, OrderedComparisonOnNonNumericFails) {
+  EXPECT_FALSE(
+      executor_.Query("SELECT COUNT(*) FROM f WHERE o < 'CA'").ok());
+}
+
+TEST_F(ExecutorTest, ValueMapAndToString) {
+  auto result = executor_.Query("SELECT o, COUNT(*) FROM f GROUP BY o");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->ValueMap().size(), 3u);
+  EXPECT_NE(result->ToString().find("CA"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace themis::sql

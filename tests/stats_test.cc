@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/descriptive.h"
+#include "stats/freq_table.h"
+#include "stats/info.h"
+#include "stats/metrics.h"
+
+namespace themis::stats {
+namespace {
+
+data::Table MakeTable() {
+  auto schema = std::make_shared<data::Schema>();
+  schema->AddAttribute("x", {"a", "b"});
+  schema->AddAttribute("y", {"0", "1"});
+  data::Table t(schema);
+  t.AppendRow({0, 0});
+  t.AppendRow({0, 1});
+  t.AppendRow({1, 0});
+  t.AppendRow({1, 1});
+  return t;
+}
+
+TEST(FreqTableTest, FromTableSumsWeights) {
+  data::Table t = MakeTable();
+  t.set_weight(0, 3.0);
+  FreqTable ft = FreqTable::FromTable(t, {0, 1});
+  EXPECT_EQ(ft.num_groups(), 4u);
+  EXPECT_DOUBLE_EQ(ft.Mass({0, 0}), 3.0);
+  EXPECT_DOUBLE_EQ(ft.Mass({1, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(ft.TotalMass(), 6.0);
+  EXPECT_DOUBLE_EQ(ft.Mass({7, 7}), 0.0);
+}
+
+TEST(FreqTableTest, NormalizedSumsToOne) {
+  FreqTable ft({0});
+  ft.Add({0}, 3);
+  ft.Add({1}, 1);
+  FreqTable n = ft.Normalized();
+  EXPECT_DOUBLE_EQ(n.TotalMass(), 1.0);
+  EXPECT_DOUBLE_EQ(n.Mass({0}), 0.75);
+}
+
+TEST(FreqTableTest, MarginalizeTo) {
+  FreqTable ft({2, 5});
+  ft.Add({0, 0}, 1);
+  ft.Add({0, 1}, 2);
+  ft.Add({1, 1}, 3);
+  FreqTable m = ft.MarginalizeTo({2});
+  EXPECT_DOUBLE_EQ(m.Mass({0}), 3.0);
+  EXPECT_DOUBLE_EQ(m.Mass({1}), 3.0);
+  FreqTable m5 = ft.MarginalizeTo({5});
+  EXPECT_DOUBLE_EQ(m5.Mass({1}), 5.0);
+}
+
+TEST(InfoTest, EntropyUniform) {
+  FreqTable ft({0});
+  ft.Add({0}, 1);
+  ft.Add({1}, 1);
+  ft.Add({2}, 1);
+  ft.Add({3}, 1);
+  EXPECT_NEAR(Entropy(ft), std::log(4.0), 1e-12);
+}
+
+TEST(InfoTest, EntropyDegenerate) {
+  FreqTable ft({0});
+  ft.Add({0}, 5);
+  EXPECT_NEAR(Entropy(ft), 0.0, 1e-12);
+}
+
+TEST(InfoTest, MutualInformationIndependent) {
+  // p(x,y) = p(x)p(y) -> MI = 0.
+  FreqTable ft({0, 1});
+  for (data::ValueCode x = 0; x < 2; ++x) {
+    for (data::ValueCode y = 0; y < 3; ++y) {
+      ft.Add({x, y}, (x == 0 ? 0.3 : 0.7) * (y == 0 ? 0.5 : 0.25));
+    }
+  }
+  EXPECT_NEAR(MutualInformation(ft), 0.0, 1e-12);
+}
+
+TEST(InfoTest, MutualInformationPerfectlyDependent) {
+  FreqTable ft({0, 1});
+  ft.Add({0, 0}, 0.5);
+  ft.Add({1, 1}, 0.5);
+  EXPECT_NEAR(MutualInformation(ft), std::log(2.0), 1e-12);
+}
+
+TEST(InfoTest, InformationContentThreeWay) {
+  // Fully dependent triple: I = 3H - H = 2 log 2.
+  FreqTable ft({0, 1, 2});
+  ft.Add({0, 0, 0}, 0.5);
+  ft.Add({1, 1, 1}, 0.5);
+  EXPECT_NEAR(InformationContent(ft), 2.0 * std::log(2.0), 1e-12);
+}
+
+TEST(InfoTest, KlDivergenceZeroForEqual) {
+  FreqTable p({0});
+  p.Add({0}, 2);
+  p.Add({1}, 2);
+  EXPECT_NEAR(KlDivergence(p, p), 0.0, 1e-12);
+}
+
+TEST(InfoTest, KlDivergencePositive) {
+  FreqTable p({0}), q({0});
+  p.Add({0}, 9);
+  p.Add({1}, 1);
+  q.Add({0}, 5);
+  q.Add({1}, 5);
+  EXPECT_GT(KlDivergence(p, q), 0.0);
+}
+
+TEST(InfoTest, KlDivergenceInfiniteOffSupport) {
+  FreqTable p({0}), q({0});
+  p.Add({0}, 1);
+  p.Add({1}, 1);
+  q.Add({0}, 1);
+  EXPECT_TRUE(std::isinf(KlDivergence(p, q)));
+  EXPECT_TRUE(std::isfinite(KlDivergence(p, q, 1e-6)));
+}
+
+TEST(DescriptiveTest, MeanMedianPercentile) {
+  std::vector<double> xs = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(Mean(xs), 3.0);
+  EXPECT_DOUBLE_EQ(Median(xs), 3.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 100), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 25), 2.0);
+}
+
+TEST(DescriptiveTest, PercentileInterpolates) {
+  EXPECT_DOUBLE_EQ(Percentile({0, 10}, 50), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile({0, 10}, 75), 7.5);
+}
+
+TEST(DescriptiveTest, SummarizeBoxplot) {
+  BoxplotSummary s = Summarize({4, 1, 3, 2, 5});
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_FALSE(s.ToString().empty());
+}
+
+TEST(DescriptiveTest, EmptyInputs) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  BoxplotSummary s = Summarize({});
+  EXPECT_DOUBLE_EQ(s.median, 0.0);
+}
+
+TEST(MetricsTest, PercentDifferenceBasics) {
+  EXPECT_DOUBLE_EQ(PercentDifference(10, 10), 0.0);
+  EXPECT_DOUBLE_EQ(PercentDifference(10, 0), 200.0);   // missed
+  EXPECT_DOUBLE_EQ(PercentDifference(0, 10), 200.0);   // phantom
+  EXPECT_DOUBLE_EQ(PercentDifference(0, 0), 0.0);
+  // 2*|100-50|/150 * 100 = 66.67
+  EXPECT_NEAR(PercentDifference(100, 50), 200.0 / 3.0, 1e-9);
+}
+
+TEST(MetricsTest, PercentDifferenceSymmetric) {
+  EXPECT_DOUBLE_EQ(PercentDifference(3, 7), PercentDifference(7, 3));
+}
+
+TEST(MetricsTest, PercentDifferenceBounded) {
+  for (double t : {0.0, 0.5, 1.0, 100.0}) {
+    for (double e : {0.0, 0.5, 1.0, 100.0}) {
+      const double pd = PercentDifference(t, e);
+      EXPECT_GE(pd, 0.0);
+      EXPECT_LE(pd, kMaxPercentDifference);
+    }
+  }
+}
+
+TEST(MetricsTest, GroupByMissingAndPhantom) {
+  std::unordered_map<data::TupleKey, double, data::TupleKeyHash> truth{
+      {{0}, 10.0}, {{1}, 5.0}};
+  std::unordered_map<data::TupleKey, double, data::TupleKeyHash> est{
+      {{0}, 10.0}, {{2}, 1.0}};  // misses {1}, phantom {2}
+  // errors: 0 (exact), 200 (missed), 200 (phantom) -> mean 400/3.
+  EXPECT_NEAR(GroupByPercentDifference(truth, est), 400.0 / 3.0, 1e-9);
+}
+
+TEST(MetricsTest, GroupByEmptyBoth) {
+  std::unordered_map<data::TupleKey, double, data::TupleKeyHash> empty;
+  EXPECT_DOUBLE_EQ(GroupByPercentDifference(empty, empty), 0.0);
+}
+
+}  // namespace
+}  // namespace themis::stats
