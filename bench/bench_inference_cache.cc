@@ -1,0 +1,117 @@
+// Measures the cross-query reuse win of the memoizing inference engine: a
+// repeated mixed point-query workload answered by exact BN inference with
+// the cache disabled vs enabled, on the same evaluator and model. Verifies
+// the two configurations produce bitwise-identical answers (the engine
+// computes marginals over the canonical target order in both paths) and
+// reports the speedup; the acceptance bar is >= 2x on repeated traffic.
+//
+//   ./bench_inference_cache [rounds] [--strict]
+//
+// Answer divergence always aborts. --strict additionally turns the 2x
+// speedup bar into the exit code; without it timing stays informational
+// (wall-clock gates flake on noisy shared runners).
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common.h"
+
+#include "bn/inference_engine.h"
+#include "core/evaluator.h"
+#include "core/model.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace themis::bench {
+namespace {
+
+std::vector<double> RunWorkload(const core::HybridEvaluator& evaluator,
+                                const std::vector<workload::PointQuery>& qs,
+                                size_t rounds) {
+  std::vector<double> answers;
+  answers.reserve(qs.size() * rounds);
+  for (size_t r = 0; r < rounds; ++r) {
+    for (const auto& q : qs) {
+      auto estimate =
+          evaluator.PointEstimate(q.attrs, q.values, core::AnswerMode::kBnOnly);
+      answers.push_back(estimate.ok() ? *estimate : -1.0);
+    }
+  }
+  return answers;
+}
+
+int Run(size_t rounds, bool strict) {
+  PrintHeader("Reuse micro-bench",
+              "repeated BN point queries, inference cache off vs on");
+  BenchScale scale;
+  DatasetSetup setup = MakeFlights(scale);
+  const double n = static_cast<double>(setup.population.num_rows());
+  aggregate::AggregateSet aggregates =
+      MakePaperAggregates(setup.population, setup.covered_attrs, 5, 4);
+
+  core::ThemisOptions options = BenchOptions();
+  options.population_size = n;
+  auto model = core::ThemisModel::Build(setup.samples.at("Corners").Clone(),
+                                        aggregates, options);
+  THEMIS_CHECK(model.ok()) << model.status().ToString();
+  core::HybridEvaluator evaluator(&*model);
+  bn::InferenceEngine* engine = evaluator.mutable_inference_engine();
+  THEMIS_CHECK(engine != nullptr);
+
+  Rng rng(171);
+  const std::vector<workload::PointQuery> queries =
+      workload::MakeMixedPointQueries(setup.population, 2, 3,
+                                      workload::HitterClass::kRandom, 100,
+                                      rng);
+  std::printf("  %zu distinct queries x %zu rounds\n", queries.size(),
+              rounds);
+
+  engine->set_cache_enabled(false);
+  engine->ClearCache();
+  Timer timer;
+  const std::vector<double> cold = RunWorkload(evaluator, queries, rounds);
+  const double seconds_off = timer.Seconds();
+
+  engine->ClearCache();
+  engine->set_cache_enabled(true);
+  timer.Restart();
+  const std::vector<double> warm = RunWorkload(evaluator, queries, rounds);
+  const double seconds_on = timer.Seconds();
+  const bn::InferenceCacheStats stats = engine->cache_stats();
+
+  THEMIS_CHECK(cold.size() == warm.size());
+  const bool identical =
+      std::memcmp(cold.data(), warm.data(), cold.size() * sizeof(double)) ==
+      0;
+  THEMIS_CHECK(identical) << "cache on/off answers diverged";
+
+  const double speedup = seconds_on > 0 ? seconds_off / seconds_on : 0.0;
+  std::printf("  cache off: %8.1f ms\n", seconds_off * 1e3);
+  std::printf("  cache on:  %8.1f ms  (%zu hits / %zu misses, %.0f%% hit "
+              "rate)\n",
+              seconds_on * 1e3, stats.hits, stats.misses,
+              100.0 * stats.HitRate());
+  std::printf("  answers bitwise-identical: yes\n");
+  std::printf("  speedup: %.1fx %s\n", speedup,
+              speedup >= 2.0 ? "(>= 2x: reuse win demonstrated)"
+                             : "(below the 2x bar)");
+  return (strict && speedup < 2.0) ? 1 : 0;
+}
+
+}  // namespace
+}  // namespace themis::bench
+
+int main(int argc, char** argv) {
+  size_t rounds = 5;
+  bool strict = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--strict") == 0) {
+      strict = true;
+    } else {
+      rounds = static_cast<size_t>(std::strtoul(argv[i], nullptr, 10));
+    }
+  }
+  if (rounds == 0) rounds = 1;
+  return themis::bench::Run(rounds, strict);
+}

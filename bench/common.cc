@@ -1,5 +1,7 @@
 #include "common.h"
 
+#include <cstdlib>
+
 #include "aggregate/pruning.h"
 #include "stats/descriptive.h"
 #include "util/logging.h"
@@ -102,6 +104,12 @@ core::ThemisOptions BenchOptions() {
   core::ThemisOptions options;
   options.bn_group_by_samples = 10;  // paper's K
   options.bn_sample_rows = 2000;
+  // THEMIS_INFERENCE_CACHE=0 disables cross-query marginal memoization so
+  // the reuse win is measurable (answers are identical either way).
+  const char* cache_env = std::getenv("THEMIS_INFERENCE_CACHE");
+  if (cache_env != nullptr && std::string(cache_env) == "0") {
+    options.enable_inference_cache = false;
+  }
   return options;
 }
 

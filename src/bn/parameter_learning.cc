@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <set>
 
-#include "bn/inference.h"
+#include "bn/inference_engine.h"
 #include "util/logging.h"
 
 namespace themis::bn {
@@ -105,8 +105,12 @@ Status LearnParameters(BayesianNetwork& network, const data::Table* sample,
     // coefficients of the linear constraints (Sec 5.2).
     stats::FreqTable parent_joint;
     if (!cpt.parents().empty()) {
-      VariableElimination ve(&network);
-      auto pj = ve.Marginal(cpt.parents());
+      // The network mutates as each factor is solved, so memoizing across
+      // nodes would serve stale marginals — run the engine uncached.
+      InferenceEngine engine(&network,
+                            InferenceEngine::Options{/*enable_cache=*/false,
+                                                     /*cache_capacity=*/0});
+      auto pj = engine.Marginal(cpt.parents());
       if (!pj.ok()) return pj.status();
       parent_joint = std::move(pj).value();
     }

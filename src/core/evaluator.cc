@@ -1,11 +1,10 @@
 #include "core/evaluator.h"
 
 #include <algorithm>
-#include <map>
+#include <atomic>
 #include <set>
+#include <thread>
 
-#include "bn/inference.h"
-#include "sql/parser.h"
 #include "util/logging.h"
 
 namespace themis::core {
@@ -21,17 +20,34 @@ HybridEvaluator::HybridEvaluator(const ThemisModel* model,
     exec.RegisterTable(table_name_, &bn_sample);
     bn_executors_.push_back(std::move(exec));
   }
+  const ThemisOptions& options = model_->options();
+  if (model_->network() != nullptr) {
+    bn::InferenceEngine::Options engine_options;
+    engine_options.enable_cache = options.enable_inference_cache;
+    engine_options.cache_capacity = options.inference_cache_capacity;
+    engine_ = std::make_unique<bn::InferenceEngine>(model_->network(),
+                                                    engine_options);
+  }
+  const bool has_bn = model_->network() != nullptr && !bn_executors_.empty();
+  planner_ = std::make_unique<QueryPlanner>(
+      model_->reweighted_sample().schema(), has_bn,
+      options.plan_cache_capacity);
 }
 
 const std::unordered_map<data::TupleKey, double, data::TupleKeyHash>&
 HybridEvaluator::GroupIndex(const std::vector<size_t>& attrs) const {
-  auto it = group_index_cache_.find(attrs);
-  if (it == group_index_cache_.end()) {
-    it = group_index_cache_
-             .emplace(attrs, model_->reweighted_sample().GroupWeights(attrs))
-             .first;
+  {
+    std::shared_lock<std::shared_mutex> lock(group_index_mu_);
+    auto it = group_index_cache_.find(attrs);
+    if (it != group_index_cache_.end()) return it->second;
   }
-  return it->second;
+  // Build outside any lock, then publish; a losing racer reuses the
+  // winner's index (std::map nodes stay put, so the reference outlives
+  // the lock).
+  auto weights = model_->reweighted_sample().GroupWeights(attrs);
+  std::unique_lock<std::shared_mutex> lock(group_index_mu_);
+  return group_index_cache_.try_emplace(attrs, std::move(weights))
+      .first->second;
 }
 
 bool HybridEvaluator::SampleContains(const std::vector<size_t>& attrs,
@@ -48,15 +64,14 @@ double HybridEvaluator::SampleMass(const std::vector<size_t>& attrs,
 
 Result<double> HybridEvaluator::BnPointEstimate(
     const std::vector<size_t>& attrs, const data::TupleKey& values) const {
-  if (model_->network() == nullptr) {
+  if (engine_ == nullptr) {
     return Status::FailedPrecondition("model has no Bayesian network");
   }
   bn::Evidence evidence;
   for (size_t i = 0; i < attrs.size(); ++i) {
     evidence[attrs[i]] = values[i];
   }
-  bn::VariableElimination ve(model_->network());
-  THEMIS_ASSIGN_OR_RETURN(double p, ve.Probability(evidence));
+  THEMIS_ASSIGN_OR_RETURN(double p, engine_->Probability(evidence));
   return model_->population_size() * p;
 }
 
@@ -82,18 +97,42 @@ Result<double> HybridEvaluator::PointEstimate(
 }
 
 Result<sql::QueryResult> HybridEvaluator::BnGroupBy(
-    const sql::SelectStatement& stmt) const {
+    const sql::SelectStatement& stmt, bool parallel) const {
   if (bn_executors_.empty()) {
     return Status::FailedPrecondition("model has no BN samples");
   }
   // Execute on every generated sample; keep groups appearing in all K
   // answers and average the aggregate values (Sec 4.2.4).
+  const size_t k_total = bn_executors_.size();
+  std::vector<Result<sql::QueryResult>> results(
+      k_total, Result<sql::QueryResult>(Status::Internal("not executed")));
+  if (parallel && k_total > 1) {
+    const size_t hw = std::max(1u, std::thread::hardware_concurrency());
+    const size_t n_threads = std::min(k_total, hw);
+    std::atomic<size_t> next{0};
+    std::vector<std::thread> threads;
+    threads.reserve(n_threads);
+    for (size_t t = 0; t < n_threads; ++t) {
+      threads.emplace_back([&] {
+        for (size_t k = next.fetch_add(1); k < k_total;
+             k = next.fetch_add(1)) {
+          results[k] = bn_executors_[k].Execute(stmt);
+        }
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+  } else {
+    for (size_t k = 0; k < k_total; ++k) {
+      results[k] = bn_executors_[k].Execute(stmt);
+    }
+  }
+
   std::map<std::vector<std::string>, std::pair<std::vector<double>, size_t>>
       merged;
   sql::QueryResult shape;
-  for (size_t k = 0; k < bn_executors_.size(); ++k) {
-    THEMIS_ASSIGN_OR_RETURN(sql::QueryResult result,
-                            bn_executors_[k].Execute(stmt));
+  for (size_t k = 0; k < k_total; ++k) {
+    if (!results[k].ok()) return results[k].status();
+    const sql::QueryResult& result = *results[k];
     if (k == 0) {
       shape.group_names = result.group_names;
       shape.value_names = result.value_names;
@@ -108,7 +147,6 @@ Result<sql::QueryResult> HybridEvaluator::BnGroupBy(
     }
   }
   sql::QueryResult out = shape;
-  const size_t k_total = bn_executors_.size();
   for (auto& [group, acc] : merged) {
     if (acc.second != k_total) continue;  // phantom-group suppression
     sql::ResultRow row;
@@ -120,68 +158,42 @@ Result<sql::QueryResult> HybridEvaluator::BnGroupBy(
   return out;
 }
 
-std::optional<std::pair<std::vector<size_t>, data::TupleKey>>
-HybridEvaluator::AsPointQuery(const sql::SelectStatement& stmt) const {
-  if (stmt.tables.size() != 1 || !stmt.group_by.empty() ||
-      stmt.items.size() != 1 ||
-      stmt.items[0].func != sql::AggFunc::kCount || stmt.where.empty()) {
-    return std::nullopt;
-  }
-  const data::Schema& schema = *model_->reweighted_sample().schema();
-  std::vector<size_t> attrs;
-  data::TupleKey values;
-  for (const sql::Predicate& pred : stmt.where) {
-    if (pred.is_join || pred.op != sql::CompareOp::kEq ||
-        pred.literals.size() != 1) {
-      return std::nullopt;
-    }
-    auto attr = schema.AttributeIndex(pred.lhs.column);
-    if (!attr.ok()) return std::nullopt;
-    auto code = schema.domain(*attr).Code(pred.literals[0].text);
-    if (!code.ok()) {
-      // Value outside the active domain: probability zero either way;
-      // signal with an empty-key sentinel handled by the caller.
-      return std::pair{std::vector<size_t>{}, data::TupleKey{}};
-    }
-    attrs.push_back(*attr);
-    values.push_back(*code);
-  }
-  return std::pair{std::move(attrs), std::move(values)};
+Result<QueryPlanPtr> HybridEvaluator::Plan(const std::string& sql) const {
+  return planner_->Plan(sql);
 }
 
-Result<sql::QueryResult> HybridEvaluator::Query(const std::string& sql,
-                                                AnswerMode mode) const {
-  THEMIS_ASSIGN_OR_RETURN(sql::SelectStatement stmt, sql::Parse(sql));
-
+Result<sql::QueryResult> HybridEvaluator::ExecutePlan(
+    const QueryPlan& plan, AnswerMode mode, bool parallel_group_by) const {
   const bool has_bn =
       model_->network() != nullptr && !bn_executors_.empty();
-  if (mode == AnswerMode::kSampleOnly || !has_bn) {
-    return sample_executor_.Execute(stmt);
+  if (plan.kind == PlanKind::kPassthrough || mode == AnswerMode::kSampleOnly ||
+      !has_bn) {
+    return sample_executor_.Execute(plan.stmt);
   }
 
-  // Pure point queries (d-dimensional COUNT(*) with equality predicates)
-  // route through the Sec 4.3 point rule with *exact* BN inference instead
-  // of the sampled GROUP BY machinery.
-  if (auto point = AsPointQuery(stmt); point.has_value()) {
+  if (plan.kind == PlanKind::kPoint) {
+    // Pure point queries (d-dimensional COUNT(*) with equality predicates)
+    // route through the Sec 4.3 point rule with *exact* BN inference
+    // instead of the sampled GROUP BY machinery.
     double estimate = 0;
-    if (!point->first.empty()) {
+    if (!plan.out_of_domain) {
       THEMIS_ASSIGN_OR_RETURN(
-          estimate, PointEstimate(point->first, point->second, mode));
+          estimate, PointEstimate(plan.point_attrs, plan.point_values, mode));
     }
     sql::QueryResult result;
     result.value_names = {"count"};
     result.rows.push_back({{}, {estimate}});
     return result;
   }
+
   if (mode == AnswerMode::kBnOnly) {
-    // Pure point query? Use exact inference; otherwise generated samples.
-    return BnGroupBy(stmt);
+    return BnGroupBy(plan.stmt, parallel_group_by);
   }
 
   // Hybrid: sample answer unioned with BN-only groups (Sec 4.3).
   THEMIS_ASSIGN_OR_RETURN(sql::QueryResult sample_result,
-                          sample_executor_.Execute(stmt));
-  auto bn_result = BnGroupBy(stmt);
+                          sample_executor_.Execute(plan.stmt));
+  auto bn_result = BnGroupBy(plan.stmt, parallel_group_by);
   if (!bn_result.ok()) return sample_result;
 
   std::set<std::vector<std::string>> sample_groups;
@@ -198,6 +210,31 @@ Result<sql::QueryResult> HybridEvaluator::Query(const std::string& sql,
               return a.group < b.group;
             });
   return sample_result;
+}
+
+Result<sql::QueryResult> HybridEvaluator::Query(const std::string& sql,
+                                                AnswerMode mode) const {
+  THEMIS_ASSIGN_OR_RETURN(QueryPlanPtr plan, planner_->Plan(sql));
+  return ExecutePlan(*plan, mode);
+}
+
+Result<std::vector<sql::QueryResult>> HybridEvaluator::QueryBatch(
+    std::span<const std::string> sqls, AnswerMode mode) const {
+  std::vector<QueryPlanPtr> plans;
+  plans.reserve(sqls.size());
+  for (const std::string& sql : sqls) {
+    THEMIS_ASSIGN_OR_RETURN(QueryPlanPtr plan, planner_->Plan(sql));
+    plans.push_back(std::move(plan));
+  }
+  std::vector<sql::QueryResult> out;
+  out.reserve(plans.size());
+  for (const QueryPlanPtr& plan : plans) {
+    THEMIS_ASSIGN_OR_RETURN(
+        sql::QueryResult result,
+        ExecutePlan(*plan, mode, /*parallel_group_by=*/true));
+    out.push_back(std::move(result));
+  }
+  return out;
 }
 
 }  // namespace themis::core

@@ -1,12 +1,17 @@
 #ifndef THEMIS_CORE_EVALUATOR_H_
 #define THEMIS_CORE_EVALUATOR_H_
 
-#include <optional>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "bn/inference_engine.h"
 #include "core/model.h"
+#include "core/query_plan.h"
 #include "sql/ast.h"
 #include "sql/executor.h"
 #include "util/status.h"
@@ -20,7 +25,10 @@ enum class AnswerMode {
   kBnOnly,      ///< Bayesian network only (BB et al. baselines)
 };
 
-/// Themis's hybrid query evaluator (Sec 4.3).
+/// Themis's hybrid query evaluator (Sec 4.3), structured as a plan-based
+/// engine: SQL text -> QueryPlanner (cached logical plan) -> ExecutePlan
+/// (mode dispatch), with all BN inference routed through a memoizing
+/// bn::InferenceEngine so repeated queries reuse prior computation.
 ///
 /// Point queries: if the queried tuple exists in the (reweighted) sample,
 /// answer from the sample; otherwise use direct BN inference,
@@ -31,10 +39,16 @@ enum class AnswerMode {
 /// comes from the K pre-generated uniformly-scaled samples: only groups
 /// present in all K runs survive (phantom-group suppression) and their
 /// values are averaged.
+///
+/// Thread-safe for concurrent const use; the lazily built group index is
+/// guarded by a shared_mutex and the engine and planner carry their own
+/// locks. QueryBatch executes plans sequentially — the parallelism is
+/// per-plan, across the K BN-sample executors of a GROUP BY.
 class HybridEvaluator {
  public:
   /// `model` must outlive the evaluator. `table_name` is the name the
-  /// sample is registered under for SQL queries.
+  /// sample is registered under for SQL queries. Cache knobs come from
+  /// the model's ThemisOptions.
   HybridEvaluator(const ThemisModel* model,
                   std::string table_name = "sample");
 
@@ -50,30 +64,51 @@ class HybridEvaluator {
   bool SampleContains(const std::vector<size_t>& attrs,
                       const data::TupleKey& values) const;
 
-  /// Executes a SQL query (point, group-by, join) under the given mode.
+  /// Executes a SQL query (point, group-by, join) under the given mode:
+  /// Plan + ExecutePlan.
   Result<sql::QueryResult> Query(const std::string& sql,
                                  AnswerMode mode = AnswerMode::kHybrid) const;
 
- private:
-  /// If `stmt` is a pure point query (single table, one COUNT(*), only
-  /// equality predicates, no GROUP BY), returns its (attrs, values); an
-  /// empty pair means "value outside the active domain" (count 0).
-  std::optional<std::pair<std::vector<size_t>, data::TupleKey>> AsPointQuery(
-      const sql::SelectStatement& stmt) const;
+  /// Plans `sql` through the shared plan cache.
+  Result<QueryPlanPtr> Plan(const std::string& sql) const;
 
+  /// Executes a previously planned query. With `parallel_group_by`, the K
+  /// BN-sample executors of a GROUP BY plan run on std::threads.
+  Result<sql::QueryResult> ExecutePlan(const QueryPlan& plan, AnswerMode mode,
+                                       bool parallel_group_by = false) const;
+
+  /// Batched answering: plans every query first (repeated texts share one
+  /// plan, malformed SQL fails before any work runs), then executes with
+  /// shared marginal memoization and parallel K-executor GROUP BYs.
+  /// Results line up with the input order and are identical to a
+  /// sequential Query() loop.
+  Result<std::vector<sql::QueryResult>> QueryBatch(
+      std::span<const std::string> sqls, AnswerMode mode) const;
+
+  /// The memoizing inference engine; null when the model has no BN.
+  const bn::InferenceEngine* inference_engine() const {
+    return engine_.get();
+  }
+  bn::InferenceEngine* mutable_inference_engine() { return engine_.get(); }
+
+  const QueryPlanner& planner() const { return *planner_; }
+
+ private:
   /// Σ weight over sample rows matching the key (0 when absent).
   double SampleMass(const std::vector<size_t>& attrs,
                     const data::TupleKey& values) const;
 
-  /// n · Pr(values on attrs) by exact BN inference.
+  /// n · Pr(values on attrs) by exact (memoized) BN inference.
   Result<double> BnPointEstimate(const std::vector<size_t>& attrs,
                                  const data::TupleKey& values) const;
 
   /// Runs `stmt` over the K BN samples, keeping groups present in all K
-  /// and averaging their values.
-  Result<sql::QueryResult> BnGroupBy(const sql::SelectStatement& stmt) const;
+  /// and averaging their values; optionally fanning the K executors
+  /// across threads.
+  Result<sql::QueryResult> BnGroupBy(const sql::SelectStatement& stmt,
+                                     bool parallel) const;
 
-  /// Group-weight index per attribute set, built lazily.
+  /// Group-weight index per attribute set, built lazily under the lock.
   const std::unordered_map<data::TupleKey, double, data::TupleKeyHash>&
   GroupIndex(const std::vector<size_t>& attrs) const;
 
@@ -81,6 +116,9 @@ class HybridEvaluator {
   std::string table_name_;
   sql::Executor sample_executor_;
   std::vector<sql::Executor> bn_executors_;  // one per BN sample
+  std::unique_ptr<bn::InferenceEngine> engine_;
+  std::unique_ptr<QueryPlanner> planner_;
+  mutable std::shared_mutex group_index_mu_;
   mutable std::map<std::vector<size_t>,
                    std::unordered_map<data::TupleKey, double,
                                       data::TupleKeyHash>>

@@ -42,6 +42,18 @@ struct ThemisOptions {
   /// used by the baseline configurations in the experiments.
   bool enable_bn = true;
 
+  /// Memoization of BN marginals/probabilities in the inference engine:
+  /// repeated and batched queries reuse prior computation (the serving
+  /// analogue of the Table 6 reuse experiment). Answers are bitwise
+  /// identical with the cache on or off.
+  bool enable_inference_cache = true;
+
+  /// LRU bound on memoized inference results; 0 means unbounded.
+  size_t inference_cache_capacity = 4096;
+
+  /// LRU bound on logical plans cached by normalized SQL text.
+  size_t plan_cache_capacity = 256;
+
   uint64_t seed = 42;
 };
 

@@ -1,0 +1,125 @@
+#include "core/query_plan.h"
+
+#include <cctype>
+#include <utility>
+
+#include "sql/parser.h"
+
+namespace themis::core {
+
+const char* PlanKindName(PlanKind kind) {
+  switch (kind) {
+    case PlanKind::kPoint:
+      return "Point";
+    case PlanKind::kGroupBy:
+      return "GroupBy";
+    case PlanKind::kPassthrough:
+      return "Passthrough";
+  }
+  return "?";
+}
+
+std::string NormalizeSql(const std::string& sql) {
+  std::string out;
+  out.reserve(sql.size());
+  bool in_literal = false;
+  bool pending_space = false;
+  for (char c : sql) {
+    if (in_literal) {
+      out.push_back(c);
+      if (c == '\'') in_literal = false;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      pending_space = !out.empty();
+      continue;
+    }
+    if (pending_space) {
+      out.push_back(' ');
+      pending_space = false;
+    }
+    out.push_back(c);
+    if (c == '\'') in_literal = true;
+  }
+  return out;
+}
+
+QueryPlanner::QueryPlanner(data::SchemaPtr schema, bool has_bn,
+                           size_t plan_cache_capacity)
+    : schema_(std::move(schema)),
+      has_bn_(has_bn),
+      cache_(plan_cache_capacity) {}
+
+size_t QueryPlanner::cache_hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+size_t QueryPlanner::cache_misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+QueryPlan QueryPlanner::PlanStatement(sql::SelectStatement stmt) const {
+  QueryPlan plan;
+  plan.stmt = std::move(stmt);
+  if (!has_bn_) {
+    plan.kind = PlanKind::kPassthrough;
+    return plan;
+  }
+  plan.kind = PlanKind::kGroupBy;
+
+  // Point shape: single table, lone COUNT(*), no GROUP BY, and a WHERE of
+  // only column = literal conjuncts.
+  const sql::SelectStatement& s = plan.stmt;
+  if (s.tables.size() != 1 || !s.group_by.empty() || s.items.size() != 1 ||
+      s.items[0].func != sql::AggFunc::kCount || s.where.empty()) {
+    return plan;
+  }
+  std::vector<size_t> attrs;
+  data::TupleKey values;
+  for (const sql::Predicate& pred : s.where) {
+    if (pred.is_join || pred.op != sql::CompareOp::kEq ||
+        pred.literals.size() != 1) {
+      return plan;  // not a pure point query; keep the group-by route
+    }
+    auto attr = schema_->AttributeIndex(pred.lhs.column);
+    if (!attr.ok()) return plan;
+    auto code = schema_->domain(*attr).Code(pred.literals[0].text);
+    if (!code.ok()) {
+      // Constant outside the active domain: probability zero either way.
+      plan.kind = PlanKind::kPoint;
+      plan.point_attrs.clear();
+      plan.point_values.clear();
+      plan.out_of_domain = true;
+      return plan;
+    }
+    attrs.push_back(*attr);
+    values.push_back(*code);
+  }
+  plan.kind = PlanKind::kPoint;
+  plan.point_attrs = std::move(attrs);
+  plan.point_values = std::move(values);
+  return plan;
+}
+
+Result<QueryPlanPtr> QueryPlanner::Plan(const std::string& sql) const {
+  const std::string key = NormalizeSql(sql);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (auto cached = cache_.Get(key)) {
+      ++hits_;
+      return *cached;
+    }
+    ++misses_;
+  }
+  THEMIS_ASSIGN_OR_RETURN(sql::SelectStatement stmt, sql::Parse(sql));
+  auto plan = std::make_shared<const QueryPlan>(PlanStatement(std::move(stmt)));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cache_.Put(key, plan);
+  }
+  return plan;
+}
+
+}  // namespace themis::core

@@ -77,6 +77,14 @@ Result<sql::QueryResult> ThemisDb::Query(const std::string& sql,
   return evaluator_->Query(sql, mode);
 }
 
+Result<std::vector<sql::QueryResult>> ThemisDb::QueryBatch(
+    std::span<const std::string> sqls, AnswerMode mode) const {
+  if (evaluator_ == nullptr) {
+    return Status::FailedPrecondition("call Build() before querying");
+  }
+  return evaluator_->QueryBatch(sqls, mode);
+}
+
 Result<double> ThemisDb::PointQuery(
     const std::vector<std::pair<std::string, std::string>>& equalities,
     AnswerMode mode) const {

@@ -2,7 +2,9 @@
 #define THEMIS_CORE_THEMIS_DB_H_
 
 #include <memory>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "core/evaluator.h"
 #include "core/model.h"
@@ -50,6 +52,15 @@ class ThemisDb {
       const std::string& sql,
       AnswerMode mode = AnswerMode::kHybrid) const;
 
+  /// Answers a batch of queries: plans everything first (warming the plan
+  /// cache and deduplicating repeated texts), then executes with shared
+  /// marginal memoization; GROUP BY plans fan their K BN-sample executors
+  /// across std::threads. Results line up with the input order and are
+  /// identical to a sequential Query() loop.
+  Result<std::vector<sql::QueryResult>> QueryBatch(
+      std::span<const std::string> sqls,
+      AnswerMode mode = AnswerMode::kHybrid) const;
+
   /// Point-query convenience: COUNT(*) WHERE attr1=v1 AND ... by name.
   Result<double> PointQuery(
       const std::vector<std::pair<std::string, std::string>>& equalities,
@@ -57,6 +68,9 @@ class ThemisDb {
 
   /// The underlying model (after Build).
   const ThemisModel* model() const { return model_.get(); }
+
+  /// The underlying evaluator/engine (after Build); null before.
+  const HybridEvaluator* evaluator() const { return evaluator_.get(); }
 
  private:
   ThemisOptions options_;

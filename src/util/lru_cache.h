@@ -1,0 +1,69 @@
+#ifndef THEMIS_UTIL_LRU_CACHE_H_
+#define THEMIS_UTIL_LRU_CACHE_H_
+
+#include <cstddef>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+namespace themis {
+
+/// Least-recently-used map with an optional capacity bound (0 = unbounded).
+/// Backs the inference-engine memo table and the SQL plan cache. Not
+/// thread-safe: callers that share an instance across threads hold their
+/// own lock around Get/Put.
+template <typename K, typename V, typename Hash = std::hash<K>>
+class LruCache {
+ public:
+  explicit LruCache(size_t capacity = 0) : capacity_(capacity) {}
+
+  /// Returns the cached value and marks the entry most-recently used.
+  std::optional<V> Get(const K& key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) return std::nullopt;
+    order_.splice(order_.begin(), order_, it->second);
+    return it->second->second;
+  }
+
+  /// Inserts or overwrites `key`, then evicts least-recently-used entries
+  /// until the capacity bound holds again.
+  void Put(const K& key, V value) {
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->second = std::move(value);
+      order_.splice(order_.begin(), order_, it->second);
+      return;
+    }
+    order_.emplace_front(key, std::move(value));
+    index_[key] = order_.begin();
+    while (capacity_ > 0 && order_.size() > capacity_) {
+      index_.erase(order_.back().first);
+      order_.pop_back();
+      ++evictions_;
+    }
+  }
+
+  size_t size() const { return order_.size(); }
+  size_t capacity() const { return capacity_; }
+
+  /// Entries dropped by the capacity bound since construction or Clear().
+  size_t evictions() const { return evictions_; }
+
+  void Clear() {
+    order_.clear();
+    index_.clear();
+    evictions_ = 0;
+  }
+
+ private:
+  size_t capacity_;
+  size_t evictions_ = 0;
+  std::list<std::pair<K, V>> order_;
+  std::unordered_map<K, typename std::list<std::pair<K, V>>::iterator, Hash>
+      index_;
+};
+
+}  // namespace themis
+
+#endif  // THEMIS_UTIL_LRU_CACHE_H_

@@ -117,4 +117,10 @@ Result<sql::QueryResult> MethodSuite::Query(const std::string& method,
   return route.first->Query(sql, route.second);
 }
 
+Result<std::vector<sql::QueryResult>> MethodSuite::QueryBatch(
+    const std::string& method, std::span<const std::string> sqls) const {
+  THEMIS_ASSIGN_OR_RETURN(auto route, Route(method));
+  return route.first->QueryBatch(sqls, route.second);
+}
+
 }  // namespace themis::workload

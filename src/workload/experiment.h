@@ -2,6 +2,7 @@
 #define THEMIS_WORKLOAD_EXPERIMENT_H_
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -49,6 +50,12 @@ class MethodSuite {
   /// SQL result for `method` (routes to the right evaluator/mode).
   Result<sql::QueryResult> Query(const std::string& method,
                                  const std::string& sql) const;
+
+  /// Batched variant: plans everything first, then executes through the
+  /// method's evaluator with parallel K-executor GROUP BY evaluation and
+  /// shared inference-cache reuse. Identical answers to a Query() loop.
+  Result<std::vector<sql::QueryResult>> QueryBatch(
+      const std::string& method, std::span<const std::string> sqls) const;
 
   static std::vector<std::string> MethodNames() {
     return {"AQP", "LinReg", "IPF", "BB", "Hybrid"};

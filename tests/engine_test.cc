@@ -1,0 +1,363 @@
+// Tests for the unified inference engine and plan-based query path: the
+// memoizing bn::InferenceEngine (hit/miss accounting, LRU bound, bitwise
+// cache-on/off identity), the core::QueryPlanner (point detection, plan
+// cache, SQL normalization), and ThemisDb::QueryBatch.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "bn/inference.h"
+#include "bn/inference_engine.h"
+#include "core/evaluator.h"
+#include "core/model.h"
+#include "core/query_plan.h"
+#include "core/themis_db.h"
+#include "util/lru_cache.h"
+
+namespace themis::core {
+namespace {
+
+/// The paper's running example (Sec 2 / Example 3.1): population of 10
+/// flights, biased sample of 4, Γ = {date; (o_st, d_st)}.
+class EngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    schema_ = std::make_shared<data::Schema>();
+    schema_->AddAttribute("date", {"01", "02"});
+    schema_->AddAttribute("o_st", {"FL", "NC", "NY"});
+    schema_->AddAttribute("d_st", {"FL", "NC", "NY"});
+    population_ = std::make_unique<data::Table>(schema_);
+    const char* prows[][3] = {
+        {"01", "FL", "FL"}, {"01", "FL", "FL"}, {"02", "FL", "NY"},
+        {"01", "NC", "FL"}, {"02", "NC", "NY"}, {"02", "NC", "NY"},
+        {"02", "NC", "NY"}, {"01", "NY", "FL"}, {"01", "NY", "NC"},
+        {"02", "NY", "NY"}};
+    for (const auto& r : prows) {
+      population_->AppendRowLabels({r[0], r[1], r[2]});
+    }
+    sample_ = std::make_unique<data::Table>(schema_);
+    const char* srows[][3] = {{"01", "FL", "FL"},
+                              {"01", "FL", "FL"},
+                              {"02", "NC", "NY"},
+                              {"01", "NY", "NC"}};
+    for (const auto& r : srows) sample_->AppendRowLabels({r[0], r[1], r[2]});
+    aggregates_ = aggregate::AggregateSet(schema_);
+    aggregates_.Add(aggregate::ComputeAggregate(*population_, {0}));
+    aggregates_.Add(aggregate::ComputeAggregate(*population_, {1, 2}));
+  }
+
+  ThemisOptions FastOptions() const {
+    ThemisOptions options;
+    options.bn_group_by_samples = 5;
+    options.bn_sample_rows = 50;
+    return options;
+  }
+
+  ThemisModel BuildModel(const ThemisOptions& options) const {
+    auto model = ThemisModel::Build(sample_->Clone(), aggregates_, options);
+    EXPECT_TRUE(model.ok()) << model.status().ToString();
+    return std::move(model).value();
+  }
+
+  data::SchemaPtr schema_;
+  std::unique_ptr<data::Table> population_;
+  std::unique_ptr<data::Table> sample_;
+  aggregate::AggregateSet aggregates_;
+};
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
+  LruCache<int, int> cache(2);
+  cache.Put(1, 10);
+  cache.Put(2, 20);
+  EXPECT_EQ(*cache.Get(1), 10);  // 1 is now most-recently used
+  cache.Put(3, 30);              // evicts 2
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_FALSE(cache.Get(2).has_value());
+  EXPECT_TRUE(cache.Get(1).has_value());
+  EXPECT_TRUE(cache.Get(3).has_value());
+}
+
+TEST(LruCacheTest, UnboundedWhenCapacityZero) {
+  LruCache<int, int> cache(0);
+  for (int i = 0; i < 100; ++i) cache.Put(i, i);
+  EXPECT_EQ(cache.size(), 100u);
+  EXPECT_EQ(cache.evictions(), 0u);
+}
+
+TEST(LruCacheTest, PutOverwritesInPlace) {
+  LruCache<int, int> cache(2);
+  cache.Put(1, 10);
+  cache.Put(1, 11);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(*cache.Get(1), 11);
+}
+
+TEST(NormalizeSqlTest, CollapsesWhitespaceOutsideLiterals) {
+  EXPECT_EQ(NormalizeSql("  SELECT   COUNT(*)\n FROM  f  "),
+            "SELECT COUNT(*) FROM f");
+  // Whitespace inside single-quoted literals is semantic; two literals
+  // differing only in internal spacing must not share a cache key.
+  EXPECT_NE(NormalizeSql("SELECT COUNT(*) FROM f WHERE a = 'x  y'"),
+            NormalizeSql("SELECT COUNT(*) FROM f WHERE a = 'x y'"));
+}
+
+TEST_F(EngineTest, EngineMatchesVariableElimination) {
+  ThemisModel model = BuildModel(FastOptions());
+  ASSERT_NE(model.network(), nullptr);
+  bn::InferenceEngine engine(model.network());
+  bn::VariableElimination ve(model.network());
+  const bn::Evidence evidence = {{1, 0}, {2, 2}};  // o_st=FL, d_st=NY
+  auto from_engine = engine.Probability(evidence);
+  auto from_ve = ve.Probability(evidence);
+  ASSERT_TRUE(from_engine.ok() && from_ve.ok());
+  EXPECT_EQ(*from_engine, *from_ve);
+
+  auto m_engine = engine.Marginal({1, 2});
+  auto m_ve = ve.Marginal({1, 2});
+  ASSERT_TRUE(m_engine.ok() && m_ve.ok());
+  ASSERT_EQ(m_engine->attrs(), m_ve->attrs());
+  EXPECT_EQ(m_engine->num_groups(), m_ve->num_groups());
+  for (const auto& [key, mass] : m_ve->entries()) {
+    EXPECT_DOUBLE_EQ(m_engine->Mass(key), mass);
+  }
+}
+
+TEST_F(EngineTest, RepeatedQueriesHitTheCache) {
+  ThemisModel model = BuildModel(FastOptions());
+  bn::InferenceEngine engine(model.network());
+  const bn::Evidence evidence = {{1, 0}, {2, 2}};
+  auto first = engine.Probability(evidence);
+  auto second = engine.Probability(evidence);
+  ASSERT_TRUE(first.ok() && second.ok());
+  EXPECT_EQ(*first, *second);  // bitwise: the cached double comes back
+  bn::InferenceCacheStats stats = engine.cache_stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_DOUBLE_EQ(stats.HitRate(), 0.5);
+}
+
+TEST_F(EngineTest, MarginalCacheIsOrderInsensitive) {
+  ThemisModel model = BuildModel(FastOptions());
+  bn::InferenceEngine engine(model.network());
+  auto forward = engine.Marginal({1, 2});
+  auto backward = engine.Marginal({2, 1});
+  ASSERT_TRUE(forward.ok() && backward.ok());
+  // (2,1) is served from the (1,2) entry, reordered.
+  EXPECT_EQ(engine.cache_stats().hits, 1u);
+  EXPECT_EQ(engine.cache_stats().misses, 1u);
+  for (const auto& [key, mass] : forward->entries()) {
+    EXPECT_EQ(backward->Mass({key[1], key[0]}), mass);
+  }
+}
+
+TEST_F(EngineTest, LruEvictionRespectsConfiguredBound) {
+  ThemisModel model = BuildModel(FastOptions());
+  bn::InferenceEngine::Options options;
+  options.cache_capacity = 2;
+  bn::InferenceEngine engine(model.network(), options);
+  ASSERT_TRUE(engine.Probability({{1, 0}}).ok());
+  ASSERT_TRUE(engine.Probability({{1, 1}}).ok());
+  ASSERT_TRUE(engine.Probability({{1, 2}}).ok());  // evicts {{1,0}}
+  bn::InferenceCacheStats stats = engine.cache_stats();
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(stats.evictions, 1u);
+  // The evicted entry misses again.
+  ASSERT_TRUE(engine.Probability({{1, 0}}).ok());
+  EXPECT_EQ(engine.cache_stats().misses, 4u);
+  EXPECT_EQ(engine.cache_stats().hits, 0u);
+}
+
+TEST_F(EngineTest, DisabledCacheComputesAndCountsNothing) {
+  ThemisModel model = BuildModel(FastOptions());
+  bn::InferenceEngine::Options options;
+  options.enable_cache = false;
+  bn::InferenceEngine engine(model.network(), options);
+  auto first = engine.Probability({{1, 0}, {2, 2}});
+  auto second = engine.Probability({{1, 0}, {2, 2}});
+  ASSERT_TRUE(first.ok() && second.ok());
+  EXPECT_EQ(*first, *second);
+  bn::InferenceCacheStats stats = engine.cache_stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(stats.entries, 0u);
+}
+
+TEST_F(EngineTest, AnswersIdenticalWithCacheOnAndOff) {
+  ThemisModel model = BuildModel(FastOptions());
+  HybridEvaluator evaluator(&model, "flights");
+  bn::InferenceEngine* engine = evaluator.mutable_inference_engine();
+  ASSERT_NE(engine, nullptr);
+
+  const std::vector<std::string> sqls = {
+      // In-sample point, BN-answered point, out-of-domain point.
+      "SELECT COUNT(*) FROM flights WHERE o_st = 'FL' AND d_st = 'FL'",
+      "SELECT COUNT(*) FROM flights WHERE o_st = 'FL' AND d_st = 'NY'",
+      "SELECT COUNT(*) FROM flights WHERE o_st = 'ZZ'",
+      // GROUP BY and a non-point global aggregate.
+      "SELECT o_st, d_st, COUNT(*) FROM flights GROUP BY o_st, d_st",
+      "SELECT COUNT(*) FROM flights WHERE date <> '02'",
+  };
+  for (AnswerMode mode : {AnswerMode::kHybrid, AnswerMode::kSampleOnly,
+                          AnswerMode::kBnOnly}) {
+    for (const std::string& sql : sqls) {
+      engine->ClearCache();
+      engine->set_cache_enabled(false);
+      auto uncached = evaluator.Query(sql, mode);
+      engine->ClearCache();
+      engine->set_cache_enabled(true);
+      auto cold = evaluator.Query(sql, mode);   // populates the cache
+      auto warm = evaluator.Query(sql, mode);   // served from it
+      ASSERT_EQ(uncached.ok(), cold.ok()) << sql;
+      if (!uncached.ok()) continue;
+      ASSERT_TRUE(warm.ok()) << sql;
+      for (const auto* cached : {&*cold, &*warm}) {
+        ASSERT_EQ(uncached->rows.size(), cached->rows.size()) << sql;
+        for (size_t i = 0; i < uncached->rows.size(); ++i) {
+          EXPECT_EQ(uncached->rows[i].group, cached->rows[i].group) << sql;
+          ASSERT_EQ(uncached->rows[i].values.size(),
+                    cached->rows[i].values.size());
+          for (size_t j = 0; j < uncached->rows[i].values.size(); ++j) {
+            // Bitwise identity, not approximate equality.
+            EXPECT_EQ(uncached->rows[i].values[j], cached->rows[i].values[j])
+                << sql;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST_F(EngineTest, PointQueryHitRateIncreasesOnRepeats) {
+  ThemisDb db(FastOptions());
+  ASSERT_TRUE(db.InsertSample("flights", sample_->Clone()).ok());
+  ASSERT_TRUE(
+      db.InsertAggregateFrom("flights", *population_, {"date"}).ok());
+  ASSERT_TRUE(
+      db.InsertAggregateFrom("flights", *population_, {"o_st", "d_st"})
+          .ok());
+  ASSERT_TRUE(db.Build().ok());
+  // (FL, NY) is missing from the sample, so every hybrid answer runs BN
+  // inference — the second time from the memo table.
+  const std::string sql =
+      "SELECT COUNT(*) FROM flights WHERE o_st = 'FL' AND d_st = 'NY'";
+  ASSERT_TRUE(db.Query(sql).ok());
+  const bn::InferenceCacheStats before =
+      db.evaluator()->inference_engine()->cache_stats();
+  ASSERT_TRUE(db.Query(sql).ok());
+  const bn::InferenceCacheStats after =
+      db.evaluator()->inference_engine()->cache_stats();
+  EXPECT_EQ(after.hits, before.hits + 1);
+  EXPECT_EQ(after.misses, before.misses);
+  EXPECT_GT(after.HitRate(), before.HitRate());
+}
+
+TEST_F(EngineTest, PlannerClassifiesShapes) {
+  ThemisModel model = BuildModel(FastOptions());
+  HybridEvaluator evaluator(&model, "flights");
+
+  auto point = evaluator.Plan(
+      "SELECT COUNT(*) FROM flights WHERE o_st = 'FL' AND d_st = 'NY'");
+  ASSERT_TRUE(point.ok());
+  EXPECT_EQ((*point)->kind, PlanKind::kPoint);
+  EXPECT_EQ((*point)->point_attrs, (std::vector<size_t>{1, 2}));
+  EXPECT_EQ((*point)->point_values, (data::TupleKey{0, 2}));
+  EXPECT_FALSE((*point)->out_of_domain);
+
+  auto oob = evaluator.Plan("SELECT COUNT(*) FROM flights WHERE o_st = 'ZZ'");
+  ASSERT_TRUE(oob.ok());
+  EXPECT_EQ((*oob)->kind, PlanKind::kPoint);
+  EXPECT_TRUE((*oob)->out_of_domain);
+
+  auto group_by = evaluator.Plan(
+      "SELECT o_st, COUNT(*) FROM flights GROUP BY o_st");
+  ASSERT_TRUE(group_by.ok());
+  EXPECT_EQ((*group_by)->kind, PlanKind::kGroupBy);
+
+  auto range = evaluator.Plan(
+      "SELECT COUNT(*) FROM flights WHERE date <> '02'");
+  ASSERT_TRUE(range.ok());
+  EXPECT_EQ((*range)->kind, PlanKind::kGroupBy);
+
+  EXPECT_FALSE(evaluator.Plan("not sql at all").ok());
+}
+
+TEST_F(EngineTest, PlannerWithoutBnPlansPassthrough) {
+  ThemisOptions options = FastOptions();
+  options.enable_bn = false;
+  ThemisModel model = BuildModel(options);
+  HybridEvaluator evaluator(&model, "flights");
+  auto plan = evaluator.Plan(
+      "SELECT COUNT(*) FROM flights WHERE o_st = 'FL' AND d_st = 'NY'");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ((*plan)->kind, PlanKind::kPassthrough);
+}
+
+TEST_F(EngineTest, PlanCacheSharesNormalizedText) {
+  ThemisModel model = BuildModel(FastOptions());
+  HybridEvaluator evaluator(&model, "flights");
+  auto a = evaluator.Plan("SELECT o_st, COUNT(*) FROM flights GROUP BY o_st");
+  auto b = evaluator.Plan(
+      "SELECT  o_st,   COUNT(*)\nFROM flights\nGROUP BY o_st");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->get(), b->get());  // one shared plan object
+  EXPECT_EQ(evaluator.planner().cache_hits(), 1u);
+  EXPECT_EQ(evaluator.planner().cache_misses(), 1u);
+}
+
+TEST_F(EngineTest, QueryBatchMatchesSequentialLoop) {
+  ThemisDb db(FastOptions());
+  ASSERT_TRUE(db.InsertSample("flights", sample_->Clone()).ok());
+  ASSERT_TRUE(
+      db.InsertAggregateFrom("flights", *population_, {"date"}).ok());
+  ASSERT_TRUE(
+      db.InsertAggregateFrom("flights", *population_, {"o_st", "d_st"})
+          .ok());
+  ASSERT_TRUE(db.Build().ok());
+
+  const std::vector<std::string> sqls = {
+      "SELECT o_st, d_st, COUNT(*) FROM flights GROUP BY o_st, d_st",
+      "SELECT COUNT(*) FROM flights WHERE o_st = 'FL' AND d_st = 'NY'",
+      "SELECT COUNT(*) FROM flights WHERE o_st = 'ZZ'",
+      "SELECT o_st, d_st, COUNT(*) FROM flights GROUP BY o_st, d_st",
+      "SELECT date, COUNT(*) FROM flights GROUP BY date",
+  };
+  for (AnswerMode mode : {AnswerMode::kHybrid, AnswerMode::kSampleOnly,
+                          AnswerMode::kBnOnly}) {
+    auto batch = db.QueryBatch(sqls, mode);
+    ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+    ASSERT_EQ(batch->size(), sqls.size());
+    for (size_t q = 0; q < sqls.size(); ++q) {
+      auto sequential = db.Query(sqls[q], mode);
+      ASSERT_TRUE(sequential.ok());
+      const sql::QueryResult& batched = (*batch)[q];
+      ASSERT_EQ(sequential->rows.size(), batched.rows.size()) << sqls[q];
+      for (size_t i = 0; i < sequential->rows.size(); ++i) {
+        EXPECT_EQ(sequential->rows[i].group, batched.rows[i].group);
+        EXPECT_EQ(sequential->rows[i].values, batched.rows[i].values);
+      }
+    }
+  }
+}
+
+TEST_F(EngineTest, QueryBatchRequiresBuild) {
+  ThemisDb db(FastOptions());
+  const std::vector<std::string> sqls = {"SELECT COUNT(*) FROM flights"};
+  EXPECT_FALSE(db.QueryBatch(sqls).ok());
+}
+
+TEST_F(EngineTest, QueryBatchFailsFastOnMalformedSql) {
+  ThemisDb db(FastOptions());
+  ASSERT_TRUE(db.InsertSample("flights", sample_->Clone()).ok());
+  ASSERT_TRUE(
+      db.InsertAggregateFrom("flights", *population_, {"date"}).ok());
+  ASSERT_TRUE(db.Build().ok());
+  const std::vector<std::string> sqls = {
+      "SELECT COUNT(*) FROM flights", "definitely not sql"};
+  EXPECT_FALSE(db.QueryBatch(sqls).ok());
+}
+
+}  // namespace
+}  // namespace themis::core
