@@ -60,6 +60,16 @@ stats::FreqTable ReorderTo(const stats::FreqTable& table,
 
 }  // namespace
 
+size_t ApproxMarginalBytes(const stats::FreqTable& table) {
+  // Per group: the TupleKey codes, the mass double, and unordered_map node
+  // overhead (bucket pointer + node header, ~48 bytes on 64-bit).
+  constexpr size_t kNodeOverhead = 48;
+  return sizeof(stats::FreqTable) +
+         table.num_groups() *
+             (table.attrs().size() * sizeof(data::ValueCode) +
+              sizeof(double) + kNodeOverhead);
+}
+
 InferenceEngine::InferenceEngine(const BayesianNetwork* network)
     : InferenceEngine(network, Options()) {}
 
@@ -67,8 +77,19 @@ InferenceEngine::InferenceEngine(const BayesianNetwork* network,
                                  Options options)
     : network_(network),
       ve_(network),
+      cost_aware_(options.cache_bytes > 0),
       cache_enabled_(options.enable_cache),
-      cache_(options.cache_capacity) {}
+      cache_(options.cache_bytes > 0 ? options.cache_bytes
+                                     : options.cache_capacity) {}
+
+size_t InferenceEngine::EntryCost(const CacheValue& value) const {
+  if (!cost_aware_) return 1;
+  if (value.marginal == nullptr) {
+    // Scalar probability: key string + value + list/map overhead.
+    return sizeof(CacheValue) + 64;
+  }
+  return sizeof(CacheValue) + ApproxMarginalBytes(*value.marginal);
+}
 
 bool InferenceEngine::cache_enabled() const {
   return cache_enabled_.load(std::memory_order_relaxed);
@@ -91,7 +112,9 @@ InferenceCacheStats InferenceEngine::cache_stats() const {
   stats.hits = hits_;
   stats.misses = misses_;
   stats.evictions = cache_.evictions();
+  stats.rejections = cache_.rejections();
   stats.entries = cache_.size();
+  stats.cost = cache_.total_cost();
   return stats;
 }
 
@@ -109,8 +132,10 @@ Result<double> InferenceEngine::Probability(const Evidence& evidence) const {
   }
   THEMIS_ASSIGN_OR_RETURN(double p, ve_.Probability(evidence));
   if (enabled) {
+    CacheValue value{p, nullptr};
+    const size_t cost = EntryCost(value);
     std::lock_guard<std::mutex> lock(mu_);
-    cache_.Put(key, CacheValue{p, nullptr});
+    cache_.Put(key, std::move(value), cost);
   }
   return p;
 }
@@ -149,8 +174,10 @@ Result<stats::FreqTable> InferenceEngine::Marginal(
   if (!enabled) return ReorderTo(table, targets);
   auto shared = std::make_shared<const stats::FreqTable>(std::move(table));
   {
+    CacheValue value{0.0, shared};
+    const size_t cost = EntryCost(value);
     std::lock_guard<std::mutex> lock(mu_);
-    cache_.Put(key, CacheValue{0.0, shared});
+    cache_.Put(key, std::move(value), cost);
   }
   return ReorderTo(*shared, targets);
 }

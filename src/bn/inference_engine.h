@@ -17,13 +17,23 @@ struct InferenceCacheStats {
   size_t hits = 0;
   size_t misses = 0;
   size_t evictions = 0;
+  /// Entries refused admission under a byte budget (entry alone too big).
+  size_t rejections = 0;
   size_t entries = 0;
+  /// Total cost of the resident entries: approximate bytes under a byte
+  /// budget, the entry count otherwise.
+  size_t cost = 0;
 
   double HitRate() const {
     const size_t total = hits + misses;
     return total == 0 ? 0.0 : static_cast<double>(hits) / total;
   }
 };
+
+/// Approximate in-memory footprint of a memoized marginal: key tuples,
+/// mass doubles, and hash-node overhead per group. The admission cost of
+/// marginal entries under a byte budget.
+size_t ApproxMarginalBytes(const stats::FreqTable& table);
 
 /// The unified inference entry point: wraps VariableElimination with a
 /// thread-safe LRU memo table of computed probabilities and marginals,
@@ -41,6 +51,12 @@ class InferenceEngine {
     bool enable_cache = true;
     /// Maximum number of memoized results; 0 means unbounded.
     size_t cache_capacity = 4096;
+    /// When positive, overrides `cache_capacity` with a cost-aware bound:
+    /// entries are weighted by their approximate bytes (marginal tables by
+    /// ApproxMarginalBytes, probabilities by a small constant), so one
+    /// huge marginal cannot silently displace thousands of cheap entries
+    /// — and is rejected outright if it alone exceeds the budget.
+    size_t cache_bytes = 0;
   };
 
   explicit InferenceEngine(const BayesianNetwork* network);
@@ -72,8 +88,12 @@ class InferenceEngine {
     std::shared_ptr<const stats::FreqTable> marginal;  // null for P-entries
   };
 
+  /// Admission cost of one cache entry under the active policy.
+  size_t EntryCost(const CacheValue& value) const;
+
   const BayesianNetwork* network_;
   VariableElimination ve_;
+  bool cost_aware_;  // true when Options::cache_bytes > 0
   /// Atomic so the hot paths snapshot it without taking mu_; a toggle
   /// racing an in-flight call at worst stores into (or skips) the cache
   /// once, which ClearCache() tidies up.

@@ -1,16 +1,16 @@
 #include "core/evaluator.h"
 
 #include <algorithm>
-#include <atomic>
 #include <set>
-#include <thread>
+#include <utility>
 
 #include "util/logging.h"
 
 namespace themis::core {
 
 HybridEvaluator::HybridEvaluator(const ThemisModel* model,
-                                 std::string table_name)
+                                 std::string table_name,
+                                 util::ThreadPool* pool)
     : model_(model), table_name_(std::move(table_name)) {
   THEMIS_CHECK(model_ != nullptr);
   sample_executor_.RegisterTable(table_name_, &model_->reweighted_sample());
@@ -25,6 +25,7 @@ HybridEvaluator::HybridEvaluator(const ThemisModel* model,
     bn::InferenceEngine::Options engine_options;
     engine_options.enable_cache = options.enable_inference_cache;
     engine_options.cache_capacity = options.inference_cache_capacity;
+    engine_options.cache_bytes = options.inference_cache_bytes;
     engine_ = std::make_unique<bn::InferenceEngine>(model_->network(),
                                                     engine_options);
   }
@@ -32,6 +33,18 @@ HybridEvaluator::HybridEvaluator(const ThemisModel* model,
   planner_ = std::make_unique<QueryPlanner>(
       model_->reweighted_sample().schema(), has_bn,
       options.plan_cache_capacity);
+  if (pool != nullptr) {
+    pool_ = pool;
+  } else if (options.num_threads > 0) {
+    owned_pool_ = std::make_unique<util::ThreadPool>(options.num_threads);
+    pool_ = owned_pool_.get();
+  } else {
+    pool_ = &util::ThreadPool::Default();
+  }
+  result_memo_enabled_ = options.enable_result_memo;
+  result_memo_ =
+      LruCache<std::string, std::shared_ptr<const sql::QueryResult>>(
+          options.result_memo_capacity);
 }
 
 const std::unordered_map<data::TupleKey, double, data::TupleKeyHash>&
@@ -97,35 +110,20 @@ Result<double> HybridEvaluator::PointEstimate(
 }
 
 Result<sql::QueryResult> HybridEvaluator::BnGroupBy(
-    const sql::SelectStatement& stmt, bool parallel) const {
+    const sql::SelectStatement& stmt) const {
   if (bn_executors_.empty()) {
     return Status::FailedPrecondition("model has no BN samples");
   }
   // Execute on every generated sample; keep groups appearing in all K
-  // answers and average the aggregate values (Sec 4.2.4).
+  // answers and average the aggregate values (Sec 4.2.4). The K executors
+  // are nested pool tasks; each may further shard its scan on the same
+  // pool without oversubscribing.
   const size_t k_total = bn_executors_.size();
   std::vector<Result<sql::QueryResult>> results(
       k_total, Result<sql::QueryResult>(Status::Internal("not executed")));
-  if (parallel && k_total > 1) {
-    const size_t hw = std::max(1u, std::thread::hardware_concurrency());
-    const size_t n_threads = std::min(k_total, hw);
-    std::atomic<size_t> next{0};
-    std::vector<std::thread> threads;
-    threads.reserve(n_threads);
-    for (size_t t = 0; t < n_threads; ++t) {
-      threads.emplace_back([&] {
-        for (size_t k = next.fetch_add(1); k < k_total;
-             k = next.fetch_add(1)) {
-          results[k] = bn_executors_[k].Execute(stmt);
-        }
-      });
-    }
-    for (std::thread& thread : threads) thread.join();
-  } else {
-    for (size_t k = 0; k < k_total; ++k) {
-      results[k] = bn_executors_[k].Execute(stmt);
-    }
-  }
+  pool_->ParallelFor(0, k_total, [&](size_t k) {
+    results[k] = bn_executors_[k].Execute(stmt, pool_);
+  });
 
   std::map<std::vector<std::string>, std::pair<std::vector<double>, size_t>>
       merged;
@@ -162,13 +160,13 @@ Result<QueryPlanPtr> HybridEvaluator::Plan(const std::string& sql) const {
   return planner_->Plan(sql);
 }
 
-Result<sql::QueryResult> HybridEvaluator::ExecutePlan(
-    const QueryPlan& plan, AnswerMode mode, bool parallel_group_by) const {
+Result<sql::QueryResult> HybridEvaluator::ExecutePlanUncached(
+    const QueryPlan& plan, AnswerMode mode) const {
   const bool has_bn =
       model_->network() != nullptr && !bn_executors_.empty();
   if (plan.kind == PlanKind::kPassthrough || mode == AnswerMode::kSampleOnly ||
       !has_bn) {
-    return sample_executor_.Execute(plan.stmt);
+    return sample_executor_.Execute(plan.stmt, pool_);
   }
 
   if (plan.kind == PlanKind::kPoint) {
@@ -187,13 +185,13 @@ Result<sql::QueryResult> HybridEvaluator::ExecutePlan(
   }
 
   if (mode == AnswerMode::kBnOnly) {
-    return BnGroupBy(plan.stmt, parallel_group_by);
+    return BnGroupBy(plan.stmt);
   }
 
   // Hybrid: sample answer unioned with BN-only groups (Sec 4.3).
   THEMIS_ASSIGN_OR_RETURN(sql::QueryResult sample_result,
-                          sample_executor_.Execute(plan.stmt));
-  auto bn_result = BnGroupBy(plan.stmt, parallel_group_by);
+                          sample_executor_.Execute(plan.stmt, pool_));
+  auto bn_result = BnGroupBy(plan.stmt);
   if (!bn_result.ok()) return sample_result;
 
   std::set<std::vector<std::string>> sample_groups;
@@ -212,6 +210,62 @@ Result<sql::QueryResult> HybridEvaluator::ExecutePlan(
   return sample_result;
 }
 
+Result<sql::QueryResult> HybridEvaluator::ExecutePlan(const QueryPlan& plan,
+                                                      AnswerMode mode) const {
+  // The result memo covers every execution that actually scans — GROUP
+  // BY, passthrough, and point plans forced onto the sample executor by
+  // kSampleOnly / a BN-less model. Point plans answered through the
+  // Sec 4.3 point rule bypass it: the inference memo already serves them
+  // at the cost of one cache probe.
+  const bool has_bn = model_->network() != nullptr && !bn_executors_.empty();
+  const bool point_via_inference = plan.kind == PlanKind::kPoint &&
+                                   has_bn && mode != AnswerMode::kSampleOnly;
+  const bool memoizable = result_memo_enabled_ && !point_via_inference &&
+                          !plan.fingerprint.empty();
+  std::string key;
+  if (memoizable) {
+    key = plan.fingerprint;
+    key.push_back('\x1f');
+    key.push_back(static_cast<char>('0' + static_cast<int>(mode)));
+    std::shared_ptr<const sql::QueryResult> hit;
+    {
+      std::lock_guard<std::mutex> lock(memo_mu_);
+      if (auto cached = result_memo_.Get(key)) {
+        ++memo_hits_;
+        hit = *cached;
+      } else {
+        ++memo_misses_;
+      }
+    }
+    if (hit != nullptr) return *hit;
+  }
+  auto result = ExecutePlanUncached(plan, mode);
+  if (memoizable && result.ok()) {
+    // Two threads racing the same cold plan both compute and publish the
+    // same deterministic answer; the second Put overwrites in place.
+    auto shared = std::make_shared<const sql::QueryResult>(*result);
+    std::lock_guard<std::mutex> lock(memo_mu_);
+    result_memo_.Put(key, std::move(shared));
+  }
+  return result;
+}
+
+ResultMemoStats HybridEvaluator::result_memo_stats() const {
+  std::lock_guard<std::mutex> lock(memo_mu_);
+  ResultMemoStats stats;
+  stats.hits = memo_hits_;
+  stats.misses = memo_misses_;
+  stats.entries = result_memo_.size();
+  return stats;
+}
+
+void HybridEvaluator::ClearResultMemo() const {
+  std::lock_guard<std::mutex> lock(memo_mu_);
+  result_memo_.Clear();
+  memo_hits_ = 0;
+  memo_misses_ = 0;
+}
+
 Result<sql::QueryResult> HybridEvaluator::Query(const std::string& sql,
                                                 AnswerMode mode) const {
   THEMIS_ASSIGN_OR_RETURN(QueryPlanPtr plan, planner_->Plan(sql));
@@ -226,13 +280,19 @@ Result<std::vector<sql::QueryResult>> HybridEvaluator::QueryBatch(
     THEMIS_ASSIGN_OR_RETURN(QueryPlanPtr plan, planner_->Plan(sql));
     plans.push_back(std::move(plan));
   }
+  // Whole plans are pool tasks: distinct queries run concurrently, and
+  // each GROUP BY plan's K-executor fan-out nests on the same pool.
+  std::vector<Result<sql::QueryResult>> results(
+      plans.size(), Result<sql::QueryResult>(Status::Internal("not run")));
+  pool_->ParallelFor(0, plans.size(), [&](size_t i) {
+    results[i] = ExecutePlan(*plans[i], mode);
+  });
   std::vector<sql::QueryResult> out;
   out.reserve(plans.size());
-  for (const QueryPlanPtr& plan : plans) {
-    THEMIS_ASSIGN_OR_RETURN(
-        sql::QueryResult result,
-        ExecutePlan(*plan, mode, /*parallel_group_by=*/true));
-    out.push_back(std::move(result));
+  for (Result<sql::QueryResult>& result : results) {
+    // Report the lowest-index failure so batch errors are deterministic.
+    if (!result.ok()) return result.status();
+    out.push_back(std::move(*result));
   }
   return out;
 }

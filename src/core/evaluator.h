@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <span>
 #include <string>
@@ -14,7 +15,9 @@
 #include "core/query_plan.h"
 #include "sql/ast.h"
 #include "sql/executor.h"
+#include "util/lru_cache.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace themis::core {
 
@@ -23,6 +26,18 @@ enum class AnswerMode {
   kHybrid,      ///< the paper's evaluator (Sec 4.3)
   kSampleOnly,  ///< reweighted sample only (AQP / IPF / LinReg baselines)
   kBnOnly,      ///< Bayesian network only (BB et al. baselines)
+};
+
+/// Snapshot of the plan->result memo counters.
+struct ResultMemoStats {
+  size_t hits = 0;
+  size_t misses = 0;
+  size_t entries = 0;
+
+  double HitRate() const {
+    const size_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
 };
 
 /// Themis's hybrid query evaluator (Sec 4.3), structured as a plan-based
@@ -40,17 +55,28 @@ enum class AnswerMode {
 /// present in all K runs survive (phantom-group suppression) and their
 /// values are averaged.
 ///
+/// All parallelism runs on one util::ThreadPool (the shared execution
+/// runtime): QueryBatch fans whole plans across the pool, each GROUP BY
+/// plan fans its K BN-sample executors as nested pool tasks, and large
+/// scans shard by row range inside the executor — one pool, no
+/// oversubscription, and results bitwise identical to a sequential
+/// Query() loop at any pool size (the fan-outs merge deterministically).
+/// GROUP BY / passthrough answers are additionally memoized per
+/// (plan fingerprint, mode); the memo dies with the evaluator, so a
+/// Build() rebuild invalidates it.
+///
 /// Thread-safe for concurrent const use; the lazily built group index is
-/// guarded by a shared_mutex and the engine and planner carry their own
-/// locks. QueryBatch executes plans sequentially — the parallelism is
-/// per-plan, across the K BN-sample executors of a GROUP BY.
+/// guarded by a shared_mutex and the engine, planner, and result memo
+/// carry their own locks.
 class HybridEvaluator {
  public:
   /// `model` must outlive the evaluator. `table_name` is the name the
-  /// sample is registered under for SQL queries. Cache knobs come from
-  /// the model's ThemisOptions.
+  /// sample is registered under for SQL queries. Cache and pool knobs come
+  /// from the model's ThemisOptions; a non-null `pool` overrides the
+  /// options-derived pool (used to compare pool sizes on one model).
   HybridEvaluator(const ThemisModel* model,
-                  std::string table_name = "sample");
+                  std::string table_name = "sample",
+                  util::ThreadPool* pool = nullptr);
 
   const std::string& table_name() const { return table_name_; }
 
@@ -72,15 +98,17 @@ class HybridEvaluator {
   /// Plans `sql` through the shared plan cache.
   Result<QueryPlanPtr> Plan(const std::string& sql) const;
 
-  /// Executes a previously planned query. With `parallel_group_by`, the K
-  /// BN-sample executors of a GROUP BY plan run on std::threads.
-  Result<sql::QueryResult> ExecutePlan(const QueryPlan& plan, AnswerMode mode,
-                                       bool parallel_group_by = false) const;
+  /// Executes a previously planned query on the shared pool (K BN-sample
+  /// executors and large scans fan out; a 1-thread pool degenerates to
+  /// the identical sequential execution). Serves memoized GROUP BY /
+  /// passthrough results when the plan carries a fingerprint.
+  Result<sql::QueryResult> ExecutePlan(const QueryPlan& plan,
+                                       AnswerMode mode) const;
 
   /// Batched answering: plans every query first (repeated texts share one
-  /// plan, malformed SQL fails before any work runs), then executes with
-  /// shared marginal memoization and parallel K-executor GROUP BYs.
-  /// Results line up with the input order and are identical to a
+  /// plan, malformed SQL fails before any work runs), then submits whole
+  /// plans to the pool so distinct queries execute concurrently. Results
+  /// line up with the input order and are bitwise identical to a
   /// sequential Query() loop.
   Result<std::vector<sql::QueryResult>> QueryBatch(
       std::span<const std::string> sqls, AnswerMode mode) const;
@@ -93,6 +121,12 @@ class HybridEvaluator {
 
   const QueryPlanner& planner() const { return *planner_; }
 
+  ResultMemoStats result_memo_stats() const;
+
+  /// Drops every memoized query result (the memo also dies naturally with
+  /// the evaluator on rebuild).
+  void ClearResultMemo() const;
+
  private:
   /// Σ weight over sample rows matching the key (0 when absent).
   double SampleMass(const std::vector<size_t>& attrs,
@@ -102,11 +136,14 @@ class HybridEvaluator {
   Result<double> BnPointEstimate(const std::vector<size_t>& attrs,
                                  const data::TupleKey& values) const;
 
-  /// Runs `stmt` over the K BN samples, keeping groups present in all K
-  /// and averaging their values; optionally fanning the K executors
-  /// across threads.
-  Result<sql::QueryResult> BnGroupBy(const sql::SelectStatement& stmt,
-                                     bool parallel) const;
+  /// Runs `stmt` over the K BN samples as nested pool tasks, keeping
+  /// groups present in all K and averaging their values. The merge walks
+  /// executors in index order, so the answer is pool-size independent.
+  Result<sql::QueryResult> BnGroupBy(const sql::SelectStatement& stmt) const;
+
+  /// Executes the plan without consulting the result memo.
+  Result<sql::QueryResult> ExecutePlanUncached(const QueryPlan& plan,
+                                               AnswerMode mode) const;
 
   /// Group-weight index per attribute set, built lazily under the lock.
   const std::unordered_map<data::TupleKey, double, data::TupleKeyHash>&
@@ -118,6 +155,14 @@ class HybridEvaluator {
   std::vector<sql::Executor> bn_executors_;  // one per BN sample
   std::unique_ptr<bn::InferenceEngine> engine_;
   std::unique_ptr<QueryPlanner> planner_;
+  std::unique_ptr<util::ThreadPool> owned_pool_;  // when num_threads is set
+  util::ThreadPool* pool_;
+  bool result_memo_enabled_;
+  mutable std::mutex memo_mu_;
+  mutable LruCache<std::string, std::shared_ptr<const sql::QueryResult>>
+      result_memo_;
+  mutable size_t memo_hits_ = 0;
+  mutable size_t memo_misses_ = 0;
   mutable std::shared_mutex group_index_mu_;
   mutable std::map<std::vector<size_t>,
                    std::unordered_map<data::TupleKey, double,

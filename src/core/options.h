@@ -51,8 +51,28 @@ struct ThemisOptions {
   /// LRU bound on memoized inference results; 0 means unbounded.
   size_t inference_cache_capacity = 4096;
 
+  /// Cost-aware alternative to the entry-count bound: when positive, the
+  /// inference cache is bounded by the approximate bytes of its entries
+  /// (big marginal tables weigh more than scalar probabilities, and an
+  /// entry larger than the whole budget is never admitted).
+  size_t inference_cache_bytes = 0;
+
   /// LRU bound on logical plans cached by normalized SQL text.
   size_t plan_cache_capacity = 256;
+
+  /// Plan-level result memo: (plan fingerprint, mode) -> QueryResult for
+  /// GROUP BY / passthrough plans, so repeated traffic skips execution
+  /// entirely. Invalidated by Build() (the evaluator is rebuilt).
+  bool enable_result_memo = true;
+
+  /// LRU bound on memoized query results; 0 means unbounded.
+  size_t result_memo_capacity = 256;
+
+  /// Worker threads of the execution runtime (cross-query batch fan-out,
+  /// per-plan K BN-sample executors, sharded scans — one shared pool).
+  /// 0 = util::DefaultParallelism() (THEMIS_NUM_THREADS env override,
+  /// else hardware concurrency).
+  size_t num_threads = 0;
 
   uint64_t seed = 42;
 };

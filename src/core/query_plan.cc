@@ -114,7 +114,9 @@ Result<QueryPlanPtr> QueryPlanner::Plan(const std::string& sql) const {
     ++misses_;
   }
   THEMIS_ASSIGN_OR_RETURN(sql::SelectStatement stmt, sql::Parse(sql));
-  auto plan = std::make_shared<const QueryPlan>(PlanStatement(std::move(stmt)));
+  QueryPlan planned = PlanStatement(std::move(stmt));
+  planned.fingerprint = key;
+  auto plan = std::make_shared<const QueryPlan>(std::move(planned));
   {
     std::lock_guard<std::mutex> lock(mu_);
     cache_.Put(key, plan);

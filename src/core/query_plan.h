@@ -36,6 +36,11 @@ struct QueryPlan {
   PlanKind kind = PlanKind::kPassthrough;
   sql::SelectStatement stmt;
 
+  /// Normalized SQL text the plan was built from — the plan-cache key and
+  /// the fingerprint of the evaluator's plan->result memo. Empty for plans
+  /// constructed outside the planner (such plans are never memoized).
+  std::string fingerprint;
+
   /// kPoint only: resolved attribute indices and value codes.
   std::vector<size_t> point_attrs;
   data::TupleKey point_values;

@@ -53,10 +53,11 @@ class ThemisDb {
       AnswerMode mode = AnswerMode::kHybrid) const;
 
   /// Answers a batch of queries: plans everything first (warming the plan
-  /// cache and deduplicating repeated texts), then executes with shared
-  /// marginal memoization; GROUP BY plans fan their K BN-sample executors
-  /// across std::threads. Results line up with the input order and are
-  /// identical to a sequential Query() loop.
+  /// cache and deduplicating repeated texts), then submits whole plans to
+  /// the shared thread pool so distinct queries run concurrently, with
+  /// each GROUP BY plan's K BN-sample executors nesting on the same pool.
+  /// Results line up with the input order and are bitwise identical to a
+  /// sequential Query() loop at any pool size.
   Result<std::vector<sql::QueryResult>> QueryBatch(
       std::span<const std::string> sqls,
       AnswerMode mode = AnswerMode::kHybrid) const;

@@ -30,6 +30,13 @@ struct Accumulator {
   std::vector<double> weight_totals;       // Σ w per SUM/AVG item
 };
 
+using GroupMap = std::map<std::vector<std::string>, Accumulator>;
+
+/// Rows per scan shard. Fixed (not derived from the pool size) so the
+/// shard layout — and with it the float summation order — depends only on
+/// the table, keeping sharded results bitwise identical across pool sizes.
+constexpr size_t kShardRows = 8192;
+
 }  // namespace
 
 double NumericValueOfLabel(const std::string& label) {
@@ -80,12 +87,14 @@ void Executor::RegisterTable(const std::string& name,
   catalog_[name] = table;
 }
 
-Result<QueryResult> Executor::Query(const std::string& sql) const {
+Result<QueryResult> Executor::Query(const std::string& sql,
+                                    util::ThreadPool* pool) const {
   THEMIS_ASSIGN_OR_RETURN(SelectStatement stmt, Parse(sql));
-  return Execute(stmt);
+  return Execute(stmt, pool);
 }
 
-Result<QueryResult> Executor::Execute(const SelectStatement& stmt) const {
+Result<QueryResult> Executor::Execute(const SelectStatement& stmt,
+                                      util::ThreadPool* pool) const {
   // --- Bind tables. ---
   if (stmt.tables.empty() || stmt.tables.size() > 2) {
     return Status::Unimplemented("only 1- and 2-table queries supported");
@@ -258,8 +267,20 @@ Result<QueryResult> Executor::Execute(const SelectStatement& stmt) const {
     }
   }
 
-  std::map<std::vector<std::string>, Accumulator> groups;
-  auto accumulate = [&](const std::vector<size_t>& rows, double weight) {
+  GroupMap groups;
+  // Lazily sizes a group's per-item vectors on first touch (shared by the
+  // row path and the shard-merge path).
+  auto group_slot = [&](GroupMap& into,
+                        const std::vector<std::string>& key) -> Accumulator& {
+    Accumulator& acc = into[key];
+    if (acc.weighted_sums.empty()) {
+      acc.weighted_sums.assign(agg_items.size(), 0.0);
+      acc.weight_totals.assign(agg_items.size(), 0.0);
+    }
+    return acc;
+  };
+  auto accumulate = [&](GroupMap& into, const std::vector<size_t>& rows,
+                        double weight) {
     // `rows[t]` is the current row of table t.
     std::vector<std::string> key;
     key.reserve(group_columns.size());
@@ -269,11 +290,7 @@ Result<QueryResult> Executor::Execute(const SelectStatement& stmt) const {
       key.push_back(
           tables[gc.table].table->schema()->domain(gc.attr).Label(code));
     }
-    Accumulator& acc = groups[key];
-    if (acc.weighted_sums.empty()) {
-      acc.weighted_sums.assign(agg_items.size(), 0.0);
-      acc.weight_totals.assign(agg_items.size(), 0.0);
-    }
+    Accumulator& acc = group_slot(into, key);
     acc.count_weight += weight;
     for (size_t i = 0; i < agg_items.size(); ++i) {
       if (agg_items[i].func == AggFunc::kCount) continue;
@@ -289,9 +306,36 @@ Result<QueryResult> Executor::Execute(const SelectStatement& stmt) const {
 
   if (tables.size() == 1) {
     const data::Table& t0 = *tables[0].table;
-    for (size_t r = 0; r < t0.num_rows(); ++r) {
-      if (!passes(0, r)) continue;
-      accumulate({r}, t0.weight(r));
+    const size_t num_rows = t0.num_rows();
+    if (pool != nullptr && num_rows >= 2 * kShardRows) {
+      // Sharded scan: each shard folds its row range into a private group
+      // map (only const reads of shared state), then shards merge in index
+      // order — deterministic regardless of which worker ran which shard.
+      const size_t num_shards = (num_rows + kShardRows - 1) / kShardRows;
+      std::vector<GroupMap> shard_groups(num_shards);
+      pool->ParallelFor(0, num_shards, [&](size_t s) {
+        const size_t lo = s * kShardRows;
+        const size_t hi = std::min(num_rows, lo + kShardRows);
+        for (size_t r = lo; r < hi; ++r) {
+          if (!passes(0, r)) continue;
+          accumulate(shard_groups[s], {r}, t0.weight(r));
+        }
+      });
+      for (GroupMap& shard : shard_groups) {
+        for (auto& [key, partial] : shard) {
+          Accumulator& acc = group_slot(groups, key);
+          acc.count_weight += partial.count_weight;
+          for (size_t i = 0; i < agg_items.size(); ++i) {
+            acc.weighted_sums[i] += partial.weighted_sums[i];
+            acc.weight_totals[i] += partial.weight_totals[i];
+          }
+        }
+      }
+    } else {
+      for (size_t r = 0; r < num_rows; ++r) {
+        if (!passes(0, r)) continue;
+        accumulate(groups, {r}, t0.weight(r));
+      }
     }
   } else {
     if (joins.empty()) {
@@ -322,7 +366,7 @@ Result<QueryResult> Executor::Execute(const SelectStatement& stmt) const {
       auto it = build.find(key);
       if (it == build.end()) continue;
       for (size_t r0 : it->second) {
-        accumulate({r0, r1}, t0.weight(r0) * t1.weight(r1));
+        accumulate(groups, {r0, r1}, t0.weight(r0) * t1.weight(r1));
       }
     }
   }

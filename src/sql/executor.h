@@ -9,6 +9,7 @@
 #include "data/table.h"
 #include "sql/ast.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace themis::sql {
 
@@ -49,10 +50,17 @@ class Executor {
   void RegisterTable(const std::string& name, const data::Table* table);
 
   /// Parses and executes `sql`.
-  Result<QueryResult> Query(const std::string& sql) const;
+  Result<QueryResult> Query(const std::string& sql,
+                            util::ThreadPool* pool = nullptr) const;
 
-  /// Executes a parsed statement.
-  Result<QueryResult> Execute(const SelectStatement& stmt) const;
+  /// Executes a parsed statement. With a pool, large single-table scans
+  /// are sharded by row range across the pool's workers. The shard layout
+  /// is fixed by the row count alone and partial aggregates merge in shard
+  /// order, so the result is bitwise identical for every pool size
+  /// (including a 1-thread pool); only the pool-less call takes the
+  /// unsharded scan, whose float summation order differs.
+  Result<QueryResult> Execute(const SelectStatement& stmt,
+                              util::ThreadPool* pool = nullptr) const;
 
  private:
   std::unordered_map<std::string, const data::Table*> catalog_;

@@ -10,9 +10,15 @@
 namespace themis {
 
 /// Least-recently-used map with an optional capacity bound (0 = unbounded).
-/// Backs the inference-engine memo table and the SQL plan cache. Not
-/// thread-safe: callers that share an instance across threads hold their
-/// own lock around Get/Put.
+/// Backs the inference-engine memo table, the SQL plan cache, and the
+/// plan->result memo. Not thread-safe: callers that share an instance
+/// across threads hold their own lock around Get/Put.
+///
+/// Capacity is expressed in *cost units*: with the default Put cost of 1
+/// the bound is an entry count; callers that pass per-entry costs (e.g.
+/// approximate bytes of a marginal table) get cost-aware admission —
+/// eviction frees enough total cost, and an entry costlier than the whole
+/// capacity is rejected outright instead of wiping the cache.
 template <typename K, typename V, typename Hash = std::hash<K>>
 class LruCache {
  public:
@@ -23,45 +29,70 @@ class LruCache {
     auto it = index_.find(key);
     if (it == index_.end()) return std::nullopt;
     order_.splice(order_.begin(), order_, it->second);
-    return it->second->second;
+    return it->second->value;
   }
 
-  /// Inserts or overwrites `key`, then evicts least-recently-used entries
-  /// until the capacity bound holds again.
-  void Put(const K& key, V value) {
+  /// Inserts or overwrites `key` at the given cost, then evicts
+  /// least-recently-used entries until the capacity bound holds again.
+  /// Returns false when the entry alone exceeds the capacity and was not
+  /// admitted (the cache is left untouched apart from dropping any stale
+  /// entry under the same key).
+  bool Put(const K& key, V value, size_t cost = 1) {
     auto it = index_.find(key);
     if (it != index_.end()) {
-      it->second->second = std::move(value);
-      order_.splice(order_.begin(), order_, it->second);
-      return;
+      total_cost_ -= it->second->cost;
+      order_.erase(it->second);
+      index_.erase(it);
     }
-    order_.emplace_front(key, std::move(value));
+    if (capacity_ > 0 && cost > capacity_) {
+      ++rejections_;
+      return false;
+    }
+    order_.push_front(Entry{key, std::move(value), cost});
     index_[key] = order_.begin();
-    while (capacity_ > 0 && order_.size() > capacity_) {
-      index_.erase(order_.back().first);
+    total_cost_ += cost;
+    while (capacity_ > 0 && total_cost_ > capacity_) {
+      total_cost_ -= order_.back().cost;
+      index_.erase(order_.back().key);
       order_.pop_back();
       ++evictions_;
     }
+    return true;
   }
 
   size_t size() const { return order_.size(); }
   size_t capacity() const { return capacity_; }
 
+  /// Sum of the admitted entries' costs (= size() under unit costs).
+  size_t total_cost() const { return total_cost_; }
+
   /// Entries dropped by the capacity bound since construction or Clear().
   size_t evictions() const { return evictions_; }
+
+  /// Entries refused admission because their cost alone exceeded capacity.
+  size_t rejections() const { return rejections_; }
 
   void Clear() {
     order_.clear();
     index_.clear();
+    total_cost_ = 0;
     evictions_ = 0;
+    rejections_ = 0;
   }
 
  private:
+  struct Entry {
+    K key;
+    V value;
+    size_t cost;
+  };
+
   size_t capacity_;
+  size_t total_cost_ = 0;
   size_t evictions_ = 0;
-  std::list<std::pair<K, V>> order_;
-  std::unordered_map<K, typename std::list<std::pair<K, V>>::iterator, Hash>
-      index_;
+  size_t rejections_ = 0;
+  std::list<Entry> order_;
+  std::unordered_map<K, typename std::list<Entry>::iterator, Hash> index_;
 };
 
 }  // namespace themis

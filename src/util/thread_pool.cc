@@ -1,0 +1,149 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+
+namespace themis::util {
+
+size_t DefaultParallelism() {
+  if (const char* env = std::getenv("THEMIS_NUM_THREADS")) {
+    const unsigned long v = std::strtoul(env, nullptr, 10);
+    if (v > 0) return static_cast<size_t>(v);
+  }
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+size_t ResolveParallelism(size_t requested) {
+  return requested > 0 ? requested : DefaultParallelism();
+}
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  const size_t n = ResolveParallelism(num_threads);
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+bool ThreadPool::RunOneTask() {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  task();
+  return true;
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t begin, size_t end,
+                             const std::function<void(size_t)>& fn) {
+  if (begin >= end) return;
+  const size_t total = end - begin;
+  if (total == 1) {
+    fn(begin);
+    return;
+  }
+
+  // Shared claim/completion state. Helper tasks may fire after ParallelFor
+  // returned (when the caller claimed every shard first), so it lives on
+  // the heap and helpers touch `fn` only after successfully claiming a
+  // shard — every claimed shard finishes before `done` reaches `total`,
+  // which is what the caller blocks on.
+  struct State {
+    std::atomic<size_t> next;
+    std::atomic<size_t> done{0};
+    std::mutex error_mu;
+    size_t error_index;
+    std::exception_ptr error;
+    std::mutex wait_mu;
+    std::condition_variable wait_cv;
+    explicit State(size_t begin) : next(begin) {}
+  };
+  auto state = std::make_shared<State>(begin);
+  const std::function<void(size_t)>* fn_ptr = &fn;
+
+  auto claim_loop = [state, end, total, fn_ptr] {
+    for (size_t i = state->next.fetch_add(1, std::memory_order_relaxed);
+         i < end; i = state->next.fetch_add(1, std::memory_order_relaxed)) {
+      try {
+        (*fn_ptr)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state->error_mu);
+        if (state->error == nullptr || i < state->error_index) {
+          state->error = std::current_exception();
+          state->error_index = i;
+        }
+      }
+      if (state->done.fetch_add(1, std::memory_order_acq_rel) + 1 == total) {
+        // Last shard: wake a caller blocked past its own claim loop. The
+        // empty critical section orders this notify after the waiter's
+        // predicate check, so the wakeup cannot be lost.
+        { std::lock_guard<std::mutex> lock(state->wait_mu); }
+        state->wait_cv.notify_all();
+      }
+    }
+  };
+
+  // The caller counts toward the parallelism, so a 1-thread pool runs the
+  // whole range inline — genuinely sequential execution.
+  const size_t helpers = std::min(num_threads() - 1, total - 1);
+  for (size_t h = 0; h < helpers; ++h) Enqueue(claim_loop);
+
+  // The caller participates, then helps with unrelated queued work while
+  // claimed-but-unfinished shards drain on other threads; with an empty
+  // queue it parks on the condition variable instead of spinning.
+  claim_loop();
+  using namespace std::chrono_literals;
+  while (state->done.load(std::memory_order_acquire) < total) {
+    if (!RunOneTask()) {
+      std::unique_lock<std::mutex> lock(state->wait_mu);
+      state->wait_cv.wait_for(lock, 200us, [&] {
+        return state->done.load(std::memory_order_acquire) >= total;
+      });
+    }
+  }
+
+  if (state->error != nullptr) std::rethrow_exception(state->error);
+}
+
+ThreadPool& ThreadPool::Default() {
+  static ThreadPool* pool = new ThreadPool(DefaultParallelism());
+  return *pool;
+}
+
+}  // namespace themis::util

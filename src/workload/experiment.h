@@ -51,9 +51,11 @@ class MethodSuite {
   Result<sql::QueryResult> Query(const std::string& method,
                                  const std::string& sql) const;
 
-  /// Batched variant: plans everything first, then executes through the
-  /// method's evaluator with parallel K-executor GROUP BY evaluation and
-  /// shared inference-cache reuse. Identical answers to a Query() loop.
+  /// Batched variant: plans everything first, then submits whole plans to
+  /// the method evaluator's thread pool so distinct queries run
+  /// concurrently (K-executor GROUP BY fan-outs nest on the same pool),
+  /// with shared inference-cache and result-memo reuse. Bitwise identical
+  /// answers to a Query() loop at any pool size.
   Result<std::vector<sql::QueryResult>> QueryBatch(
       const std::string& method, std::span<const std::string> sqls) const;
 

@@ -14,6 +14,7 @@
 #include "core/query_plan.h"
 #include "core/themis_db.h"
 #include "util/lru_cache.h"
+#include "util/thread_pool.h"
 
 namespace themis::core {
 namespace {
@@ -338,6 +339,199 @@ TEST_F(EngineTest, QueryBatchMatchesSequentialLoop) {
         EXPECT_EQ(sequential->rows[i].group, batched.rows[i].group);
         EXPECT_EQ(sequential->rows[i].values, batched.rows[i].values);
       }
+    }
+  }
+}
+
+TEST_F(EngineTest, ByteBudgetWeighsMarginalsOverProbabilities) {
+  ThemisModel model = BuildModel(FastOptions());
+  bn::InferenceEngine::Options options;
+  options.cache_bytes = 4096;
+  bn::InferenceEngine engine(model.network(), options);
+  ASSERT_TRUE(engine.Probability({{1, 0}}).ok());
+  const size_t prob_cost = engine.cache_stats().cost;
+  EXPECT_GT(prob_cost, 0u);
+  ASSERT_TRUE(engine.Marginal({1, 2}).ok());
+  const size_t with_marginal = engine.cache_stats().cost;
+  // A 9-group marginal table costs more than a scalar probability entry.
+  EXPECT_GT(with_marginal - prob_cost, prob_cost);
+  EXPECT_EQ(engine.cache_stats().entries, 2u);
+}
+
+TEST_F(EngineTest, TinyByteBudgetRejectsHugeMarginals) {
+  ThemisModel model = BuildModel(FastOptions());
+  bn::InferenceEngine::Options options;
+  options.cache_bytes = 96;  // fits a probability, not a marginal table
+  bn::InferenceEngine engine(model.network(), options);
+  ASSERT_TRUE(engine.Probability({{1, 0}}).ok());
+  EXPECT_EQ(engine.cache_stats().entries, 1u);
+  auto first = engine.Marginal({1, 2});
+  auto second = engine.Marginal({1, 2});
+  ASSERT_TRUE(first.ok() && second.ok());
+  // The marginal was never admitted: both calls miss, the probability
+  // entry survives, and answers are unaffected.
+  EXPECT_GE(engine.cache_stats().rejections, 2u);
+  EXPECT_EQ(engine.cache_stats().entries, 1u);
+  ASSERT_TRUE(engine.Probability({{1, 0}}).ok());
+  EXPECT_EQ(engine.cache_stats().hits, 1u);
+  for (const auto& [key, mass] : first->entries()) {
+    EXPECT_EQ(second->Mass(key), mass);
+  }
+}
+
+TEST_F(EngineTest, ResultMemoServesRepeatedGroupByTraffic) {
+  ThemisDb db(FastOptions());
+  ASSERT_TRUE(db.InsertSample("flights", sample_->Clone()).ok());
+  ASSERT_TRUE(
+      db.InsertAggregateFrom("flights", *population_, {"o_st", "d_st"})
+          .ok());
+  ASSERT_TRUE(db.Build().ok());
+  const std::string sql =
+      "SELECT o_st, COUNT(*) FROM flights GROUP BY o_st";
+  auto cold = db.Query(sql);
+  ASSERT_TRUE(cold.ok());
+  ResultMemoStats stats = db.evaluator()->result_memo_stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+
+  auto warm = db.Query(sql);
+  ASSERT_TRUE(warm.ok());
+  stats = db.evaluator()->result_memo_stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  ASSERT_EQ(cold->rows.size(), warm->rows.size());
+  for (size_t i = 0; i < cold->rows.size(); ++i) {
+    EXPECT_EQ(cold->rows[i].group, warm->rows[i].group);
+    EXPECT_EQ(cold->rows[i].values, warm->rows[i].values);  // bitwise
+  }
+
+  // Point queries bypass the memo (the inference cache already covers
+  // them) and memoization is per (fingerprint, mode).
+  ASSERT_TRUE(
+      db.Query("SELECT COUNT(*) FROM flights WHERE o_st = 'FL'").ok());
+  EXPECT_EQ(db.evaluator()->result_memo_stats().misses, 1u);
+  ASSERT_TRUE(db.Query(sql, AnswerMode::kSampleOnly).ok());
+  EXPECT_EQ(db.evaluator()->result_memo_stats().misses, 2u);
+}
+
+TEST_F(EngineTest, ResultMemoInvalidatedOnRebuild) {
+  ThemisDb db(FastOptions());
+  ASSERT_TRUE(db.InsertSample("flights", sample_->Clone()).ok());
+  ASSERT_TRUE(
+      db.InsertAggregateFrom("flights", *population_, {"date"}).ok());
+  ASSERT_TRUE(db.Build().ok());
+  const std::string sql =
+      "SELECT o_st, COUNT(*) FROM flights GROUP BY o_st";
+  auto before = db.Query(sql);
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(db.Query(sql).ok());  // memoized now
+  EXPECT_EQ(db.evaluator()->result_memo_stats().hits, 1u);
+
+  // New knowledge arrives and the model is rebuilt: the memo must not
+  // serve stale answers.
+  ASSERT_TRUE(
+      db.InsertAggregateFrom("flights", *population_, {"o_st", "d_st"})
+          .ok());
+  ASSERT_TRUE(db.Build().ok());
+  ResultMemoStats stats = db.evaluator()->result_memo_stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.entries, 0u);
+  auto after = db.Query(sql);
+  ASSERT_TRUE(after.ok());
+  // The (o_st, d_st) aggregate reweights the sample, so the answer
+  // actually changes — the fresh memo recomputed it.
+  EXPECT_NE(before->ValueMap(), after->ValueMap());
+}
+
+/// 200+ mixed point/GROUP BY queries, pool sizes {1, 2, hw}: batch answers
+/// bitwise-equal to a sequential Query() loop under every mode, and the
+/// result memo pays off on a repeat pass.
+TEST_F(EngineTest, QueryBatchStressAcrossPoolSizes) {
+  std::vector<std::string> sqls;
+  const char* states[] = {"FL", "NC", "NY", "ZZ"};
+  for (const char* o : states) {
+    for (const char* d : states) {
+      sqls.push_back(std::string("SELECT COUNT(*) FROM flights WHERE "
+                                 "o_st = '") +
+                     o + "' AND d_st = '" + d + "'");
+    }
+  }
+  for (const char* date : {"01", "02"}) {
+    for (const char* o : states) {
+      sqls.push_back(std::string("SELECT d_st, COUNT(*) FROM flights "
+                                 "WHERE date = '") +
+                     date + "' AND o_st = '" + o + "' GROUP BY d_st");
+    }
+  }
+  sqls.push_back("SELECT o_st, d_st, COUNT(*) FROM flights GROUP BY o_st, d_st");
+  sqls.push_back("SELECT date, COUNT(*) FROM flights GROUP BY date");
+  sqls.push_back("SELECT COUNT(*) FROM flights WHERE date <> '01'");
+  // Repeat the mix until the workload tops 200 queries.
+  const size_t distinct = sqls.size();
+  while (sqls.size() < 200) {
+    sqls.push_back(sqls[sqls.size() % distinct]);
+  }
+  ASSERT_GE(sqls.size(), 200u);
+
+  const size_t hw = util::DefaultParallelism();
+  for (size_t threads : std::vector<size_t>{1, 2, hw}) {
+    ThemisOptions options = FastOptions();
+    options.num_threads = threads;
+    // Honest comparison: the loop must execute, not read the batch's memo.
+    options.enable_result_memo = false;
+    ThemisDb db(options);
+    ASSERT_TRUE(db.InsertSample("flights", sample_->Clone()).ok());
+    ASSERT_TRUE(
+        db.InsertAggregateFrom("flights", *population_, {"date"}).ok());
+    ASSERT_TRUE(
+        db.InsertAggregateFrom("flights", *population_, {"o_st", "d_st"})
+            .ok());
+    ASSERT_TRUE(db.Build().ok());
+    for (AnswerMode mode : {AnswerMode::kHybrid, AnswerMode::kSampleOnly,
+                            AnswerMode::kBnOnly}) {
+      auto batch = db.QueryBatch(sqls, mode);
+      ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+      ASSERT_EQ(batch->size(), sqls.size());
+      for (size_t q = 0; q < sqls.size(); ++q) {
+        auto sequential = db.Query(sqls[q], mode);
+        ASSERT_TRUE(sequential.ok());
+        const sql::QueryResult& batched = (*batch)[q];
+        ASSERT_EQ(sequential->rows.size(), batched.rows.size())
+            << sqls[q] << " threads=" << threads;
+        for (size_t i = 0; i < sequential->rows.size(); ++i) {
+          EXPECT_EQ(sequential->rows[i].group, batched.rows[i].group);
+          // Bitwise equality, any pool size.
+          EXPECT_EQ(sequential->rows[i].values, batched.rows[i].values)
+              << sqls[q] << " threads=" << threads;
+        }
+      }
+    }
+  }
+
+  // Repeat pass with the memo on: the second batch is served from it.
+  ThemisOptions options = FastOptions();
+  options.num_threads = 2;
+  ThemisDb db(options);
+  ASSERT_TRUE(db.InsertSample("flights", sample_->Clone()).ok());
+  ASSERT_TRUE(
+      db.InsertAggregateFrom("flights", *population_, {"o_st", "d_st"})
+          .ok());
+  ASSERT_TRUE(db.Build().ok());
+  auto first = db.QueryBatch(sqls, AnswerMode::kHybrid);
+  ASSERT_TRUE(first.ok());
+  const ResultMemoStats cold = db.evaluator()->result_memo_stats();
+  auto second = db.QueryBatch(sqls, AnswerMode::kHybrid);
+  ASSERT_TRUE(second.ok());
+  const ResultMemoStats warm = db.evaluator()->result_memo_stats();
+  EXPECT_GT(warm.hits, cold.hits);
+  // Every non-point query of the repeat pass hit (the first pass already
+  // memoized all distinct fingerprints it saw).
+  EXPECT_EQ(warm.misses, cold.misses);
+  for (size_t q = 0; q < sqls.size(); ++q) {
+    ASSERT_EQ((*first)[q].rows.size(), (*second)[q].rows.size());
+    for (size_t i = 0; i < (*first)[q].rows.size(); ++i) {
+      EXPECT_EQ((*first)[q].rows[i].values, (*second)[q].rows[i].values);
     }
   }
 }

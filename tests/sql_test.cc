@@ -250,5 +250,57 @@ TEST_F(ExecutorTest, ValueMapAndToString) {
   EXPECT_NE(result->ToString().find("CA"), std::string::npos);
 }
 
+/// A table big enough (> 2x the 8192-row shard) to trigger the sharded
+/// scan: results must be bitwise identical across pool sizes, and — with
+/// exactly representable weights — equal to the pool-less sequential scan.
+TEST(ExecutorShardingTest, ShardedScanMatchesSequentialAcrossPoolSizes) {
+  auto schema = std::make_shared<data::Schema>();
+  schema->AddAttribute("g", {"a", "b", "c", "d"});
+  schema->AddAttribute("v", {"1", "2", "3"});
+  data::Table table(schema);
+  for (size_t r = 0; r < 20000; ++r) {
+    table.AppendRow({static_cast<data::ValueCode>(r % 4),
+                     static_cast<data::ValueCode>((r / 7) % 3)});
+    table.set_weight(r, static_cast<double>(r % 5) + 0.5);
+  }
+  Executor executor;
+  executor.RegisterTable("t", &table);
+
+  const std::vector<std::string> sqls = {
+      "SELECT COUNT(*) FROM t",
+      "SELECT g, COUNT(*), SUM(v), AVG(v) FROM t GROUP BY g",
+      "SELECT g, v, COUNT(*) FROM t WHERE v <> '2' GROUP BY g, v",
+  };
+  for (const std::string& sql : sqls) {
+    auto sequential = executor.Query(sql);
+    ASSERT_TRUE(sequential.ok()) << sql;
+    std::vector<QueryResult> sharded;
+    for (size_t threads : {1u, 2u, 4u}) {
+      util::ThreadPool pool(threads);
+      auto result = executor.Query(sql, &pool);
+      ASSERT_TRUE(result.ok()) << sql;
+      sharded.push_back(std::move(*result));
+    }
+    for (const QueryResult& result : sharded) {
+      ASSERT_EQ(result.rows.size(), sequential->rows.size()) << sql;
+      for (size_t i = 0; i < result.rows.size(); ++i) {
+        EXPECT_EQ(result.rows[i].group, sequential->rows[i].group);
+        ASSERT_EQ(result.rows[i].values.size(),
+                  sequential->rows[i].values.size());
+        for (size_t j = 0; j < result.rows[i].values.size(); ++j) {
+          // Bitwise across pool sizes (same shard layout and merge
+          // order); the x.5 weights sum exactly, so the pool-less scan
+          // agrees bit-for-bit too.
+          EXPECT_EQ(result.rows[i].values[j], sharded[0].rows[i].values[j])
+              << sql;
+          EXPECT_DOUBLE_EQ(result.rows[i].values[j],
+                           sequential->rows[i].values[j])
+              << sql;
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace themis::sql
