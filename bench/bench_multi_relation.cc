@@ -1,0 +1,206 @@
+// Multi-relation catalog micro-bench: flights and IMDb coexist in one
+// ThemisDb (two independently-modeled relations on one thread pool) and a
+// cross-relation QueryBatch interleaves both workloads. Every interleaved
+// answer must be bitwise identical to the same query on a dedicated
+// single-relation ThemisDb — any divergence aborts.
+//
+//   ./bench_multi_relation [rounds] [--strict]
+//
+// Timing compares the combined batch (hw-sized pool) against a sequential
+// Query() loop routed across two dedicated 1-thread instances — the
+// serving setup the catalog replaces: one process per relation, no
+// cross-query parallelism. Pool size never changes answers (fixed shard
+// layout, shard-order merges), so the bitwise check spans pool sizes too.
+// The acceptance bar is >= 1.5x; --strict turns the bar into the exit
+// code (without it timing stays informational — wall-clock gates flake on
+// noisy shared runners).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common.h"
+
+#include "core/query_plan.h"
+#include "core/themis_db.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace themis::bench {
+namespace {
+
+/// Mixed per-relation workload: every 1D and 2D GROUP BY over the schema,
+/// plus point lookups, all FROM `table`.
+std::vector<std::string> MakeRelationWorkload(const DatasetSetup& setup,
+                                              const std::string& table,
+                                              size_t num_points) {
+  const data::SchemaPtr& schema = setup.population.schema();
+  std::vector<std::string> sqls;
+
+  Rng rng(2026);
+  const auto points = workload::MakeMixedPointQueries(
+      setup.population, 2, 3, workload::HitterClass::kRandom, num_points,
+      rng);
+  for (const auto& q : points) {
+    std::string sql = "SELECT COUNT(*) FROM " + table + " WHERE ";
+    for (size_t i = 0; i < q.attrs.size(); ++i) {
+      if (i > 0) sql += " AND ";
+      sql += schema->domain(q.attrs[i]).name() + " = '" +
+             schema->domain(q.attrs[i]).Label(q.values[i]) + "'";
+    }
+    sqls.push_back(std::move(sql));
+  }
+  for (size_t a = 0; a < schema->num_attributes(); ++a) {
+    sqls.push_back("SELECT " + schema->domain(a).name() +
+                   ", COUNT(*) FROM " + table + " GROUP BY " +
+                   schema->domain(a).name());
+    for (size_t b = a + 1; b < schema->num_attributes(); ++b) {
+      sqls.push_back("SELECT " + schema->domain(a).name() + ", " +
+                     schema->domain(b).name() + ", COUNT(*) FROM " + table +
+                     " GROUP BY " + schema->domain(a).name() + ", " +
+                     schema->domain(b).name());
+    }
+  }
+  return sqls;
+}
+
+void CheckIdentical(const sql::QueryResult& a, const sql::QueryResult& b,
+                    const std::string& what) {
+  THEMIS_CHECK(a.rows.size() == b.rows.size()) << what;
+  for (size_t i = 0; i < a.rows.size(); ++i) {
+    THEMIS_CHECK(a.rows[i].group == b.rows[i].group) << what;
+    // Bitwise double equality, not approximate.
+    THEMIS_CHECK(a.rows[i].values == b.rows[i].values) << what;
+  }
+}
+
+int Run(size_t rounds, bool strict) {
+  PrintHeader("Multi-relation catalog micro-bench",
+              "interleaved flights+IMDb batch vs two dedicated instances");
+  BenchScale scale;
+  DatasetSetup flights = MakeFlights(scale);
+  DatasetSetup imdb = MakeImdb(scale);
+  aggregate::AggregateSet flights_aggs =
+      MakePaperAggregates(flights.population, flights.covered_attrs, 5, 4);
+  aggregate::AggregateSet imdb_aggs =
+      MakePaperAggregates(imdb.population, imdb.covered_attrs, 5, 4);
+
+  // No result memo: the sequential loop must execute, not read a memo the
+  // batch warmed (the inference caches warm equally for both paths below).
+  core::ThemisOptions options = BenchOptions();
+  options.enable_result_memo = false;
+
+  auto insert = [&](core::ThemisDb& db, const char* name,
+                    const DatasetSetup& setup,
+                    const aggregate::AggregateSet& aggs,
+                    const char* sample_name) {
+    THEMIS_CHECK_OK(
+        db.InsertSample(name, setup.samples.at(sample_name).Clone()));
+    for (const auto& spec : aggs.specs()) {
+      THEMIS_CHECK_OK(db.InsertAggregate(name, spec));
+    }
+  };
+
+  Timer build_timer;
+  core::ThemisDb combined(options);
+  insert(combined, "flights", flights, flights_aggs, "Corners");
+  insert(combined, "imdb", imdb, imdb_aggs, "R159");
+  THEMIS_CHECK_OK(combined.Build());  // both models learn in parallel
+  std::printf("  combined build (2 relations, parallel): %.2fs\n",
+              build_timer.Seconds());
+
+  build_timer.Restart();
+  // The dedicated pair runs 1-thread pools: the per-relation-process
+  // baseline with no cross-query parallelism (answers are pool-size
+  // independent, so the bitwise check below still must hold).
+  core::ThemisOptions dedicated_options = options;
+  dedicated_options.num_threads = 1;
+  core::ThemisDb flights_only(dedicated_options);
+  insert(flights_only, "flights", flights, flights_aggs, "Corners");
+  THEMIS_CHECK_OK(flights_only.Build());
+  core::ThemisDb imdb_only(dedicated_options);
+  insert(imdb_only, "imdb", imdb, imdb_aggs, "R159");
+  THEMIS_CHECK_OK(imdb_only.Build());
+  std::printf("  dedicated builds (2 instances, serial):  %.2fs\n",
+              build_timer.Seconds());
+
+  // Strictly interleaved cross-relation workload.
+  const std::vector<std::string> flights_sqls =
+      MakeRelationWorkload(flights, "flights", 30);
+  const std::vector<std::string> imdb_sqls =
+      MakeRelationWorkload(imdb, "imdb", 30);
+  std::vector<std::string> sqls;
+  const size_t target = 240;
+  for (size_t i = 0; sqls.size() < target; ++i) {
+    sqls.push_back(flights_sqls[i % flights_sqls.size()]);
+    sqls.push_back(imdb_sqls[i % imdb_sqls.size()]);
+  }
+  std::printf("  %zu interleaved queries x %zu rounds\n", sqls.size(),
+              rounds);
+
+  // Routes one query to its dedicated instance by its FROM table.
+  auto dedicated_for =
+      [&](const std::string& sql) -> const core::ThemisDb& {
+    auto from = core::FirstFromTable(sql);
+    THEMIS_CHECK(from.ok()) << sql;
+    return *from == "flights" ? flights_only : imdb_only;
+  };
+
+  // Correctness first (this also warms both inference caches equally):
+  // the combined batch answer must equal the dedicated instance's answer
+  // bit for bit, query by query.
+  auto batch = combined.QueryBatch(sqls);
+  THEMIS_CHECK(batch.ok()) << batch.status().ToString();
+  for (size_t q = 0; q < sqls.size(); ++q) {
+    auto dedicated = dedicated_for(sqls[q]).Query(sqls[q]);
+    THEMIS_CHECK(dedicated.ok()) << dedicated.status().ToString();
+    CheckIdentical((*batch)[q], *dedicated, sqls[q]);
+  }
+  std::printf("  combined vs dedicated answers bitwise-identical: yes\n");
+
+  // Timing: interleaved batch on the catalog vs a sequential loop routed
+  // across the dedicated pair.
+  Timer timer;
+  for (size_t r = 0; r < rounds; ++r) {
+    for (const std::string& sql : sqls) {
+      auto result = dedicated_for(sql).Query(sql);
+      THEMIS_CHECK(result.ok()) << result.status().ToString();
+    }
+  }
+  const double loop_qps =
+      static_cast<double>(sqls.size() * rounds) / timer.Seconds();
+
+  timer.Restart();
+  for (size_t r = 0; r < rounds; ++r) {
+    auto timed = combined.QueryBatch(sqls);
+    THEMIS_CHECK(timed.ok()) << timed.status().ToString();
+  }
+  const double batch_qps =
+      static_cast<double>(sqls.size() * rounds) / timer.Seconds();
+
+  const double speedup = loop_qps > 0 ? batch_qps / loop_qps : 0;
+  std::printf("  dedicated 1-thread loop: %.0f q/s   combined batch: %.0f q/s\n",
+              loop_qps, batch_qps);
+  std::printf("  cross-relation batch speedup: %.2fx %s\n", speedup,
+              speedup >= 1.5 ? "(>= 1.5x: catalog win demonstrated)"
+                             : "(below the 1.5x bar)");
+  return (strict && speedup < 1.5) ? 1 : 0;
+}
+
+}  // namespace
+}  // namespace themis::bench
+
+int main(int argc, char** argv) {
+  size_t rounds = 3;
+  bool strict = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--strict") == 0) {
+      strict = true;
+    } else {
+      rounds = static_cast<size_t>(std::strtoul(argv[i], nullptr, 10));
+    }
+  }
+  if (rounds == 0) rounds = 1;
+  return themis::bench::Run(rounds, strict);
+}

@@ -55,7 +55,11 @@ class InferenceEngine {
     /// entries are weighted by their approximate bytes (marginal tables by
     /// ApproxMarginalBytes, probabilities by a small constant), so one
     /// huge marginal cannot silently displace thousands of cheap entries
-    /// — and is rejected outright if it alone exceeds the budget.
+    /// — and is rejected outright if it alone exceeds the budget. Each
+    /// engine serves exactly one model; a core::Catalog splits its
+    /// catalog-wide byte budget evenly across relations before it reaches
+    /// this knob, so the relations' engines divide one admission budget
+    /// (each engine's share is fixed at its relation's build time).
     size_t cache_bytes = 0;
   };
 

@@ -1,0 +1,280 @@
+#include "core/catalog.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/query_plan.h"
+#include "util/logging.h"
+
+namespace themis::core {
+
+Catalog::Catalog(ThemisOptions options, util::ThreadPool* pool)
+    : options_(std::move(options)),
+      route_cache_(std::make_unique<RouteCache>()) {
+  pool_ = util::ResolvePool(pool, options_.num_threads, owned_pool_);
+}
+
+Status Catalog::InsertSample(const std::string& name, data::Table sample,
+                             RelationConfig config) {
+  if (name.empty()) {
+    return Status::InvalidArgument("relation name is empty");
+  }
+  if (relations_.count(name) > 0) {
+    return Status::AlreadyExists("relation '" + name + "' already exists");
+  }
+  if (sample.num_rows() == 0) {
+    return Status::InvalidArgument("sample for relation '" + name +
+                                   "' is empty");
+  }
+  const std::string table_name =
+      config.table_name.empty() ? name : std::move(config.table_name);
+  // FROM-routing resolves relation names, so a table alias that shadows
+  // another relation's name (or a name shadowing another's alias) would
+  // silently route queries to the wrong relation — reject it up front.
+  for (const auto& [existing_name, existing] : relations_) {
+    if (table_name != name && table_name == existing_name) {
+      return Status::InvalidArgument(
+          "table name '" + table_name + "' of relation '" + name +
+          "' shadows the relation '" + existing_name + "'");
+    }
+    if (existing.table_name != existing_name && existing.table_name == name) {
+      return Status::InvalidArgument(
+          "relation name '" + name + "' shadows the table name of relation '" +
+          existing_name + "'");
+    }
+  }
+  Relation relation;
+  relation.table_name = table_name;
+  relation.base_options =
+      config.options.has_value() ? std::move(*config.options) : options_;
+  relation.pending_aggregates =
+      std::make_unique<aggregate::AggregateSet>(sample.schema());
+  relation.pending_sample =
+      std::make_unique<data::Table>(std::move(sample));
+  relations_.emplace(name, std::move(relation));
+  return Status::OK();
+}
+
+Status Catalog::InsertAggregate(const std::string& name,
+                                aggregate::AggregateSpec aggregate) {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound("no relation '" + name + "'");
+  }
+  Relation& relation = it->second;
+  for (size_t attr : aggregate.attrs) {
+    if (attr >= relation.pending_sample->schema()->num_attributes()) {
+      return Status::InvalidArgument("aggregate attribute out of range for '" +
+                                     name + "'");
+    }
+  }
+  relation.pending_aggregates->Add(std::move(aggregate));
+  // New knowledge invalidates this relation's model and with it the
+  // relation's inference cache and result memo; other relations keep
+  // serving their memoized answers untouched.
+  relation.model.reset();
+  relation.evaluator.reset();
+  return Status::OK();
+}
+
+Status Catalog::InsertAggregateFrom(
+    const std::string& name, const data::Table& population,
+    const std::vector<std::string>& attr_names) {
+  if (relations_.count(name) == 0) {
+    return Status::NotFound("no relation '" + name + "'");
+  }
+  std::vector<size_t> attrs;
+  for (const std::string& attr_name : attr_names) {
+    THEMIS_ASSIGN_OR_RETURN(size_t idx,
+                            population.schema()->AttributeIndex(attr_name));
+    attrs.push_back(idx);
+  }
+  return InsertAggregate(name,
+                         aggregate::ComputeAggregate(population, attrs));
+}
+
+Status Catalog::Build(const std::string& name) {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound("no relation '" + name + "'");
+  }
+  Relation& relation = it->second;
+  // Split the catalog-wide cache-byte budgets evenly across the relations
+  // registered right now: one relation cannot starve the others' caches.
+  ThemisOptions effective = relation.base_options;
+  const size_t n = std::max<size_t>(1, relations_.size());
+  if (effective.inference_cache_bytes > 0) {
+    effective.inference_cache_bytes =
+        std::max<size_t>(1, effective.inference_cache_bytes / n);
+  }
+  if (effective.result_memo_bytes > 0) {
+    effective.result_memo_bytes =
+        std::max<size_t>(1, effective.result_memo_bytes / n);
+  }
+  auto model = ThemisModel::Build(relation.pending_sample->Clone(),
+                                  *relation.pending_aggregates, effective);
+  if (!model.ok()) return model.status();
+  relation.model = std::make_unique<ThemisModel>(std::move(model).value());
+  relation.evaluator = std::make_unique<HybridEvaluator>(
+      relation.model.get(), relation.table_name, pool_, name);
+  return Status::OK();
+}
+
+Status Catalog::BuildAll() {
+  if (relations_.empty()) {
+    return Status::FailedPrecondition("no sample inserted");
+  }
+  std::vector<std::string> names = RelationNames();
+  std::vector<Status> statuses(names.size());
+  // Model learning is embarrassingly parallel across relations; each build
+  // may further fan out on the same pool (nesting never deadlocks). Only
+  // un-built relations learn (inserting aggregates un-builds exactly the
+  // touched relation), so already-built neighbors keep their models and
+  // warm caches.
+  pool_->ParallelFor(0, names.size(), [&](size_t i) {
+    if (!built(names[i])) statuses[i] = Build(names[i]);
+  });
+  for (const Status& status : statuses) {
+    if (!status.ok()) return status;
+  }
+  return Status::OK();
+}
+
+Status Catalog::DropRelation(const std::string& name) {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound("no relation '" + name + "'");
+  }
+  relations_.erase(it);
+  return Status::OK();
+}
+
+bool Catalog::Has(const std::string& name) const {
+  return relations_.count(name) > 0;
+}
+
+bool Catalog::built(const std::string& name) const {
+  auto it = relations_.find(name);
+  return it != relations_.end() && it->second.evaluator != nullptr;
+}
+
+bool Catalog::all_built() const {
+  if (relations_.empty()) return false;
+  for (const auto& [name, relation] : relations_) {
+    if (relation.evaluator == nullptr) return false;
+  }
+  return true;
+}
+
+std::vector<std::string> Catalog::RelationNames() const {
+  std::vector<std::string> names;
+  names.reserve(relations_.size());
+  for (const auto& [name, relation] : relations_) names.push_back(name);
+  return names;
+}
+
+const ThemisModel* Catalog::model(const std::string& name) const {
+  auto it = relations_.find(name);
+  return it == relations_.end() ? nullptr : it->second.model.get();
+}
+
+const HybridEvaluator* Catalog::evaluator(const std::string& name) const {
+  auto it = relations_.find(name);
+  return it == relations_.end() ? nullptr : it->second.evaluator.get();
+}
+
+Result<const Catalog::Relation*> Catalog::FindBuilt(
+    const std::string& name) const {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound("no relation '" + name + "'");
+  }
+  if (it->second.evaluator == nullptr) {
+    return Status::FailedPrecondition("relation '" + name +
+                                      "' is not built; call Build(\"" + name +
+                                      "\") first");
+  }
+  return &it->second;
+}
+
+Result<std::string> Catalog::RouteFor(const std::string& sql) const {
+  {
+    std::lock_guard<std::mutex> lock(route_cache_->mu);
+    if (auto hit = route_cache_->cache.Get(sql)) return *hit;
+  }
+  THEMIS_ASSIGN_OR_RETURN(std::string from, FirstFromTable(sql));
+  std::lock_guard<std::mutex> lock(route_cache_->mu);
+  route_cache_->cache.Put(sql, from);
+  return from;
+}
+
+Result<sql::QueryResult> Catalog::Query(const std::string& sql,
+                                        AnswerMode mode) const {
+  THEMIS_ASSIGN_OR_RETURN(std::string from, RouteFor(sql));
+  return QueryOn(from, sql, mode);
+}
+
+Result<sql::QueryResult> Catalog::QueryOn(const std::string& relation,
+                                          const std::string& sql,
+                                          AnswerMode mode) const {
+  THEMIS_ASSIGN_OR_RETURN(const Relation* entry, FindBuilt(relation));
+  return entry->evaluator->Query(sql, mode);
+}
+
+Result<std::vector<sql::QueryResult>> Catalog::QueryBatch(
+    std::span<const std::string> sqls, AnswerMode mode) const {
+  // Route + plan everything first: repeated texts share one plan through
+  // each relation's plan cache, and routing errors, malformed SQL, or an
+  // unbuilt relation fail before any execution starts.
+  std::vector<const HybridEvaluator*> evaluators;
+  std::vector<QueryPlanPtr> plans;
+  evaluators.reserve(sqls.size());
+  plans.reserve(sqls.size());
+  for (const std::string& sql : sqls) {
+    THEMIS_ASSIGN_OR_RETURN(std::string from, RouteFor(sql));
+    THEMIS_ASSIGN_OR_RETURN(const Relation* entry, FindBuilt(from));
+    THEMIS_ASSIGN_OR_RETURN(QueryPlanPtr plan, entry->evaluator->Plan(sql));
+    evaluators.push_back(entry->evaluator.get());
+    plans.push_back(std::move(plan));
+  }
+  // Whole plans are pool tasks, interleaved across relations; each GROUP
+  // BY plan's K-executor fan-out nests on the same pool.
+  std::vector<Result<sql::QueryResult>> results(
+      plans.size(), Result<sql::QueryResult>(Status::Internal("not run")));
+  pool_->ParallelFor(0, plans.size(), [&](size_t i) {
+    results[i] = evaluators[i]->ExecutePlan(*plans[i], mode);
+  });
+  std::vector<sql::QueryResult> out;
+  out.reserve(plans.size());
+  for (Result<sql::QueryResult>& result : results) {
+    // Report the lowest-index failure so batch errors are deterministic.
+    if (!result.ok()) return result.status();
+    out.push_back(std::move(*result));
+  }
+  return out;
+}
+
+Result<double> Catalog::PointQuery(
+    const std::string& relation,
+    const std::vector<std::pair<std::string, std::string>>& equalities,
+    AnswerMode mode) const {
+  THEMIS_ASSIGN_OR_RETURN(const Relation* entry, FindBuilt(relation));
+  const data::SchemaPtr& schema =
+      entry->model->reweighted_sample().schema();
+  std::vector<size_t> attrs;
+  data::TupleKey values;
+  for (const auto& [attr_name, value_label] : equalities) {
+    THEMIS_ASSIGN_OR_RETURN(size_t idx, schema->AttributeIndex(attr_name));
+    auto code = schema->domain(idx).Code(value_label);
+    if (!code.ok()) {
+      // Value outside the active domain: the open-world estimate is the
+      // BN's, but with no domain entry the probability is zero.
+      return 0.0;
+    }
+    attrs.push_back(idx);
+    values.push_back(*code);
+  }
+  return entry->evaluator->PointEstimate(attrs, values, mode);
+}
+
+}  // namespace themis::core

@@ -8,11 +8,29 @@
 
 namespace themis::core {
 
+size_t ApproxResultBytes(const sql::QueryResult& result) {
+  size_t bytes = sizeof(sql::QueryResult);
+  for (const std::string& name : result.group_names) bytes += name.size();
+  for (const std::string& name : result.value_names) bytes += name.size();
+  for (const sql::ResultRow& row : result.rows) {
+    bytes += sizeof(sql::ResultRow);
+    for (const std::string& label : row.group) {
+      bytes += sizeof(std::string) + label.size();
+    }
+    bytes += row.values.size() * sizeof(double);
+  }
+  return bytes;
+}
+
 HybridEvaluator::HybridEvaluator(const ThemisModel* model,
                                  std::string table_name,
-                                 util::ThreadPool* pool)
-    : model_(model), table_name_(std::move(table_name)) {
+                                 util::ThreadPool* pool,
+                                 std::string relation)
+    : model_(model),
+      table_name_(std::move(table_name)),
+      relation_(std::move(relation)) {
   THEMIS_CHECK(model_ != nullptr);
+  if (relation_.empty()) relation_ = table_name_;
   sample_executor_.RegisterTable(table_name_, &model_->reweighted_sample());
   bn_executors_.reserve(model_->bn_samples().size());
   for (const data::Table& bn_sample : model_->bn_samples()) {
@@ -32,19 +50,14 @@ HybridEvaluator::HybridEvaluator(const ThemisModel* model,
   const bool has_bn = model_->network() != nullptr && !bn_executors_.empty();
   planner_ = std::make_unique<QueryPlanner>(
       model_->reweighted_sample().schema(), has_bn,
-      options.plan_cache_capacity);
-  if (pool != nullptr) {
-    pool_ = pool;
-  } else if (options.num_threads > 0) {
-    owned_pool_ = std::make_unique<util::ThreadPool>(options.num_threads);
-    pool_ = owned_pool_.get();
-  } else {
-    pool_ = &util::ThreadPool::Default();
-  }
+      options.plan_cache_capacity, relation_);
+  pool_ = util::ResolvePool(pool, options.num_threads, owned_pool_);
   result_memo_enabled_ = options.enable_result_memo;
+  result_memo_cost_aware_ = options.result_memo_bytes > 0;
   result_memo_ =
       LruCache<std::string, std::shared_ptr<const sql::QueryResult>>(
-          options.result_memo_capacity);
+          result_memo_cost_aware_ ? options.result_memo_bytes
+                                  : options.result_memo_capacity);
 }
 
 const std::unordered_map<data::TupleKey, double, data::TupleKeyHash>&
@@ -244,8 +257,10 @@ Result<sql::QueryResult> HybridEvaluator::ExecutePlan(const QueryPlan& plan,
     // Two threads racing the same cold plan both compute and publish the
     // same deterministic answer; the second Put overwrites in place.
     auto shared = std::make_shared<const sql::QueryResult>(*result);
+    const size_t cost =
+        result_memo_cost_aware_ ? ApproxResultBytes(*shared) : 1;
     std::lock_guard<std::mutex> lock(memo_mu_);
-    result_memo_.Put(key, std::move(shared));
+    result_memo_.Put(key, std::move(shared), cost);
   }
   return result;
 }
@@ -256,6 +271,9 @@ ResultMemoStats HybridEvaluator::result_memo_stats() const {
   stats.hits = memo_hits_;
   stats.misses = memo_misses_;
   stats.entries = result_memo_.size();
+  stats.evictions = result_memo_.evictions();
+  stats.rejections = result_memo_.rejections();
+  stats.cost = result_memo_.total_cost();
   return stats;
 }
 

@@ -33,12 +33,25 @@ struct ResultMemoStats {
   size_t hits = 0;
   size_t misses = 0;
   size_t entries = 0;
+  /// Entries dropped by the LRU bound since the evaluator was built.
+  size_t evictions = 0;
+  /// Entries refused admission because their cost alone exceeded the
+  /// capacity (only possible under a `result_memo_bytes` budget).
+  size_t rejections = 0;
+  /// Total cost of the resident entries: approximate bytes under a byte
+  /// budget, the entry count otherwise.
+  size_t cost = 0;
 
   double HitRate() const {
     const size_t total = hits + misses;
     return total == 0 ? 0.0 : static_cast<double>(hits) / total;
   }
 };
+
+/// Approximate in-memory footprint of a memoized query result: rows,
+/// group-label strings, and value doubles. The admission cost of result
+/// entries under a `result_memo_bytes` budget.
+size_t ApproxResultBytes(const sql::QueryResult& result);
 
 /// Themis's hybrid query evaluator (Sec 4.3), structured as a plan-based
 /// engine: SQL text -> QueryPlanner (cached logical plan) -> ExecutePlan
@@ -73,12 +86,18 @@ class HybridEvaluator {
   /// `model` must outlive the evaluator. `table_name` is the name the
   /// sample is registered under for SQL queries. Cache and pool knobs come
   /// from the model's ThemisOptions; a non-null `pool` overrides the
-  /// options-derived pool (used to compare pool sizes on one model).
+  /// options-derived pool (used by the catalog to share one pool across
+  /// relations, and to compare pool sizes on one model). `relation` is the
+  /// catalog relation stamp for plan fingerprints — it defaults to
+  /// `table_name`, so two evaluators answering the same SQL text never
+  /// share a memo fingerprint unless both their names agree.
   HybridEvaluator(const ThemisModel* model,
                   std::string table_name = "sample",
-                  util::ThreadPool* pool = nullptr);
+                  util::ThreadPool* pool = nullptr,
+                  std::string relation = "");
 
   const std::string& table_name() const { return table_name_; }
+  const std::string& relation() const { return relation_; }
 
   /// d-dimensional point query: estimated COUNT(*) of tuples with
   /// `values` on `attrs` (attribute indices into the sample schema).
@@ -151,6 +170,7 @@ class HybridEvaluator {
 
   const ThemisModel* model_;
   std::string table_name_;
+  std::string relation_;
   sql::Executor sample_executor_;
   std::vector<sql::Executor> bn_executors_;  // one per BN sample
   std::unique_ptr<bn::InferenceEngine> engine_;
@@ -158,6 +178,7 @@ class HybridEvaluator {
   std::unique_ptr<util::ThreadPool> owned_pool_;  // when num_threads is set
   util::ThreadPool* pool_;
   bool result_memo_enabled_;
+  bool result_memo_cost_aware_;  // true when options.result_memo_bytes > 0
   mutable std::mutex memo_mu_;
   mutable LruCache<std::string, std::shared_ptr<const sql::QueryResult>>
       result_memo_;

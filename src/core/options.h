@@ -68,6 +68,15 @@ struct ThemisOptions {
   /// LRU bound on memoized query results; 0 means unbounded.
   size_t result_memo_capacity = 256;
 
+  /// Cost-aware alternative to `result_memo_capacity`: when positive, the
+  /// result memo is bounded by the approximate bytes of its entries
+  /// (weighed by result row count and label sizes), so one huge GROUP BY
+  /// answer cannot displace hundreds of small ones — and an answer larger
+  /// than the whole budget is never admitted. A `core::Catalog` splits
+  /// this budget (and `inference_cache_bytes`) evenly across its
+  /// relations at Build time.
+  size_t result_memo_bytes = 0;
+
   /// Worker threads of the execution runtime (cross-query batch fan-out,
   /// per-plan K BN-sample executors, sharded scans — one shared pool).
   /// 0 = util::DefaultParallelism() (THEMIS_NUM_THREADS env override,

@@ -3,6 +3,7 @@
 #include <cctype>
 #include <utility>
 
+#include "sql/lexer.h"
 #include "sql/parser.h"
 
 namespace themis::core {
@@ -44,10 +45,23 @@ std::string NormalizeSql(const std::string& sql) {
   return out;
 }
 
+Result<std::string> FirstFromTable(const std::string& sql) {
+  THEMIS_ASSIGN_OR_RETURN(std::vector<sql::Token> tokens,
+                          sql::Tokenize(sql));
+  for (size_t i = 0; i + 1 < tokens.size(); ++i) {
+    if (tokens[i].IsKeyword("FROM") &&
+        tokens[i + 1].type == sql::TokenType::kIdentifier) {
+      return tokens[i + 1].text;
+    }
+  }
+  return Status::ParseError("no FROM <table> clause in '" + sql + "'");
+}
+
 QueryPlanner::QueryPlanner(data::SchemaPtr schema, bool has_bn,
-                           size_t plan_cache_capacity)
+                           size_t plan_cache_capacity, std::string relation)
     : schema_(std::move(schema)),
       has_bn_(has_bn),
+      relation_(std::move(relation)),
       cache_(plan_cache_capacity) {}
 
 size_t QueryPlanner::cache_hits() const {
@@ -115,7 +129,8 @@ Result<QueryPlanPtr> QueryPlanner::Plan(const std::string& sql) const {
   }
   THEMIS_ASSIGN_OR_RETURN(sql::SelectStatement stmt, sql::Parse(sql));
   QueryPlan planned = PlanStatement(std::move(stmt));
-  planned.fingerprint = key;
+  planned.relation = relation_;
+  planned.fingerprint = relation_.empty() ? key : relation_ + '\x1f' + key;
   auto plan = std::make_shared<const QueryPlan>(std::move(planned));
   {
     std::lock_guard<std::mutex> lock(mu_);

@@ -36,8 +36,13 @@ struct QueryPlan {
   PlanKind kind = PlanKind::kPassthrough;
   sql::SelectStatement stmt;
 
-  /// Normalized SQL text the plan was built from — the plan-cache key and
-  /// the fingerprint of the evaluator's plan->result memo. Empty for plans
+  /// The catalog relation this plan was built against (the planner's
+  /// relation stamp); empty for planners created without one.
+  std::string relation;
+
+  /// The plan's identity for the evaluator's plan->result memo: the
+  /// relation stamp joined with the normalized SQL text, so two relations
+  /// planning the same text can never share a memo entry. Empty for plans
   /// constructed outside the planner (such plans are never memoized).
   std::string fingerprint;
 
@@ -56,14 +61,21 @@ using QueryPlanPtr = std::shared_ptr<const QueryPlan>;
 /// so formatting differences share one plan-cache entry.
 std::string NormalizeSql(const std::string& sql);
 
+/// The table named by the first FROM clause of `sql` — how the catalog
+/// routes a query to a relation before any per-relation planning runs.
+/// ParseError when the text has no FROM <identifier>.
+Result<std::string> FirstFromTable(const std::string& sql);
+
 /// Parses and plans SQL against a fixed schema, caching plans by
 /// normalized SQL text in a bounded LRU. Thread-safe.
 class QueryPlanner {
  public:
   /// `has_bn` is whether the model can answer through the BN machinery
-  /// (network present and K generated samples available).
+  /// (network present and K generated samples available). `relation` is
+  /// stamped into every produced plan and its fingerprint, isolating the
+  /// plan->result memo entries of catalog relations from one another.
   QueryPlanner(data::SchemaPtr schema, bool has_bn,
-               size_t plan_cache_capacity = 256);
+               size_t plan_cache_capacity = 256, std::string relation = "");
 
   Result<QueryPlanPtr> Plan(const std::string& sql) const;
 
@@ -75,6 +87,7 @@ class QueryPlanner {
 
   data::SchemaPtr schema_;
   bool has_bn_;
+  std::string relation_;
   mutable std::mutex mu_;
   mutable LruCache<std::string, QueryPlanPtr> cache_;
   mutable size_t hits_ = 0;

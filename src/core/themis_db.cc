@@ -4,108 +4,80 @@
 
 namespace themis::core {
 
-ThemisDb::ThemisDb(ThemisOptions options) : options_(std::move(options)) {}
+ThemisDb::ThemisDb(ThemisOptions options) : catalog_(std::move(options)) {}
 
 Status ThemisDb::InsertSample(const std::string& name, data::Table sample) {
-  if (pending_sample_ != nullptr) {
-    return Status::AlreadyExists(
-        "a sample is already registered (multi-sample support is future "
-        "work)");
-  }
-  if (sample.num_rows() == 0) {
-    return Status::InvalidArgument("sample is empty");
-  }
-  table_name_ = name;
-  pending_aggregates_ =
-      std::make_unique<aggregate::AggregateSet>(sample.schema());
-  pending_sample_ = std::make_unique<data::Table>(std::move(sample));
-  return Status::OK();
+  return catalog_.InsertSample(name, std::move(sample));
 }
 
 Status ThemisDb::InsertAggregate(const std::string& table_name,
                                  aggregate::AggregateSpec aggregate) {
-  if (pending_sample_ == nullptr) {
-    return Status::FailedPrecondition("insert the sample first");
-  }
-  if (table_name != table_name_) {
-    return Status::NotFound("unknown table '" + table_name + "'");
-  }
-  for (size_t attr : aggregate.attrs) {
-    if (attr >= pending_sample_->schema()->num_attributes()) {
-      return Status::InvalidArgument("aggregate attribute out of range");
-    }
-  }
-  pending_aggregates_->Add(std::move(aggregate));
-  model_.reset();
-  evaluator_.reset();
-  return Status::OK();
+  return catalog_.InsertAggregate(table_name, std::move(aggregate));
 }
 
 Status ThemisDb::InsertAggregateFrom(
     const std::string& table_name, const data::Table& population,
     const std::vector<std::string>& attr_names) {
-  if (pending_sample_ == nullptr) {
-    return Status::FailedPrecondition("insert the sample first");
-  }
-  std::vector<size_t> attrs;
-  for (const std::string& name : attr_names) {
-    THEMIS_ASSIGN_OR_RETURN(size_t idx,
-                            population.schema()->AttributeIndex(name));
-    attrs.push_back(idx);
-  }
-  return InsertAggregate(table_name,
-                         aggregate::ComputeAggregate(population, attrs));
+  return catalog_.InsertAggregateFrom(table_name, population, attr_names);
 }
 
-Status ThemisDb::Build() {
-  if (pending_sample_ == nullptr) {
-    return Status::FailedPrecondition("no sample inserted");
-  }
-  auto model = ThemisModel::Build(pending_sample_->Clone(),
-                                  *pending_aggregates_, options_);
-  if (!model.ok()) return model.status();
-  model_ = std::make_unique<ThemisModel>(std::move(model).value());
-  evaluator_ = std::make_unique<HybridEvaluator>(model_.get(), table_name_);
-  return Status::OK();
+Status ThemisDb::Build() { return catalog_.BuildAll(); }
+
+Status ThemisDb::Build(const std::string& name) {
+  return catalog_.Build(name);
+}
+
+Status ThemisDb::DropRelation(const std::string& name) {
+  return catalog_.DropRelation(name);
 }
 
 Result<sql::QueryResult> ThemisDb::Query(const std::string& sql,
                                          AnswerMode mode) const {
-  if (evaluator_ == nullptr) {
-    return Status::FailedPrecondition("call Build() before querying");
+  if (catalog_.num_relations() == 0) {
+    return Status::FailedPrecondition("call InsertSample() and Build() first");
   }
-  return evaluator_->Query(sql, mode);
+  return catalog_.Query(sql, mode);
 }
 
 Result<std::vector<sql::QueryResult>> ThemisDb::QueryBatch(
     std::span<const std::string> sqls, AnswerMode mode) const {
-  if (evaluator_ == nullptr) {
-    return Status::FailedPrecondition("call Build() before querying");
+  if (catalog_.num_relations() == 0) {
+    return Status::FailedPrecondition("call InsertSample() and Build() first");
   }
-  return evaluator_->QueryBatch(sqls, mode);
+  return catalog_.QueryBatch(sqls, mode);
+}
+
+Result<double> ThemisDb::PointQuery(
+    const std::string& relation,
+    const std::vector<std::pair<std::string, std::string>>& equalities,
+    AnswerMode mode) const {
+  return catalog_.PointQuery(relation, equalities, mode);
 }
 
 Result<double> ThemisDb::PointQuery(
     const std::vector<std::pair<std::string, std::string>>& equalities,
     AnswerMode mode) const {
-  if (evaluator_ == nullptr) {
-    return Status::FailedPrecondition("call Build() before querying");
+  THEMIS_ASSIGN_OR_RETURN(std::string name, SoleRelation());
+  return catalog_.PointQuery(name, equalities, mode);
+}
+
+const ThemisModel* ThemisDb::model() const {
+  auto name = SoleRelation();
+  return name.ok() ? catalog_.model(*name) : nullptr;
+}
+
+const HybridEvaluator* ThemisDb::evaluator() const {
+  auto name = SoleRelation();
+  return name.ok() ? catalog_.evaluator(*name) : nullptr;
+}
+
+Result<std::string> ThemisDb::SoleRelation() const {
+  if (catalog_.num_relations() != 1) {
+    return Status::FailedPrecondition(
+        "this call needs exactly one relation; name the relation "
+        "explicitly when several are registered");
   }
-  const data::SchemaPtr& schema = model_->reweighted_sample().schema();
-  std::vector<size_t> attrs;
-  data::TupleKey values;
-  for (const auto& [attr_name, value_label] : equalities) {
-    THEMIS_ASSIGN_OR_RETURN(size_t idx, schema->AttributeIndex(attr_name));
-    auto code = schema->domain(idx).Code(value_label);
-    if (!code.ok()) {
-      // Value outside the active domain: the open-world estimate is the
-      // BN's, but with no domain entry the probability is zero.
-      return 0.0;
-    }
-    attrs.push_back(idx);
-    values.push_back(*code);
-  }
-  return evaluator_->PointEstimate(attrs, values, mode);
+  return catalog_.RelationNames().front();
 }
 
 }  // namespace themis::core

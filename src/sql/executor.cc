@@ -103,7 +103,7 @@ Result<QueryResult> Executor::Execute(const SelectStatement& stmt,
   for (const TableRef& ref : stmt.tables) {
     auto it = catalog_.find(ref.name);
     if (it == catalog_.end()) {
-      return Status::NotFound("table '" + ref.name + "' not registered");
+      return Status::NotFound("no relation '" + ref.name + "' registered");
     }
     tables.push_back({it->second, ref.alias});
   }
@@ -304,13 +304,28 @@ Result<QueryResult> Executor::Execute(const SelectStatement& stmt,
     }
   };
 
+  // Folds per-shard partial aggregates into `groups` in shard-index
+  // order — deterministic regardless of which worker ran which shard.
+  auto merge_shards = [&](std::vector<GroupMap>& shard_groups) {
+    for (GroupMap& shard : shard_groups) {
+      for (auto& [key, partial] : shard) {
+        Accumulator& acc = group_slot(groups, key);
+        acc.count_weight += partial.count_weight;
+        for (size_t i = 0; i < agg_items.size(); ++i) {
+          acc.weighted_sums[i] += partial.weighted_sums[i];
+          acc.weight_totals[i] += partial.weight_totals[i];
+        }
+      }
+    }
+  };
+
   if (tables.size() == 1) {
     const data::Table& t0 = *tables[0].table;
     const size_t num_rows = t0.num_rows();
     if (pool != nullptr && num_rows >= 2 * kShardRows) {
       // Sharded scan: each shard folds its row range into a private group
       // map (only const reads of shared state), then shards merge in index
-      // order — deterministic regardless of which worker ran which shard.
+      // order.
       const size_t num_shards = (num_rows + kShardRows - 1) / kShardRows;
       std::vector<GroupMap> shard_groups(num_shards);
       pool->ParallelFor(0, num_shards, [&](size_t s) {
@@ -321,16 +336,7 @@ Result<QueryResult> Executor::Execute(const SelectStatement& stmt,
           accumulate(shard_groups[s], {r}, t0.weight(r));
         }
       });
-      for (GroupMap& shard : shard_groups) {
-        for (auto& [key, partial] : shard) {
-          Accumulator& acc = group_slot(groups, key);
-          acc.count_weight += partial.count_weight;
-          for (size_t i = 0; i < agg_items.size(); ++i) {
-            acc.weighted_sums[i] += partial.weighted_sums[i];
-            acc.weight_totals[i] += partial.weight_totals[i];
-          }
-        }
-      }
+      merge_shards(shard_groups);
     } else {
       for (size_t r = 0; r < num_rows; ++r) {
         if (!passes(0, r)) continue;
@@ -356,18 +362,38 @@ Result<QueryResult> Executor::Execute(const SelectStatement& stmt,
       }
       build[key].push_back(r);
     }
-    for (size_t r1 = 0; r1 < t1.num_rows(); ++r1) {
-      if (!passes(1, r1)) continue;
-      std::string key;
-      for (const auto& [lhs, rhs] : joins) {
-        key += t1.schema()->domain(rhs.attr).Label(t1.Get(r1, rhs.attr));
-        key += '\x1f';
+    // Probe with table 1. The build side stays sequential (its map is
+    // shared read-only by every prober); the probe side shards by fixed
+    // row ranges like the single-table scan — each shard probes into a
+    // private group map over const state, then shards merge in index
+    // order, so the answer is bitwise identical at any pool size.
+    auto probe_range = [&](GroupMap& into, size_t lo, size_t hi) {
+      for (size_t r1 = lo; r1 < hi; ++r1) {
+        if (!passes(1, r1)) continue;
+        std::string key;
+        for (const auto& [lhs, rhs] : joins) {
+          key += t1.schema()->domain(rhs.attr).Label(t1.Get(r1, rhs.attr));
+          key += '\x1f';
+        }
+        auto it = build.find(key);
+        if (it == build.end()) continue;
+        for (size_t r0 : it->second) {
+          accumulate(into, {r0, r1}, t0.weight(r0) * t1.weight(r1));
+        }
       }
-      auto it = build.find(key);
-      if (it == build.end()) continue;
-      for (size_t r0 : it->second) {
-        accumulate(groups, {r0, r1}, t0.weight(r0) * t1.weight(r1));
-      }
+    };
+    const size_t probe_rows = t1.num_rows();
+    if (pool != nullptr && probe_rows >= 2 * kShardRows) {
+      const size_t num_shards = (probe_rows + kShardRows - 1) / kShardRows;
+      std::vector<GroupMap> shard_groups(num_shards);
+      pool->ParallelFor(0, num_shards, [&](size_t s) {
+        const size_t lo = s * kShardRows;
+        probe_range(shard_groups[s], lo,
+                    std::min(probe_rows, lo + kShardRows));
+      });
+      merge_shards(shard_groups);
+    } else {
+      probe_range(groups, 0, probe_rows);
     }
   }
 

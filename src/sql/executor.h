@@ -54,11 +54,12 @@ class Executor {
                             util::ThreadPool* pool = nullptr) const;
 
   /// Executes a parsed statement. With a pool, large single-table scans
-  /// are sharded by row range across the pool's workers. The shard layout
-  /// is fixed by the row count alone and partial aggregates merge in shard
-  /// order, so the result is bitwise identical for every pool size
-  /// (including a 1-thread pool); only the pool-less call takes the
-  /// unsharded scan, whose float summation order differs.
+  /// and the probe side of hash joins are sharded by row range across the
+  /// pool's workers (the join's build side stays sequential). The shard
+  /// layout is fixed by the row count alone and partial aggregates merge
+  /// in shard order, so the result is bitwise identical for every pool
+  /// size (including a 1-thread pool); only the pool-less call takes the
+  /// unsharded path, whose float summation order differs.
   Result<QueryResult> Execute(const SelectStatement& stmt,
                               util::ThreadPool* pool = nullptr) const;
 

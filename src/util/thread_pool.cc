@@ -146,4 +146,14 @@ ThreadPool& ThreadPool::Default() {
   return *pool;
 }
 
+ThreadPool* ResolvePool(ThreadPool* pool, size_t num_threads,
+                        std::unique_ptr<ThreadPool>& owned) {
+  if (pool != nullptr) return pool;
+  if (num_threads > 0) {
+    owned = std::make_unique<ThreadPool>(num_threads);
+    return owned.get();
+  }
+  return &ThreadPool::Default();
+}
+
 }  // namespace themis::util

@@ -24,6 +24,15 @@ size_t DefaultParallelism();
 /// ThemisOptions::num_threads (0 = auto) resolves to a pool size.
 size_t ResolveParallelism(size_t requested);
 
+class ThreadPool;
+
+/// The three-way pool choice shared by core::Catalog and
+/// core::HybridEvaluator: an explicit `pool` wins; else a positive
+/// `num_threads` creates a pool into `owned` (the caller keeps it alive);
+/// else the process-wide Default() pool. Never returns null.
+ThreadPool* ResolvePool(ThreadPool* pool, size_t num_threads,
+                        std::unique_ptr<ThreadPool>& owned);
+
 /// Fixed-size thread pool with a FIFO task queue — the single scheduling
 /// substrate shared by every parallel site (cross-query QueryBatch fan-out,
 /// per-plan K BN-sample executors, sharded scans). One pool, nested freely,

@@ -51,58 +51,58 @@ Result<MethodSuite> MethodSuite::Build(
     const data::Table& sample, const aggregate::AggregateSet& aggregates,
     double population_size, const core::ThemisOptions& base_options) {
   MethodSuite suite;
+  suite.catalog_ = core::Catalog(base_options);
 
-  auto build_model = [&](core::ReweightMethod method,
-                         bool enable_bn) -> Result<core::ThemisModel> {
+  // One catalog relation per differently-modeled method, all visible to
+  // SQL as "sample" so the experiment harnesses run one query text against
+  // every method. "BB" shares the "Hybrid" relation (same model, BN-only
+  // answer mode).
+  auto insert = [&](const std::string& name, core::ReweightMethod method,
+                    bool enable_bn) -> Status {
     core::ThemisOptions options = base_options;
     options.reweight = method;
     options.enable_bn = enable_bn;
     options.population_size = population_size;
-    return core::ThemisModel::Build(sample.Clone(), aggregates, options);
+    core::RelationConfig config;
+    config.options = std::move(options);
+    config.table_name = "sample";
+    THEMIS_RETURN_IF_ERROR(suite.catalog_.InsertSample(
+        name, sample.Clone(), std::move(config)));
+    for (const auto& spec : aggregates.specs()) {
+      THEMIS_RETURN_IF_ERROR(suite.catalog_.InsertAggregate(name, spec));
+    }
+    return Status::OK();
   };
-
-  THEMIS_ASSIGN_OR_RETURN(auto aqp,
-                          build_model(core::ReweightMethod::kUniform, false));
-  THEMIS_ASSIGN_OR_RETURN(auto linreg,
-                          build_model(core::ReweightMethod::kLinReg, false));
-  THEMIS_ASSIGN_OR_RETURN(auto ipf,
-                          build_model(core::ReweightMethod::kIpf, false));
-  THEMIS_ASSIGN_OR_RETURN(auto full,
-                          build_model(core::ReweightMethod::kIpf, true));
-
-  suite.aqp_model_ = std::make_unique<core::ThemisModel>(std::move(aqp));
-  suite.linreg_model_ =
-      std::make_unique<core::ThemisModel>(std::move(linreg));
-  suite.ipf_model_ = std::make_unique<core::ThemisModel>(std::move(ipf));
-  suite.full_model_ = std::make_unique<core::ThemisModel>(std::move(full));
-
-  suite.aqp_ =
-      std::make_unique<core::HybridEvaluator>(suite.aqp_model_.get());
-  suite.linreg_ =
-      std::make_unique<core::HybridEvaluator>(suite.linreg_model_.get());
-  suite.ipf_ =
-      std::make_unique<core::HybridEvaluator>(suite.ipf_model_.get());
-  suite.full_ =
-      std::make_unique<core::HybridEvaluator>(suite.full_model_.get());
+  THEMIS_RETURN_IF_ERROR(
+      insert("AQP", core::ReweightMethod::kUniform, false));
+  THEMIS_RETURN_IF_ERROR(
+      insert("LinReg", core::ReweightMethod::kLinReg, false));
+  THEMIS_RETURN_IF_ERROR(insert("IPF", core::ReweightMethod::kIpf, false));
+  THEMIS_RETURN_IF_ERROR(insert("Hybrid", core::ReweightMethod::kIpf, true));
+  // The four models learn in parallel on the catalog's pool.
+  THEMIS_RETURN_IF_ERROR(suite.catalog_.BuildAll());
   return suite;
 }
 
 Result<std::pair<const core::HybridEvaluator*, core::AnswerMode>>
 MethodSuite::Route(const std::string& method) const {
   using core::AnswerMode;
-  if (method == "AQP") return std::pair<const core::HybridEvaluator*, AnswerMode>{
-        aqp_.get(), AnswerMode::kSampleOnly};
-  if (method == "LinReg") {
-    return std::pair<const core::HybridEvaluator*, AnswerMode>{
-        linreg_.get(), AnswerMode::kSampleOnly};
+  std::string relation = method;
+  AnswerMode mode = AnswerMode::kSampleOnly;
+  if (method == "BB") {
+    relation = "Hybrid";
+    mode = AnswerMode::kBnOnly;
+  } else if (method == "Hybrid") {
+    mode = AnswerMode::kHybrid;
+  } else if (method != "AQP" && method != "LinReg" && method != "IPF") {
+    return Status::InvalidArgument("unknown method '" + method + "'");
   }
-  if (method == "IPF") return std::pair<const core::HybridEvaluator*, AnswerMode>{
-        ipf_.get(), AnswerMode::kSampleOnly};
-  if (method == "BB") return std::pair<const core::HybridEvaluator*, AnswerMode>{
-        full_.get(), AnswerMode::kBnOnly};
-  if (method == "Hybrid") return std::pair<const core::HybridEvaluator*, AnswerMode>{
-        full_.get(), AnswerMode::kHybrid};
-  return Status::InvalidArgument("unknown method '" + method + "'");
+  const core::HybridEvaluator* evaluator = catalog_.evaluator(relation);
+  if (evaluator == nullptr) {
+    return Status::Internal("method relation '" + relation + "' not built");
+  }
+  return std::pair<const core::HybridEvaluator*, core::AnswerMode>{evaluator,
+                                                                   mode};
 }
 
 Result<std::vector<double>> MethodSuite::Errors(

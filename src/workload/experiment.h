@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "aggregate/aggregate.h"
+#include "core/catalog.h"
 #include "core/evaluator.h"
 #include "core/model.h"
 #include "workload/queries.h"
@@ -28,7 +29,10 @@ aggregate::AggregateSet MakeAggregates(
     const std::vector<std::vector<size_t>>& attr_sets);
 
 /// The four query-answering methods every accuracy experiment compares
-/// (Sec 6.4): built once per (sample, Γ) configuration.
+/// (Sec 6.4), held as relations of one core::Catalog (no per-method
+/// instance juggling): each relation carries its own reweighting options
+/// and model but shares the catalog's thread pool, and all register the
+/// SQL table name "sample" so one query text runs against every method.
 ///  - "AQP":    uniformly reweighted sample (the default AQP baseline)
 ///  - "LinReg": NNLS linear-regression reweighted sample
 ///  - "IPF":    IPF-reweighted sample (the paper's best reweighter)
@@ -47,15 +51,15 @@ class MethodSuite {
       const std::string& method,
       const std::vector<PointQuery>& queries) const;
 
-  /// SQL result for `method` (routes to the right evaluator/mode).
+  /// SQL result for `method` (routes to the right relation/mode).
   Result<sql::QueryResult> Query(const std::string& method,
                                  const std::string& sql) const;
 
   /// Batched variant: plans everything first, then submits whole plans to
-  /// the method evaluator's thread pool so distinct queries run
-  /// concurrently (K-executor GROUP BY fan-outs nest on the same pool),
-  /// with shared inference-cache and result-memo reuse. Bitwise identical
-  /// answers to a Query() loop at any pool size.
+  /// the catalog's thread pool so distinct queries run concurrently
+  /// (K-executor GROUP BY fan-outs nest on the same pool), with shared
+  /// inference-cache and result-memo reuse. Bitwise identical answers to a
+  /// Query() loop at any pool size.
   Result<std::vector<sql::QueryResult>> QueryBatch(
       const std::string& method, std::span<const std::string> sqls) const;
 
@@ -63,18 +67,24 @@ class MethodSuite {
     return {"AQP", "LinReg", "IPF", "BB", "Hybrid"};
   }
 
-  const core::ThemisModel& full_model() const { return *full_model_; }
-  const core::HybridEvaluator& full_evaluator() const { return *full_; }
+  const core::ThemisModel& full_model() const {
+    return *catalog_.model("Hybrid");
+  }
+  const core::HybridEvaluator& full_evaluator() const {
+    return *catalog_.evaluator("Hybrid");
+  }
+
+  /// The catalog holding the method relations.
+  const core::Catalog& catalog() const { return catalog_; }
 
  private:
   MethodSuite() = default;
 
+  /// Maps a method name to (catalog relation, answer mode).
   Result<std::pair<const core::HybridEvaluator*, core::AnswerMode>> Route(
       const std::string& method) const;
 
-  std::unique_ptr<core::ThemisModel> aqp_model_, linreg_model_, ipf_model_,
-      full_model_;
-  std::unique_ptr<core::HybridEvaluator> aqp_, linreg_, ipf_, full_;
+  core::Catalog catalog_;
 };
 
 }  // namespace themis::workload

@@ -178,11 +178,24 @@ TEST_F(Example31Test, ThemisDbLifecycleErrors) {
   EXPECT_FALSE(db.Build().ok());  // no sample yet
   EXPECT_FALSE(db.Query("SELECT COUNT(*) FROM flights").ok());
   ASSERT_TRUE(db.InsertSample("flights", sample_->Clone()).ok());
-  EXPECT_FALSE(db.InsertSample("again", sample_->Clone()).ok());
-  EXPECT_FALSE(db.InsertAggregate("wrong_table", {}).ok());
+  // A second relation under a fresh name is welcome now; re-registering a
+  // taken name is the error.
+  ASSERT_TRUE(db.InsertSample("again", sample_->Clone()).ok());
+  EXPECT_EQ(db.InsertSample("flights", sample_->Clone()).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(db.InsertAggregate("wrong_table", {}).code(),
+            StatusCode::kNotFound);
   aggregate::AggregateSpec bad;
   bad.attrs = {99};
   EXPECT_FALSE(db.InsertAggregate("flights", bad).ok());
+  // Registered but unbuilt relations answer with FailedPrecondition;
+  // unknown FROM tables with NotFound.
+  EXPECT_EQ(db.Query("SELECT COUNT(*) FROM flights").status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(db.Query("SELECT COUNT(*) FROM nope").status().code(),
+            StatusCode::kNotFound);
+  ASSERT_TRUE(db.DropRelation("again").ok());
+  EXPECT_EQ(db.DropRelation("again").code(), StatusCode::kNotFound);
 }
 
 TEST_F(Example31Test, PointQueryUnknownValueReturnsZero) {

@@ -415,6 +415,77 @@ TEST_F(EngineTest, ResultMemoServesRepeatedGroupByTraffic) {
   EXPECT_EQ(db.evaluator()->result_memo_stats().misses, 2u);
 }
 
+/// The result memo's cost-aware admission: under a `result_memo_bytes`
+/// budget entries weigh their approximate result bytes, oversized answers
+/// are rejected outright, and the stats surface evictions/rejections/cost.
+TEST_F(EngineTest, ResultMemoCostAwareAdmissionAndStats) {
+  auto make_db = [&](const ThemisOptions& options) {
+    auto db = std::make_unique<ThemisDb>(options);
+    EXPECT_TRUE(db->InsertSample("flights", sample_->Clone()).ok());
+    EXPECT_TRUE(
+        db->InsertAggregateFrom("flights", *population_, {"o_st", "d_st"})
+            .ok());
+    EXPECT_TRUE(db->Build().ok());
+    return db;
+  };
+  const std::string group_by_1d =
+      "SELECT o_st, COUNT(*) FROM flights GROUP BY o_st";
+  const std::string group_by_2d =
+      "SELECT o_st, d_st, COUNT(*) FROM flights GROUP BY o_st, d_st";
+
+  {
+    // Entry-count LRU bound: the second distinct fingerprint evicts the
+    // first, and the unit-cost accounting shows up in `cost`.
+    ThemisOptions options = FastOptions();
+    options.result_memo_capacity = 1;
+    auto db = make_db(options);
+    ASSERT_TRUE(db->Query(group_by_1d).ok());
+    ASSERT_TRUE(db->Query(group_by_2d).ok());
+    ResultMemoStats stats = db->evaluator()->result_memo_stats();
+    EXPECT_EQ(stats.entries, 1u);
+    EXPECT_EQ(stats.evictions, 1u);
+    EXPECT_EQ(stats.rejections, 0u);
+    EXPECT_EQ(stats.cost, 1u);
+  }
+  {
+    // A byte budget too small for any answer: every Put is rejected, so
+    // repeats keep missing — but answers are unaffected.
+    ThemisOptions options = FastOptions();
+    options.result_memo_bytes = 32;
+    auto db = make_db(options);
+    auto first = db->Query(group_by_1d);
+    auto second = db->Query(group_by_1d);
+    ASSERT_TRUE(first.ok() && second.ok());
+    ResultMemoStats stats = db->evaluator()->result_memo_stats();
+    EXPECT_EQ(stats.entries, 0u);
+    EXPECT_EQ(stats.hits, 0u);
+    EXPECT_EQ(stats.misses, 2u);
+    EXPECT_GE(stats.rejections, 2u);
+    for (size_t i = 0; i < first->rows.size(); ++i) {
+      EXPECT_EQ(first->rows[i].values, second->rows[i].values);
+    }
+  }
+  {
+    // An ample byte budget admits entries at their approximate byte cost
+    // (well above the unit cost) and serves repeats.
+    ThemisOptions options = FastOptions();
+    options.result_memo_bytes = 1 << 20;
+    auto db = make_db(options);
+    ASSERT_TRUE(db->Query(group_by_1d).ok());
+    ASSERT_TRUE(db->Query(group_by_1d).ok());
+    ResultMemoStats stats = db->evaluator()->result_memo_stats();
+    EXPECT_EQ(stats.entries, 1u);
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.rejections, 0u);
+    EXPECT_GT(stats.cost, 100u);
+    // The 9-group 2D answer weighs more than the 3-group 1D one.
+    const size_t cost_1d = stats.cost;
+    ASSERT_TRUE(db->Query(group_by_2d).ok());
+    stats = db->evaluator()->result_memo_stats();
+    EXPECT_GT(stats.cost - cost_1d, cost_1d);
+  }
+}
+
 TEST_F(EngineTest, ResultMemoInvalidatedOnRebuild) {
   ThemisDb db(FastOptions());
   ASSERT_TRUE(db.InsertSample("flights", sample_->Clone()).ok());

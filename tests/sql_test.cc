@@ -302,5 +302,69 @@ TEST(ExecutorShardingTest, ShardedScanMatchesSequentialAcrossPoolSizes) {
   }
 }
 
+/// A hash join whose probe side exceeds 2x the shard size: the build side
+/// stays sequential, the probe shards by row range, and the merged answer
+/// must be bitwise identical across pool sizes (and — with exactly
+/// representable weights — equal to the pool-less sequential probe).
+TEST(ExecutorShardingTest, ShardedJoinProbeMatchesSequentialAcrossPoolSizes) {
+  auto build_schema = std::make_shared<data::Schema>();
+  build_schema->AddAttribute("k", {"x", "y", "z"});
+  build_schema->AddAttribute("side", {"l", "r"});
+  data::Table build_table(build_schema);
+  for (size_t r = 0; r < 60; ++r) {
+    build_table.AppendRow({static_cast<data::ValueCode>(r % 3),
+                           static_cast<data::ValueCode>(r % 2)});
+    build_table.set_weight(r, static_cast<double>(r % 3) + 0.5);
+  }
+  auto probe_schema = std::make_shared<data::Schema>();
+  probe_schema->AddAttribute("k", {"x", "y", "z", "w"});
+  probe_schema->AddAttribute("g", {"a", "b", "c"});
+  data::Table probe_table(probe_schema);
+  for (size_t r = 0; r < 20000; ++r) {
+    probe_table.AppendRow({static_cast<data::ValueCode>(r % 4),
+                           static_cast<data::ValueCode>((r / 11) % 3)});
+    probe_table.set_weight(r, static_cast<double>(r % 4) * 0.25 + 0.25);
+  }
+  Executor executor;
+  executor.RegisterTable("f", &build_table);
+  executor.RegisterTable("p", &probe_table);
+
+  const std::vector<std::string> sqls = {
+      "SELECT COUNT(*) FROM f, p WHERE f.k = p.k",
+      "SELECT g, COUNT(*) FROM f a, p b WHERE a.k = b.k GROUP BY g",
+      "SELECT g, side, COUNT(*) FROM f a, p b WHERE a.k = b.k "
+      "AND side = 'l' GROUP BY g, side",
+  };
+  for (const std::string& sql : sqls) {
+    auto sequential = executor.Query(sql);
+    ASSERT_TRUE(sequential.ok()) << sequential.status().ToString() << sql;
+    std::vector<QueryResult> sharded;
+    for (size_t threads : {1u, 2u, 4u}) {
+      util::ThreadPool pool(threads);
+      auto result = executor.Query(sql, &pool);
+      ASSERT_TRUE(result.ok()) << sql;
+      sharded.push_back(std::move(*result));
+    }
+    for (const QueryResult& result : sharded) {
+      ASSERT_EQ(result.rows.size(), sequential->rows.size()) << sql;
+      for (size_t i = 0; i < result.rows.size(); ++i) {
+        EXPECT_EQ(result.rows[i].group, sequential->rows[i].group);
+        ASSERT_EQ(result.rows[i].values.size(),
+                  sequential->rows[i].values.size());
+        for (size_t j = 0; j < result.rows[i].values.size(); ++j) {
+          // Bitwise across pool sizes (fixed shard layout, shard-order
+          // merge); the quarter-integer weights multiply and sum exactly,
+          // so the pool-less probe agrees bit-for-bit too.
+          EXPECT_EQ(result.rows[i].values[j], sharded[0].rows[i].values[j])
+              << sql;
+          EXPECT_DOUBLE_EQ(result.rows[i].values[j],
+                           sequential->rows[i].values[j])
+              << sql;
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace themis::sql
