@@ -1,0 +1,308 @@
+// Closed-loop multi-client serving bench: a server::QueryServer fronts a
+// two-relation catalog (flights + IMDb) and N client threads each loop a
+// mixed cross-relation workload over the wire. Every served answer is
+// bitwise-checked against a sequential in-process Query() loop — any
+// divergence aborts — across pool sizes 1 / 2 / hardware and client
+// counts 1 / 4.
+//
+//   ./bench_serving [rounds] [--strict] [--smoke]
+//
+// Timing is informational by default (wall-clock gates flake on noisy
+// shared runners); --strict turns the concurrency bar — 4 clients on the
+// hardware pool >= 1.3x the single-client throughput on the same pool —
+// into the exit code.
+//
+// --smoke runs the CI smoke sequence instead: start a server, issue a
+// point query, a GROUP BY, a STATS probe, and a deterministic overload
+// rejection (admission slot held open by a request hook), then shut down
+// gracefully. Exit code 0 only if every step behaves.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.h"
+
+#include "core/themis_db.h"
+#include "server/client.h"
+#include "server/query_server.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace themis::bench {
+namespace {
+
+/// Mixed per-relation workload: point lookups plus every 1D and 2D
+/// GROUP BY over the schema, all FROM `table`.
+std::vector<std::string> MakeRelationWorkload(const DatasetSetup& setup,
+                                              const std::string& table,
+                                              size_t num_points) {
+  const data::SchemaPtr& schema = setup.population.schema();
+  std::vector<std::string> sqls;
+
+  Rng rng(2026);
+  const auto points = workload::MakeMixedPointQueries(
+      setup.population, 2, 3, workload::HitterClass::kRandom, num_points,
+      rng);
+  for (const auto& q : points) {
+    std::string sql = "SELECT COUNT(*) FROM " + table + " WHERE ";
+    for (size_t i = 0; i < q.attrs.size(); ++i) {
+      if (i > 0) sql += " AND ";
+      sql += schema->domain(q.attrs[i]).name() + " = '" +
+             schema->domain(q.attrs[i]).Label(q.values[i]) + "'";
+    }
+    sqls.push_back(std::move(sql));
+  }
+  for (size_t a = 0; a < schema->num_attributes(); ++a) {
+    sqls.push_back("SELECT " + schema->domain(a).name() +
+                   ", COUNT(*) FROM " + table + " GROUP BY " +
+                   schema->domain(a).name());
+    for (size_t b = a + 1; b < schema->num_attributes(); ++b) {
+      sqls.push_back("SELECT " + schema->domain(a).name() + ", " +
+                     schema->domain(b).name() + ", COUNT(*) FROM " + table +
+                     " GROUP BY " + schema->domain(a).name() + ", " +
+                     schema->domain(b).name());
+    }
+  }
+  return sqls;
+}
+
+void CheckIdentical(const sql::QueryResult& a, const sql::QueryResult& b,
+                    const std::string& what) {
+  THEMIS_CHECK(a.rows.size() == b.rows.size()) << what;
+  for (size_t i = 0; i < a.rows.size(); ++i) {
+    THEMIS_CHECK(a.rows[i].group == b.rows[i].group) << what;
+    // Bitwise double equality, not approximate.
+    THEMIS_CHECK(a.rows[i].values == b.rows[i].values) << what;
+  }
+}
+
+core::ThemisDb BuildCombinedDb(const DatasetSetup& flights,
+                               const DatasetSetup& imdb,
+                               const aggregate::AggregateSet& flights_aggs,
+                               const aggregate::AggregateSet& imdb_aggs,
+                               size_t num_threads) {
+  core::ThemisOptions options = BenchOptions();
+  options.num_threads = num_threads;
+  core::ThemisDb db(options);
+  THEMIS_CHECK_OK(db.InsertSample("flights", flights.samples.at("Corners").Clone()));
+  for (const auto& spec : flights_aggs.specs()) {
+    THEMIS_CHECK_OK(db.InsertAggregate("flights", spec));
+  }
+  THEMIS_CHECK_OK(db.InsertSample("imdb", imdb.samples.at("R159").Clone()));
+  for (const auto& spec : imdb_aggs.specs()) {
+    THEMIS_CHECK_OK(db.InsertAggregate("imdb", spec));
+  }
+  THEMIS_CHECK_OK(db.Build());
+  return db;
+}
+
+/// One closed-loop cell: `num_clients` threads, each its own connection,
+/// looping the interleaved workload `rounds` times with a staggered
+/// offset; every answer bitwise-checked. Returns queries per second.
+double RunClients(uint16_t port, const std::vector<std::string>& sqls,
+                  const std::vector<sql::QueryResult>& expected,
+                  size_t num_clients, size_t rounds) {
+  Timer timer;
+  std::vector<std::thread> threads;
+  for (size_t c = 0; c < num_clients; ++c) {
+    threads.emplace_back([&, c] {
+      auto client = server::Client::Connect(port);
+      THEMIS_CHECK(client.ok()) << client.status().ToString();
+      for (size_t round = 0; round < rounds; ++round) {
+        for (size_t i = 0; i < sqls.size(); ++i) {
+          const size_t q = (i + c) % sqls.size();
+          auto result = client->Query(sqls[q]);
+          THEMIS_CHECK(result.ok())
+              << sqls[q] << ": " << result.status().ToString();
+          CheckIdentical(*result, expected[q], sqls[q]);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  return static_cast<double>(sqls.size() * rounds * num_clients) /
+         timer.Seconds();
+}
+
+int Run(size_t rounds, bool strict) {
+  PrintHeader("Serving micro-bench",
+              "closed-loop multi-client TCP serving vs in-process loop");
+  BenchScale scale;
+  DatasetSetup flights = MakeFlights(scale);
+  DatasetSetup imdb = MakeImdb(scale);
+  aggregate::AggregateSet flights_aggs =
+      MakePaperAggregates(flights.population, flights.covered_attrs, 5, 4);
+  aggregate::AggregateSet imdb_aggs =
+      MakePaperAggregates(imdb.population, imdb.covered_attrs, 5, 4);
+
+  // Strictly interleaved cross-relation workload.
+  const std::vector<std::string> flights_sqls =
+      MakeRelationWorkload(flights, "flights", 20);
+  const std::vector<std::string> imdb_sqls =
+      MakeRelationWorkload(imdb, "imdb", 20);
+  std::vector<std::string> sqls;
+  for (size_t i = 0; sqls.size() < 120; ++i) {
+    sqls.push_back(flights_sqls[i % flights_sqls.size()]);
+    sqls.push_back(imdb_sqls[i % imdb_sqls.size()]);
+  }
+
+  std::vector<size_t> pool_sizes = {1, 2, 0};  // 0 = hardware
+  double hw_single_qps = 0;
+  double hw_multi_qps = 0;
+  for (const size_t pool_size : pool_sizes) {
+    Timer build_timer;
+    core::ThemisDb db = BuildCombinedDb(flights, imdb, flights_aggs,
+                                        imdb_aggs, pool_size);
+    std::printf("  pool=%s: built 2 relations in %.2fs\n",
+                pool_size == 0 ? "hw" : std::to_string(pool_size).c_str(),
+                build_timer.Seconds());
+
+    // The sequential in-process baseline — also the bitwise oracle.
+    std::vector<sql::QueryResult> expected;
+    Timer loop_timer;
+    for (const std::string& sql : sqls) {
+      auto result = db.Query(sql);
+      THEMIS_CHECK_OK(result.status());
+      expected.push_back(std::move(*result));
+    }
+    const double loop_qps =
+        static_cast<double>(sqls.size()) / loop_timer.Seconds();
+
+    server::QueryServer server(&db.catalog());
+    THEMIS_CHECK_OK(server.Start());
+    for (const size_t num_clients : {size_t{1}, size_t{4}}) {
+      const double qps =
+          RunClients(server.port(), sqls, expected, num_clients, rounds);
+      std::printf(
+          "  pool=%-2s clients=%zu: %8.0f q/s served (bitwise ok; "
+          "in-process loop %8.0f q/s)\n",
+          pool_size == 0 ? "hw" : std::to_string(pool_size).c_str(),
+          num_clients, qps, loop_qps);
+      if (pool_size == 0 && num_clients == 1) hw_single_qps = qps;
+      if (pool_size == 0 && num_clients == 4) hw_multi_qps = qps;
+    }
+    auto stats_client = server::Client::Connect(server.port());
+    THEMIS_CHECK(stats_client.ok());
+    auto stats = stats_client->Stats();
+    THEMIS_CHECK(stats.ok()) << stats.status().ToString();
+    std::printf(
+        "  pool=%-2s stats: served_ok=%zu rejected=%zu "
+        "flights result-memo hit-rate %.2f\n",
+        pool_size == 0 ? "hw" : std::to_string(pool_size).c_str(),
+        stats->server.served_ok, stats->server.rejected_overload,
+        stats->relations.at("flights").result_memo.HitRate());
+    server.Stop();
+  }
+
+  const double speedup =
+      hw_single_qps > 0 ? hw_multi_qps / hw_single_qps : 0;
+  std::printf("  4 clients vs 1 on the hw pool: %.2fx %s\n", speedup,
+              speedup >= 1.3
+                  ? "(>= 1.3x: concurrent serving win demonstrated)"
+                  : "(below the 1.3x bar)");
+  return (strict && speedup < 1.3) ? 1 : 0;
+}
+
+/// The CI smoke: point + GROUP BY + STATS + deterministic overload +
+/// graceful shutdown against a one-relation server.
+int Smoke() {
+  PrintHeader("Serving smoke", "start, query, stats, overload, shutdown");
+  BenchScale scale;
+  DatasetSetup flights = MakeFlights(scale);
+  aggregate::AggregateSet aggs =
+      MakePaperAggregates(flights.population, flights.covered_attrs, 5, 4);
+  core::ThemisOptions options = BenchOptions();
+  core::ThemisDb db(options);
+  THEMIS_CHECK_OK(
+      db.InsertSample("flights", flights.samples.at("Corners").Clone()));
+  for (const auto& spec : aggs.specs()) {
+    THEMIS_CHECK_OK(db.InsertAggregate("flights", spec));
+  }
+  THEMIS_CHECK_OK(db.Build());
+
+  // One-shot latch: the first admitted request blocks until released so
+  // the overload rejection is deterministic; later requests pass through.
+  std::promise<void> release;
+  std::shared_future<void> released = release.get_future().share();
+  server::QueryServer::Options server_options;
+  server_options.max_inflight = 1;
+  server_options.request_hook = [released] { released.wait(); };
+  server::QueryServer server(&db.catalog(), server_options);
+  THEMIS_CHECK_OK(server.Start());
+  std::printf("  server up on 127.0.0.1:%u (max_inflight=1)\n",
+              server.port());
+
+  const std::string point =
+      "SELECT COUNT(*) FROM flights WHERE " +
+      flights.population.schema()->domain(0).name() + " = '" +
+      flights.population.schema()->domain(0).Label(0) + "'";
+  const std::string group_by =
+      "SELECT " + flights.population.schema()->domain(0).name() +
+      ", COUNT(*) FROM flights GROUP BY " +
+      flights.population.schema()->domain(0).name();
+
+  auto holder = server::Client::Connect(server.port());
+  THEMIS_CHECK(holder.ok());
+  THEMIS_CHECK_OK(holder->Send("{\"sql\": \"" + point + "\"}"));
+  auto observer = server::Client::Connect(server.port());
+  THEMIS_CHECK(observer.ok());
+  for (;;) {
+    auto stats = observer->Stats();
+    THEMIS_CHECK(stats.ok()) << stats.status().ToString();
+    if (stats->server.inflight >= 1) break;
+    std::this_thread::yield();
+  }
+  auto rejected = observer->Query(group_by);
+  THEMIS_CHECK(rejected.status().code() == StatusCode::kResourceExhausted)
+      << rejected.status().ToString();
+  std::printf("  overload while slot held: ResourceExhausted (as designed)\n");
+
+  release.set_value();
+  auto held = holder->Receive();
+  THEMIS_CHECK(held.ok()) << held.status().ToString();
+  auto point_result = server::DecodeResultResponse(*held);
+  THEMIS_CHECK(point_result.ok()) << *held;
+  CheckIdentical(*point_result, *db.Query(point), point);
+  std::printf("  point query over the wire: bitwise ok\n");
+
+  auto group_result = observer->Query(group_by);
+  THEMIS_CHECK(group_result.ok()) << group_result.status().ToString();
+  CheckIdentical(*group_result, *db.Query(group_by), group_by);
+  std::printf("  GROUP BY over the wire: bitwise ok\n");
+
+  auto stats = observer->Stats();
+  THEMIS_CHECK(stats.ok());
+  THEMIS_CHECK(stats->server.served_ok == 2) << stats->server.served_ok;
+  THEMIS_CHECK(stats->server.rejected_overload == 1);
+  THEMIS_CHECK(stats->relations.at("flights").built);
+  std::printf("  STATS: served_ok=2 rejected_overload=1 flights built\n");
+
+  server.Stop();
+  THEMIS_CHECK(!server.running());
+  std::printf("  graceful shutdown: ok\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace themis::bench
+
+int main(int argc, char** argv) {
+  size_t rounds = 2;
+  bool strict = false;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--strict") == 0) {
+      strict = true;
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      rounds = static_cast<size_t>(std::strtoul(argv[i], nullptr, 10));
+    }
+  }
+  if (rounds == 0) rounds = 1;
+  return smoke ? themis::bench::Smoke() : themis::bench::Run(rounds, strict);
+}

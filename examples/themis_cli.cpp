@@ -5,19 +5,25 @@
 // over the population.
 //
 //   ./themis_cli SAMPLE.csv AGG1.csv [AGG2.csv ...] [--n POP_SIZE]
-//                [--query 'SELECT ...']
+//                [--query 'SELECT ...'] [--serve [PORT]]
 //
-// Without --query, reads one SQL statement per line from stdin.
+// Without --query, reads one SQL statement per line from stdin. With
+// --serve, starts the TCP query server on 127.0.0.1:PORT (0 or omitted =
+// ephemeral, printed) and serves the line-delimited JSON protocol (see
+// README "Serving") until stdin closes or reads "quit"; shutdown drains
+// in-flight requests.
 //
 // Demo (generates its own files):
 //   ./themis_cli --demo
 #include <cstdio>
 #include <cstring>
+#include <future>
 #include <iostream>
 
 #include "aggregate/aggregate_io.h"
 #include "core/themis_db.h"
 #include "data/csv.h"
+#include "server/query_server.h"
 #include "workload/flights.h"
 #include "workload/sampler.h"
 
@@ -71,20 +77,39 @@ int Main(int argc, const char** argv) {
   std::vector<std::string> files;
   std::string query;
   double population_size = 0;
+  bool serve = false;
+  long serve_port = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--demo") == 0) return RunDemo();
     if (std::strcmp(argv[i], "--query") == 0 && i + 1 < argc) {
       query = argv[++i];
     } else if (std::strcmp(argv[i], "--n") == 0 && i + 1 < argc) {
       population_size = std::strtod(argv[++i], nullptr);
+    } else if (std::strcmp(argv[i], "--serve") == 0) {
+      serve = true;
+      // Optional port operand (0 = ephemeral) — consumed only when the
+      // next argument is entirely digits, so a data file like
+      // "2023_aggs.csv" is never mistaken for a port.
+      if (i + 1 < argc && argv[i + 1][0] != '\0') {
+        char* end = nullptr;
+        const long port = std::strtol(argv[i + 1], &end, 10);
+        if (end != argv[i + 1] && *end == '\0') {
+          serve_port = port;
+          ++i;
+        }
+      }
     } else {
       files.emplace_back(argv[i]);
     }
   }
-  if (files.empty()) {
+  if (files.empty() || serve_port < 0 || serve_port > 65535 ||
+      (serve && !query.empty())) {
+    if (serve && !query.empty()) {
+      std::fprintf(stderr, "--query and --serve are mutually exclusive\n");
+    }
     std::fprintf(stderr,
                  "usage: themis_cli SAMPLE.csv AGG.csv... [--n N] "
-                 "[--query SQL] | --demo\n");
+                 "[--query SQL | --serve [PORT]] | --demo\n");
     return 2;
   }
 
@@ -130,6 +155,40 @@ int Main(int argc, const char** argv) {
 
   if (!query.empty()) {
     run(query);
+    return 0;
+  }
+  if (serve) {
+    server::QueryServer::Options server_options;
+    server_options.port = static_cast<uint16_t>(serve_port);
+    server::QueryServer server(&db.catalog(), server_options);
+    Status started = server.Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "serve failed: %s\n", started.ToString().c_str());
+      return 1;
+    }
+    std::printf(
+        "serving on 127.0.0.1:%u — line-delimited JSON, e.g.\n"
+        "  {\"sql\": \"SELECT ... FROM sample ...\"}\n"
+        "  {\"verb\": \"stats\"}\n"
+        "'quit' on stdin stops with a drain; EOF (backgrounded/daemonized,"
+        " stdin < /dev/null) serves until the process is terminated\n",
+        server.port());
+    std::string line;
+    bool quit_requested = false;
+    while (std::getline(std::cin, line)) {
+      if (line == "quit" || line == "exit") {
+        quit_requested = true;
+        break;
+      }
+    }
+    if (!quit_requested) {
+      // stdin closed without a quit: a backgrounded server would
+      // otherwise stop before the first client connects. Park forever;
+      // process termination is the shutdown signal in that mode.
+      std::promise<void>().get_future().wait();
+    }
+    server.Stop();
+    std::printf("server stopped\n");
     return 0;
   }
   std::string line;

@@ -99,6 +99,12 @@ void InferenceEngine::set_cache_enabled(bool enabled) {
   cache_enabled_.store(enabled, std::memory_order_relaxed);
 }
 
+void InferenceEngine::set_cache_bytes(size_t cache_bytes) {
+  if (!cost_aware_ || cache_bytes == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_.set_capacity(cache_bytes);
+}
+
 void InferenceEngine::ClearCache() {
   std::lock_guard<std::mutex> lock(mu_);
   cache_.Clear();
@@ -115,6 +121,7 @@ InferenceCacheStats InferenceEngine::cache_stats() const {
   stats.rejections = cache_.rejections();
   stats.entries = cache_.size();
   stats.cost = cache_.total_cost();
+  stats.capacity = cache_.capacity();
   return stats;
 }
 

@@ -23,6 +23,9 @@ struct InferenceCacheStats {
   /// Total cost of the resident entries: approximate bytes under a byte
   /// budget, the entry count otherwise.
   size_t cost = 0;
+  /// The active bound in the same units as `cost` (0 = unbounded).
+  /// Changes when the catalog rebalances budgets after DropRelation.
+  size_t capacity = 0;
 
   double HitRate() const {
     const size_t total = hits + misses;
@@ -80,6 +83,12 @@ class InferenceEngine {
 
   bool cache_enabled() const;
   void set_cache_enabled(bool enabled);
+
+  /// Rebounds a cost-aware cache in place (no-op for an engine built
+  /// without Options::cache_bytes, or when `cache_bytes` is 0): growing
+  /// keeps every warm entry, shrinking evicts LRU-first. How a catalog
+  /// re-inflates surviving relations' shares after DropRelation.
+  void set_cache_bytes(size_t cache_bytes);
 
   /// Drops every memoized entry and resets the counters.
   void ClearCache();

@@ -146,7 +146,37 @@ Status Catalog::DropRelation(const std::string& name) {
     return Status::NotFound("no relation '" + name + "'");
   }
   relations_.erase(it);
+  // Survivors inherit the dropped relation's cache-byte share right away
+  // — a smaller catalog serves the same budget, not a shrunken one.
+  RebalanceCacheBudgets();
   return Status::OK();
+}
+
+void Catalog::RebalanceCacheBudgets() {
+  if (relations_.empty()) return;
+  const size_t n = relations_.size();
+  for (auto& [name, relation] : relations_) {
+    if (relation.evaluator == nullptr) continue;
+    const ThemisOptions& base = relation.base_options;
+    // Grow-only: a survivor built when the catalog was smaller may hold
+    // more than base/n already (shares are fixed at build time); clamping
+    // it down would evict warm entries mid-serving, which is exactly what
+    // this rebalance exists to avoid. Shrinking happens only through the
+    // relation's own rebuild.
+    const auto grown = [n](size_t budget, size_t current) -> size_t {
+      if (budget == 0) return 0;  // not byte-budgeted: leave untouched
+      return std::max(current, std::max<size_t>(1, budget / n));
+    };
+    const size_t inference_current =
+        relation.evaluator->inference_engine() != nullptr
+            ? relation.evaluator->inference_engine()->cache_stats().capacity
+            : 0;
+    const size_t memo_current =
+        relation.evaluator->result_memo_stats().capacity;
+    relation.evaluator->SetCacheBudgets(
+        grown(base.inference_cache_bytes, inference_current),
+        grown(base.result_memo_bytes, memo_current));
+  }
 }
 
 bool Catalog::Has(const std::string& name) const {
@@ -181,6 +211,32 @@ const ThemisModel* Catalog::model(const std::string& name) const {
 const HybridEvaluator* Catalog::evaluator(const std::string& name) const {
   auto it = relations_.find(name);
   return it == relations_.end() ? nullptr : it->second.evaluator.get();
+}
+
+Result<RelationStats> Catalog::StatsFor(const std::string& name) const {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound("no relation '" + name + "'");
+  }
+  RelationStats stats;
+  const HybridEvaluator* evaluator = it->second.evaluator.get();
+  if (evaluator == nullptr) return stats;  // registered, not built
+  stats.built = true;
+  stats.plan_cache_hits = evaluator->planner().cache_hits();
+  stats.plan_cache_misses = evaluator->planner().cache_misses();
+  if (evaluator->inference_engine() != nullptr) {
+    stats.inference_cache = evaluator->inference_engine()->cache_stats();
+  }
+  stats.result_memo = evaluator->result_memo_stats();
+  return stats;
+}
+
+std::map<std::string, RelationStats> Catalog::Stats() const {
+  std::map<std::string, RelationStats> out;
+  for (const auto& [name, relation] : relations_) {
+    out.emplace(name, *StatsFor(name));
+  }
+  return out;
 }
 
 Result<const Catalog::Relation*> Catalog::FindBuilt(

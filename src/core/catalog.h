@@ -17,6 +17,20 @@
 
 namespace themis::core {
 
+/// Live cache counters of one catalog relation — the payload of the
+/// serving front-end's STATS verb. All counters reset when the relation
+/// rebuilds (its evaluator is recreated).
+struct RelationStats {
+  bool built = false;
+  /// Plan-cache counters (normalized-SQL -> logical plan).
+  size_t plan_cache_hits = 0;
+  size_t plan_cache_misses = 0;
+  /// BN marginal/probability memo; zero-valued when the model has no BN.
+  bn::InferenceCacheStats inference_cache;
+  /// Plan->result memo.
+  ResultMemoStats result_memo;
+};
+
 /// Per-relation overrides applied at InsertSample time.
 struct RelationConfig {
   /// Build options for this relation; the catalog-wide options otherwise.
@@ -41,7 +55,8 @@ struct RelationConfig {
 /// `result_memo_bytes` budgets are split evenly across the registered
 /// relations at Build time (each relation's share is fixed when it
 /// builds, so relations added later do not shrink already-built
-/// neighbors' shares until those rebuild).
+/// neighbors' shares until those rebuild; dropping a relation, however,
+/// re-inflates the survivors' shares immediately and in place).
 ///
 /// Queries route by the FROM table: `Query`/`QueryBatch` resolve the first
 /// FROM identifier against the relation names and dispatch to that
@@ -112,6 +127,15 @@ class Catalog {
   const ThemisModel* model(const std::string& name) const;
   const HybridEvaluator* evaluator(const std::string& name) const;
 
+  /// Live cache counters of the named relation (all-zero with
+  /// built=false for a registered-but-unbuilt one). NotFound when no such
+  /// relation exists.
+  Result<RelationStats> StatsFor(const std::string& name) const;
+
+  /// StatsFor every registered relation, keyed by relation name — what
+  /// the serving front-end's STATS verb reports.
+  std::map<std::string, RelationStats> Stats() const;
+
   /// Answers SQL against the relation named by its FROM clause.
   /// NotFound("no relation 'x'") for an unknown FROM table,
   /// FailedPrecondition for a registered-but-unbuilt one.
@@ -156,6 +180,15 @@ class Catalog {
   /// The named relation, with precise statuses: NotFound when unknown,
   /// FailedPrecondition when not built.
   Result<const Relation*> FindBuilt(const std::string& name) const;
+
+  /// Re-splits the catalog-wide cache-byte budgets over the relations
+  /// registered right now and applies each built relation's new share in
+  /// place. Grow-only: a survivor already holding more than its new
+  /// share (built when the catalog was smaller) keeps it — warm entries
+  /// are never evicted by someone else's drop; shrinking happens only
+  /// through the relation's own rebuild. Called by DropRelation so
+  /// survivors inherit a dropped neighbor's share immediately.
+  void RebalanceCacheBudgets();
 
   /// The relation name `sql` routes to (its first FROM identifier),
   /// memoized by exact text — the route depends only on the text, never

@@ -52,6 +52,9 @@ HybridEvaluator::HybridEvaluator(const ThemisModel* model,
       model_->reweighted_sample().schema(), has_bn,
       options.plan_cache_capacity, relation_);
   pool_ = util::ResolvePool(pool, options.num_threads, owned_pool_);
+  // Resolved once: no getenv on the query hot path, and the shard layout
+  // (which fixes the float summation order) cannot drift mid-run.
+  shard_rows_ = sql::ResolveShardRows(options.shard_rows);
   result_memo_enabled_ = options.enable_result_memo;
   result_memo_cost_aware_ = options.result_memo_bytes > 0;
   result_memo_ =
@@ -135,7 +138,7 @@ Result<sql::QueryResult> HybridEvaluator::BnGroupBy(
   std::vector<Result<sql::QueryResult>> results(
       k_total, Result<sql::QueryResult>(Status::Internal("not executed")));
   pool_->ParallelFor(0, k_total, [&](size_t k) {
-    results[k] = bn_executors_[k].Execute(stmt, pool_);
+    results[k] = bn_executors_[k].Execute(stmt, pool_, shard_rows_);
   });
 
   std::map<std::vector<std::string>, std::pair<std::vector<double>, size_t>>
@@ -179,7 +182,7 @@ Result<sql::QueryResult> HybridEvaluator::ExecutePlanUncached(
       model_->network() != nullptr && !bn_executors_.empty();
   if (plan.kind == PlanKind::kPassthrough || mode == AnswerMode::kSampleOnly ||
       !has_bn) {
-    return sample_executor_.Execute(plan.stmt, pool_);
+    return sample_executor_.Execute(plan.stmt, pool_, shard_rows_);
   }
 
   if (plan.kind == PlanKind::kPoint) {
@@ -203,7 +206,8 @@ Result<sql::QueryResult> HybridEvaluator::ExecutePlanUncached(
 
   // Hybrid: sample answer unioned with BN-only groups (Sec 4.3).
   THEMIS_ASSIGN_OR_RETURN(sql::QueryResult sample_result,
-                          sample_executor_.Execute(plan.stmt, pool_));
+                          sample_executor_.Execute(plan.stmt, pool_,
+                                                   shard_rows_));
   auto bn_result = BnGroupBy(plan.stmt);
   if (!bn_result.ok()) return sample_result;
 
@@ -274,7 +278,17 @@ ResultMemoStats HybridEvaluator::result_memo_stats() const {
   stats.evictions = result_memo_.evictions();
   stats.rejections = result_memo_.rejections();
   stats.cost = result_memo_.total_cost();
+  stats.capacity = result_memo_.capacity();
   return stats;
+}
+
+void HybridEvaluator::SetCacheBudgets(size_t inference_cache_bytes,
+                                      size_t result_memo_bytes) {
+  if (engine_ != nullptr) engine_->set_cache_bytes(inference_cache_bytes);
+  if (result_memo_cost_aware_ && result_memo_bytes > 0) {
+    std::lock_guard<std::mutex> lock(memo_mu_);
+    result_memo_.set_capacity(result_memo_bytes);
+  }
 }
 
 void HybridEvaluator::ClearResultMemo() const {

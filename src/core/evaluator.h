@@ -41,6 +41,9 @@ struct ResultMemoStats {
   /// Total cost of the resident entries: approximate bytes under a byte
   /// budget, the entry count otherwise.
   size_t cost = 0;
+  /// The active bound in the same units as `cost` (0 = unbounded).
+  /// Changes when the catalog rebalances budgets after DropRelation.
+  size_t capacity = 0;
 
   double HitRate() const {
     const size_t total = hits + misses;
@@ -146,6 +149,15 @@ class HybridEvaluator {
   /// the evaluator on rebuild).
   void ClearResultMemo() const;
 
+  /// Rebounds the byte-budgeted caches in place — the inference cache to
+  /// `inference_cache_bytes`, the result memo to `result_memo_bytes` —
+  /// keeping warm entries when growing, evicting LRU-first when
+  /// shrinking. Either value 0 leaves that cache untouched, as does a
+  /// cache not built under a byte budget. How the catalog re-inflates
+  /// surviving relations' shares when a neighbor is dropped.
+  void SetCacheBudgets(size_t inference_cache_bytes,
+                       size_t result_memo_bytes);
+
  private:
   /// Σ weight over sample rows matching the key (0 when absent).
   double SampleMass(const std::vector<size_t>& attrs,
@@ -177,6 +189,7 @@ class HybridEvaluator {
   std::unique_ptr<QueryPlanner> planner_;
   std::unique_ptr<util::ThreadPool> owned_pool_;  // when num_threads is set
   util::ThreadPool* pool_;
+  size_t shard_rows_;  // ThemisOptions::shard_rows, resolved at build
   bool result_memo_enabled_;
   bool result_memo_cost_aware_;  // true when options.result_memo_bytes > 0
   mutable std::mutex memo_mu_;

@@ -83,6 +83,20 @@ struct ThemisOptions {
   /// else hardware concurrency).
   size_t num_threads = 0;
 
+  /// Rows per shard of the executor's sharded scans and hash-join probes.
+  /// 0 = sql::ResolveShardRows default (THEMIS_SHARD_ROWS env override,
+  /// else 8192). The shard layout — and with it the float summation order
+  /// — depends only on this value and the table, so a fixed shard_rows
+  /// keeps answers bitwise identical across pool sizes; changing it may
+  /// legitimately reorder float sums.
+  size_t shard_rows = 0;
+
+  /// Serving admission bound: how many wire requests a server::QueryServer
+  /// fronting this catalog may have in flight (queued or executing on the
+  /// pool) before it rejects new ones with ResourceExhausted. 0 disables
+  /// admission control (never reject).
+  size_t max_inflight = 256;
+
   uint64_t seed = 42;
 };
 

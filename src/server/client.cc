@@ -1,0 +1,111 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace themis::server {
+
+Result<Client> Client::Connect(uint16_t port, const std::string& host) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("not an IPv4 address: '" + host + "'");
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const Status status = Status::IoError(
+        "connect to " + host + ":" + std::to_string(port) + ": " +
+        std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  return Client(fd);
+}
+
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_), buffer_(std::move(other.buffer_)) {
+  other.fd_ = -1;
+}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    buffer_ = std::move(other.buffer_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status Client::Send(const std::string& line) {
+  if (fd_ < 0) return Status::FailedPrecondition("client is closed");
+  std::string framed = line;
+  framed.push_back('\n');
+  if (!SendAll(fd_, framed)) {
+    return Status::IoError(std::string("send: ") + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Result<std::string> Client::Receive() {
+  if (fd_ < 0) return Status::FailedPrecondition("client is closed");
+  std::string line;
+  if (!RecvLine(fd_, &buffer_, &line)) {
+    return Status::IoError("server closed the connection");
+  }
+  return line;
+}
+
+Result<std::string> Client::RoundTrip(const std::string& line) {
+  THEMIS_RETURN_IF_ERROR(Send(line));
+  return Receive();
+}
+
+Result<sql::QueryResult> Client::Query(const std::string& sql,
+                                       const std::string& relation,
+                                       core::AnswerMode mode) {
+  JsonValue request = JsonValue::Object();
+  request.Set("sql", JsonValue::String(sql));
+  if (!relation.empty()) {
+    request.Set("relation", JsonValue::String(relation));
+  }
+  request.Set("mode", JsonValue::String(AnswerModeWireName(mode)));
+  THEMIS_ASSIGN_OR_RETURN(std::string response, RoundTrip(request.Dump()));
+  return DecodeResultResponse(response);
+}
+
+Result<std::vector<sql::QueryResult>> Client::QueryBatch(
+    const std::vector<std::string>& sqls, core::AnswerMode mode) {
+  JsonValue request = JsonValue::Object();
+  JsonValue batch = JsonValue::Array();
+  for (const std::string& sql : sqls) batch.Append(JsonValue::String(sql));
+  request.Set("batch", std::move(batch));
+  request.Set("mode", JsonValue::String(AnswerModeWireName(mode)));
+  THEMIS_ASSIGN_OR_RETURN(std::string response, RoundTrip(request.Dump()));
+  return DecodeBatchResponse(response);
+}
+
+Result<ServerStats> Client::Stats() {
+  JsonValue request = JsonValue::Object();
+  request.Set("verb", JsonValue::String("stats"));
+  THEMIS_ASSIGN_OR_RETURN(std::string response, RoundTrip(request.Dump()));
+  return DecodeStatsResponse(response);
+}
+
+}  // namespace themis::server

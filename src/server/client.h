@@ -1,0 +1,72 @@
+#ifndef THEMIS_SERVER_CLIENT_H_
+#define THEMIS_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/evaluator.h"
+#include "server/wire.h"
+#include "sql/executor.h"
+#include "util/status.h"
+
+namespace themis::server {
+
+/// Blocking client for the line-delimited JSON wire protocol — what the
+/// tests and the closed-loop serving bench drive, and a reference for
+/// writing clients in other languages (the protocol is plain enough for
+/// `nc`). One connection, one outstanding request at a time; open one
+/// Client per thread for concurrency.
+///
+/// Server-reported errors come back as the original util::Status (code
+/// restored from the wire name, message preserved); transport failures
+/// surface as IoError and decode bugs as ParseError.
+class Client {
+ public:
+  /// Connects to the loopback server on `port`. IoError on refusal.
+  static Result<Client> Connect(uint16_t port,
+                                const std::string& host = "127.0.0.1");
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  ~Client();
+
+  /// Answers one SQL query. Empty `relation` routes by the FROM table;
+  /// non-empty pins the catalog relation (Catalog::QueryOn semantics).
+  /// The decoded result is bitwise identical to the server-side answer
+  /// (doubles travel with 17 significant digits).
+  Result<sql::QueryResult> Query(
+      const std::string& sql, const std::string& relation = "",
+      core::AnswerMode mode = core::AnswerMode::kHybrid);
+
+  /// Answers a batch in one round trip; rides Catalog::QueryBatch on the
+  /// server, interleaving plans across relations. Results line up with
+  /// the input order.
+  Result<std::vector<sql::QueryResult>> QueryBatch(
+      const std::vector<std::string>& sqls,
+      core::AnswerMode mode = core::AnswerMode::kHybrid);
+
+  /// The STATS verb: live server counters + per-relation cache counters.
+  Result<ServerStats> Stats();
+
+  /// Sends one raw line verbatim and returns the raw response line —
+  /// how the tests probe the server's handling of malformed input.
+  Result<std::string> RoundTrip(const std::string& line);
+
+  /// Split halves of RoundTrip, for tests that must hold a request in
+  /// flight (overload, shutdown-drain) while doing something else.
+  Status Send(const std::string& line);
+  Result<std::string> Receive();
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  std::string buffer_;  // bytes read past the last returned line
+};
+
+}  // namespace themis::server
+
+#endif  // THEMIS_SERVER_CLIENT_H_

@@ -1,0 +1,327 @@
+#include "server/query_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/string_util.h"
+
+namespace themis::server {
+
+namespace {
+
+/// An already-resolved response future, for answers produced inline
+/// (stats, parse errors, overload rejections) that must still flow
+/// through the per-connection FIFO so responses never reorder.
+std::future<std::string> Ready(std::string line) {
+  std::promise<std::string> promise;
+  promise.set_value(std::move(line));
+  return promise.get_future();
+}
+
+}  // namespace
+
+QueryServer::QueryServer(const core::Catalog* catalog)
+    : QueryServer(catalog, Options()) {}
+
+QueryServer::QueryServer(const core::Catalog* catalog, Options options)
+    : catalog_(catalog), options_(std::move(options)) {
+  max_inflight_ = options_.max_inflight > 0
+                      ? options_.max_inflight
+                      : catalog_->options().max_inflight;
+}
+
+QueryServer::~QueryServer() { Stop(); }
+
+Status QueryServer::Start() {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (listen_fd_ >= 0) {
+    return Status::FailedPrecondition("server already started");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const Status status =
+        Status::IoError(std::string("bind: ") + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, 128) < 0) {
+    const Status status =
+        Status::IoError(std::string("listen: ") + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    const Status status =
+        Status::IoError(std::string("getsockname: ") + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  port_ = ntohs(addr.sin_port);
+  listen_fd_ = fd;
+  stopping_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void QueryServer::Stop() {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (listen_fd_ < 0) return;  // never started, or already stopped
+  stopping_.store(true, std::memory_order_release);
+  // Wake the blocked accept(); on Linux shutdown() on a listening socket
+  // makes accept() return immediately.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+
+  // Drain every session: stop reading new requests, let the writer flush
+  // everything already admitted (it blocks on each in-flight future), and
+  // only then tear the connection down.
+  std::vector<std::unique_ptr<Session>> sessions;
+  {
+    std::lock_guard<std::mutex> sessions_lock(sessions_mu_);
+    sessions.swap(sessions_);
+  }
+  for (const std::unique_ptr<Session>& session : sessions) {
+    ::shutdown(session->fd, SHUT_RD);
+  }
+  for (const std::unique_ptr<Session>& session : sessions) {
+    if (session->reader.joinable()) session->reader.join();
+    if (session->writer.joinable()) session->writer.join();
+    ::shutdown(session->fd, SHUT_WR);
+    ::close(session->fd);
+  }
+  running_.store(false, std::memory_order_release);
+}
+
+void QueryServer::AcceptLoop() {
+  for (;;) {
+    sockaddr_in addr{};
+    socklen_t len = sizeof(addr);
+    const int fd =
+        ::accept(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // shutdown (or a fatal listen-socket error): stop accepting
+    }
+    if (stopping_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      break;
+    }
+    // Bounded writes: a peer that stops reading until its TCP buffer
+    // fills would otherwise pin a writer in ::send forever — and with it
+    // Stop(), which joins writers after the drain. After the timeout the
+    // send fails, the writer treats the peer as gone, and the drain
+    // continues without it.
+    timeval send_timeout{};
+    send_timeout.tv_sec = 10;
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &send_timeout,
+                 sizeof(send_timeout));
+    accepted_connections_.fetch_add(1, std::memory_order_relaxed);
+    auto session = std::make_unique<Session>();
+    session->fd = fd;
+    Session* raw = session.get();
+    {
+      std::lock_guard<std::mutex> lock(sessions_mu_);
+      ReapFinishedSessions();
+      sessions_.push_back(std::move(session));
+    }
+    raw->reader = std::thread([this, raw] { ReaderLoop(raw); });
+    raw->writer = std::thread([this, raw] { WriterLoop(raw); });
+  }
+}
+
+void QueryServer::ReapFinishedSessions() {
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    Session* session = it->get();
+    if (!session->finished.load(std::memory_order_acquire)) {
+      ++it;
+      continue;
+    }
+    if (session->reader.joinable()) session->reader.join();
+    if (session->writer.joinable()) session->writer.join();
+    ::close(session->fd);
+    it = sessions_.erase(it);
+  }
+}
+
+void QueryServer::ReaderLoop(Session* session) {
+  std::string buffer;
+  std::string line;
+  while (RecvLine(session->fd, &buffer, &line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (Trim(line).empty()) continue;
+    std::future<std::string> response = HandleLine(line);
+    {
+      std::lock_guard<std::mutex> lock(session->mu);
+      session->responses.push_back(std::move(response));
+    }
+    session->cv.notify_one();
+  }
+  {
+    std::lock_guard<std::mutex> lock(session->mu);
+    session->reader_done = true;
+  }
+  session->cv.notify_one();
+}
+
+void QueryServer::WriterLoop(Session* session) {
+  bool peer_alive = true;
+  for (;;) {
+    std::future<std::string> next;
+    {
+      std::unique_lock<std::mutex> lock(session->mu);
+      session->cv.wait(lock, [session] {
+        return session->reader_done || !session->responses.empty();
+      });
+      if (session->responses.empty()) break;  // reader done and drained
+      next = std::move(session->responses.front());
+      session->responses.pop_front();
+    }
+    // Blocks until the pool task resolves — this is what makes shutdown
+    // drain in-flight work instead of dropping it.
+    std::string response = next.get();
+    response.push_back('\n');
+    // A vanished peer doesn't abort the drain: remaining futures are
+    // still awaited so admitted work retires cleanly.
+    if (peer_alive) peer_alive = SendAll(session->fd, response);
+  }
+  session->finished.store(true, std::memory_order_release);
+}
+
+std::future<std::string> QueryServer::HandleLine(const std::string& line) {
+  auto request = ParseRequest(line);
+  if (!request.ok()) {
+    // Answered inline, never admitted: served_ok/served_error count only
+    // admitted requests, so admitted == served_ok + served_error +
+    // inflight stays an invariant for monitors.
+    return Ready(EncodeErrorResponse(request.status()));
+  }
+  // STATS bypasses admission control and the pool: it answers inline from
+  // counters, so overload stays observable while it is happening.
+  if (request->verb == WireRequest::Verb::kStats) {
+    return Ready(ExecuteStats());
+  }
+  // Admission control: claim an in-flight slot or bounce. The slot covers
+  // the request from here until its pool task finishes.
+  bool admitted = false;
+  if (max_inflight_ == 0) {
+    inflight_.fetch_add(1, std::memory_order_acq_rel);
+    admitted = true;
+  } else {
+    size_t current = inflight_.load(std::memory_order_relaxed);
+    while (current < max_inflight_) {
+      if (inflight_.compare_exchange_weak(current, current + 1,
+                                          std::memory_order_acq_rel)) {
+        admitted = true;
+        break;
+      }
+    }
+  }
+  if (!admitted) {
+    rejected_overload_.fetch_add(1, std::memory_order_relaxed);
+    return Ready(EncodeErrorResponse(Status::ResourceExhausted(
+        "server overloaded: " + std::to_string(max_inflight_) +
+        " requests already in flight")));
+  }
+  admitted_.fetch_add(1, std::memory_order_relaxed);
+  return catalog_->pool()->Submit(
+      [this, request = std::move(*request)]() mutable {
+        std::string response;
+        try {
+          if (options_.request_hook) options_.request_hook();
+          response = ExecuteRequest(request);
+        } catch (...) {
+          served_error_.fetch_add(1, std::memory_order_relaxed);
+          response = EncodeErrorResponse(
+              Status::Internal("request task threw an exception"));
+        }
+        inflight_.fetch_sub(1, std::memory_order_acq_rel);
+        return response;
+      });
+}
+
+namespace {
+
+/// The wire taxonomy treats the SQL text as part of the client's request:
+/// a query the parser rejects is the client's mistake, so kParseError
+/// (an internal library code that also covers config-file parsing)
+/// crosses the wire as InvalidArgument. Every other code passes through.
+Status AsWireStatus(const Status& status) {
+  if (status.code() != StatusCode::kParseError) return status;
+  return Status::InvalidArgument(status.message());
+}
+
+}  // namespace
+
+std::string QueryServer::ExecuteRequest(const WireRequest& request) {
+  if (request.verb == WireRequest::Verb::kBatch) {
+    auto results = catalog_->QueryBatch(request.batch, request.mode);
+    if (!results.ok()) {
+      served_error_.fetch_add(1, std::memory_order_relaxed);
+      return EncodeErrorResponse(AsWireStatus(results.status()));
+    }
+    served_ok_.fetch_add(1, std::memory_order_relaxed);
+    return EncodeBatchResponse(*results);
+  }
+  auto result = request.relation.empty()
+                    ? catalog_->Query(request.sql, request.mode)
+                    : catalog_->QueryOn(request.relation, request.sql,
+                                        request.mode);
+  if (!result.ok()) {
+    served_error_.fetch_add(1, std::memory_order_relaxed);
+    return EncodeErrorResponse(AsWireStatus(result.status()));
+  }
+  served_ok_.fetch_add(1, std::memory_order_relaxed);
+  return EncodeResultResponse(*result);
+}
+
+std::string QueryServer::ExecuteStats() {
+  ServerStats stats;
+  stats.server = counters();
+  stats.relations = catalog_->Stats();
+  return EncodeStatsResponse(stats);
+}
+
+ServerCounters QueryServer::counters() const {
+  ServerCounters counters;
+  counters.accepted_connections =
+      accepted_connections_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    for (const std::unique_ptr<Session>& session : sessions_) {
+      if (!session->finished.load(std::memory_order_acquire)) {
+        ++counters.active_connections;
+      }
+    }
+  }
+  counters.admitted = admitted_.load(std::memory_order_relaxed);
+  counters.served_ok = served_ok_.load(std::memory_order_relaxed);
+  counters.served_error = served_error_.load(std::memory_order_relaxed);
+  counters.rejected_overload =
+      rejected_overload_.load(std::memory_order_relaxed);
+  counters.inflight = inflight_.load(std::memory_order_acquire);
+  counters.max_inflight = max_inflight_;
+  return counters;
+}
+
+}  // namespace themis::server

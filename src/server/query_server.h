@@ -1,0 +1,152 @@
+#ifndef THEMIS_SERVER_QUERY_SERVER_H_
+#define THEMIS_SERVER_QUERY_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/catalog.h"
+#include "server/wire.h"
+#include "util/status.h"
+
+namespace themis::server {
+
+/// The async serving front-end: a TCP query server that turns a built
+/// core::Catalog into a network service. One accept thread hands each
+/// connection a session; a session's requests are parsed off the socket
+/// and enqueued as whole plan tasks via util::ThreadPool::Submit on the
+/// catalog's shared pool, so distinct clients' queries execute
+/// concurrently (and nest freely with the per-plan K-executor and
+/// sharded-scan fan-outs — one pool, no oversubscription). Batched
+/// requests ride Catalog::QueryBatch, interleaving plans across
+/// relations.
+///
+/// Protocol: line-delimited JSON (see wire.h). One request line yields
+/// exactly one response line, in request order per connection —
+/// pipelining is allowed and responses never reorder.
+///
+/// Admission control: at most `max_inflight` requests may be queued or
+/// executing on the pool across all connections; beyond that, requests
+/// are rejected immediately with ResourceExhausted instead of queueing
+/// without bound. The STATS verb bypasses admission (it answers inline
+/// from counters) so overload stays observable while it is happening.
+///
+/// Shutdown is graceful: Stop() closes the listening socket, stops
+/// reading new requests, lets every already-admitted request finish on
+/// the pool, writes its response, and only then closes the connections.
+///
+/// The catalog must outlive the server, and catalog mutations
+/// (Insert*/Build*/DropRelation) must not race a running server — the
+/// same contract as Catalog's concurrent const use.
+class QueryServer {
+ public:
+  struct Options {
+    /// TCP port to listen on (loopback only); 0 picks an ephemeral port —
+    /// read the chosen one from port() after Start().
+    uint16_t port = 0;
+
+    /// Overrides ThemisOptions::max_inflight when positive.
+    size_t max_inflight = 0;
+
+    /// Test-only: runs inside every admitted request's pool task before
+    /// the query executes. Lets tests hold slots open deterministically
+    /// (admission control, drain-on-shutdown) without timing races.
+    std::function<void()> request_hook;
+  };
+
+  explicit QueryServer(const core::Catalog* catalog);
+  QueryServer(const core::Catalog* catalog, Options options);
+  ~QueryServer();  // Stop()
+
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  /// Binds, listens, and starts the accept loop. IoError when the socket
+  /// cannot be created or bound; FailedPrecondition when already started.
+  Status Start();
+
+  /// Graceful shutdown: stop accepting, stop reading, drain in-flight
+  /// requests (their responses are still written), join every thread,
+  /// close every socket. Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// The bound port (the chosen one when Options::port was 0); 0 before
+  /// Start().
+  uint16_t port() const { return port_; }
+
+  /// Live server counters (the server half of the STATS verb).
+  ServerCounters counters() const;
+
+ private:
+  /// One client connection. The reader thread parses request lines and
+  /// pushes one response future per request; the writer thread pops them
+  /// FIFO and writes each response line as it resolves — request order in,
+  /// response order out, even with pipelined clients.
+  struct Session {
+    int fd = -1;
+    std::thread reader;
+    std::thread writer;
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<std::future<std::string>> responses;
+    bool reader_done = false;
+    /// Set by the writer as its last action; the accept loop reaps
+    /// finished sessions so long-lived servers do not accumulate them.
+    std::atomic<bool> finished{false};
+  };
+
+  void AcceptLoop();
+  void ReaderLoop(Session* session);
+  void WriterLoop(Session* session);
+
+  /// Admission control + dispatch for one parsed line: returns the future
+  /// that will hold the response line (already resolved for inline
+  /// answers: stats, parse errors, overload rejections).
+  std::future<std::string> HandleLine(const std::string& line);
+
+  /// Executes one admitted request on the calling (pool) thread.
+  std::string ExecuteRequest(const WireRequest& request);
+
+  /// STATS verb: server counters + per-relation catalog stats, inline.
+  std::string ExecuteStats();
+
+  /// Joins and erases sessions whose writer has finished (locked).
+  void ReapFinishedSessions();
+
+  const core::Catalog* catalog_;
+  Options options_;
+  size_t max_inflight_ = 0;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  /// Serializes Start/Stop (the destructor races nothing, but tests may
+  /// Stop() explicitly before destruction).
+  std::mutex lifecycle_mu_;
+
+  mutable std::mutex sessions_mu_;
+  std::vector<std::unique_ptr<Session>> sessions_;
+
+  std::atomic<size_t> accepted_connections_{0};
+  std::atomic<size_t> admitted_{0};
+  std::atomic<size_t> served_ok_{0};
+  std::atomic<size_t> served_error_{0};
+  std::atomic<size_t> rejected_overload_{0};
+  std::atomic<size_t> inflight_{0};
+};
+
+}  // namespace themis::server
+
+#endif  // THEMIS_SERVER_QUERY_SERVER_H_

@@ -1,0 +1,150 @@
+#ifndef THEMIS_SERVER_WIRE_H_
+#define THEMIS_SERVER_WIRE_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/catalog.h"
+#include "core/evaluator.h"
+#include "sql/executor.h"
+#include "util/status.h"
+
+namespace themis::server {
+
+/// Minimal JSON document: the wire protocol is line-delimited JSON and the
+/// library must not grow a third-party dependency, so this is a small
+/// self-contained value type with a strict recursive-descent parser and a
+/// deterministic dumper (object keys serialize in sorted order; numbers
+/// print with 17 significant digits so doubles round-trip bitwise).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : kind_(Kind::kNull) {}
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool b);
+  static JsonValue Number(double v);
+  static JsonValue String(std::string s);
+  static JsonValue Array();
+  static JsonValue Object();
+
+  /// Parses exactly one JSON document (trailing garbage is an error).
+  /// ParseError with a character offset on malformed input.
+  static Result<JsonValue> Parse(const std::string& text);
+
+  /// Serializes on one line (no newline appended) — ready for the
+  /// line-delimited wire.
+  std::string Dump() const;
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool bool_value() const { return bool_; }
+  double number_value() const { return number_; }
+  const std::string& string_value() const { return string_; }
+  const std::vector<JsonValue>& items() const { return items_; }
+  const std::map<std::string, JsonValue>& members() const { return members_; }
+
+  /// Array building.
+  void Append(JsonValue value);
+  /// Object building (overwrites an existing key).
+  void Set(const std::string& key, JsonValue value);
+
+  /// Object lookup; null when absent or when this is not an object.
+  const JsonValue* Find(const std::string& key) const;
+
+ private:
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::map<std::string, JsonValue> members_;
+};
+
+/// Wire names of core::AnswerMode: "hybrid" / "sample" / "bn".
+const char* AnswerModeWireName(core::AnswerMode mode);
+Result<core::AnswerMode> AnswerModeFromWireName(const std::string& name);
+
+/// One parsed client request. The wire form is a single-line JSON object:
+///
+///   {"sql": "SELECT ...", "relation": "flights", "mode": "hybrid"}
+///   {"batch": ["SELECT ...", "SELECT ..."], "mode": "sample"}
+///   {"verb": "stats"}
+///
+/// `relation` (optional) bypasses FROM-routing via Catalog::QueryOn —
+/// required when relations share a SQL table name. `mode` defaults to
+/// hybrid. `verb` defaults to "query"; "stats" takes no other fields.
+struct WireRequest {
+  enum class Verb { kQuery, kBatch, kStats };
+  Verb verb = Verb::kQuery;
+  std::string sql;                 // kQuery
+  std::vector<std::string> batch;  // kBatch
+  std::string relation;            // kQuery only; empty = FROM-routed
+  core::AnswerMode mode = core::AnswerMode::kHybrid;
+};
+
+/// Parses one request line. InvalidArgument on malformed JSON, an unknown
+/// verb/mode, a non-string sql, or a request with both `sql` and `batch`.
+Result<WireRequest> ParseRequest(const std::string& line);
+
+/// Server-side counters reported by the STATS verb.
+struct ServerCounters {
+  size_t accepted_connections = 0;
+  size_t active_connections = 0;
+  /// Requests admitted past admission control (includes still-running).
+  size_t admitted = 0;
+  /// Admitted requests that completed with an OK / error answer.
+  size_t served_ok = 0;
+  size_t served_error = 0;
+  /// Requests bounced with ResourceExhausted by admission control.
+  size_t rejected_overload = 0;
+  /// Requests currently queued or executing on the pool.
+  size_t inflight = 0;
+  size_t max_inflight = 0;
+};
+
+/// Everything the STATS verb reports: server counters plus the per-
+/// relation cache counters from core::Catalog::Stats().
+struct ServerStats {
+  ServerCounters server;
+  std::map<std::string, core::RelationStats> relations;
+};
+
+/// Response encoders. Every response is a single-line JSON object whose
+/// "status" member is a util::StatusCode name ("OK", "NotFound", ...);
+/// non-OK responses carry the message under "error".
+std::string EncodeResultResponse(const sql::QueryResult& result);
+std::string EncodeBatchResponse(const std::vector<sql::QueryResult>& results);
+std::string EncodeStatsResponse(const ServerStats& stats);
+std::string EncodeErrorResponse(const Status& status);
+
+/// Client-side decoders: the inverse of the encoders above, restoring the
+/// Status (code + message) for non-OK lines. Result values round-trip
+/// bitwise (17-significant-digit doubles).
+Result<sql::QueryResult> DecodeResultResponse(const std::string& line);
+Result<std::vector<sql::QueryResult>> DecodeBatchResponse(
+    const std::string& line);
+Result<ServerStats> DecodeStatsResponse(const std::string& line);
+
+/// Line framing over a socket, shared by server sessions and the client.
+/// SendAll writes the whole buffer (EINTR-retrying, MSG_NOSIGNAL so a
+/// vanished peer is an error, not SIGPIPE); false when the peer is gone.
+bool SendAll(int fd, const std::string& data);
+
+/// Reads the next '\n'-terminated line (newline stripped) into `line`,
+/// buffering partial reads in `buffer`. False on EOF/error with nothing
+/// buffered; a final unterminated line is still delivered, so clients
+/// that close without a trailing newline get an answer.
+bool RecvLine(int fd, std::string* buffer, std::string* line);
+
+}  // namespace themis::server
+
+#endif  // THEMIS_SERVER_WIRE_H_

@@ -32,12 +32,22 @@ struct Accumulator {
 
 using GroupMap = std::map<std::vector<std::string>, Accumulator>;
 
-/// Rows per scan shard. Fixed (not derived from the pool size) so the
+/// Default rows per scan shard. Never derived from the pool size, so the
 /// shard layout — and with it the float summation order — depends only on
-/// the table, keeping sharded results bitwise identical across pool sizes.
-constexpr size_t kShardRows = 8192;
+/// the table and the (fixed) shard size, keeping sharded results bitwise
+/// identical across pool sizes.
+constexpr size_t kDefaultShardRows = 8192;
 
 }  // namespace
+
+size_t ResolveShardRows(size_t requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("THEMIS_SHARD_ROWS")) {
+    const unsigned long v = std::strtoul(env, nullptr, 10);
+    if (v > 0) return static_cast<size_t>(v);
+  }
+  return kDefaultShardRows;
+}
 
 double NumericValueOfLabel(const std::string& label) {
   if (label.size() >= 2 && label.front() == '[' && label.back() == ')') {
@@ -88,13 +98,16 @@ void Executor::RegisterTable(const std::string& name,
 }
 
 Result<QueryResult> Executor::Query(const std::string& sql,
-                                    util::ThreadPool* pool) const {
+                                    util::ThreadPool* pool,
+                                    size_t shard_rows) const {
   THEMIS_ASSIGN_OR_RETURN(SelectStatement stmt, Parse(sql));
-  return Execute(stmt, pool);
+  return Execute(stmt, pool, shard_rows);
 }
 
 Result<QueryResult> Executor::Execute(const SelectStatement& stmt,
-                                      util::ThreadPool* pool) const {
+                                      util::ThreadPool* pool,
+                                      size_t shard_rows) const {
+  const size_t kShardRows = ResolveShardRows(shard_rows);
   // --- Bind tables. ---
   if (stmt.tables.empty() || stmt.tables.size() > 2) {
     return Status::Unimplemented("only 1- and 2-table queries supported");

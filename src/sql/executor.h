@@ -40,6 +40,12 @@ struct QueryResult {
 /// "[lo,hi)" evaluate to their midpoint; anything else is NaN.
 double NumericValueOfLabel(const std::string& label);
 
+/// Rows per shard of sharded scans and hash-join probes: `requested` when
+/// positive, else the THEMIS_SHARD_ROWS environment variable when set to a
+/// positive integer, else 8192. This is how ThemisOptions::shard_rows
+/// (0 = auto) resolves — the first step toward NUMA-/cache-aware sizing.
+size_t ResolveShardRows(size_t requested);
+
 /// Executes SQL over registered, weighted, in-memory tables. COUNT(*) is
 /// evaluated as SUM(weight) and joins multiply weights, so queries over a
 /// reweighted sample estimate the corresponding population answers
@@ -51,17 +57,20 @@ class Executor {
 
   /// Parses and executes `sql`.
   Result<QueryResult> Query(const std::string& sql,
-                            util::ThreadPool* pool = nullptr) const;
+                            util::ThreadPool* pool = nullptr,
+                            size_t shard_rows = 0) const;
 
   /// Executes a parsed statement. With a pool, large single-table scans
   /// and the probe side of hash joins are sharded by row range across the
   /// pool's workers (the join's build side stays sequential). The shard
-  /// layout is fixed by the row count alone and partial aggregates merge
-  /// in shard order, so the result is bitwise identical for every pool
-  /// size (including a 1-thread pool); only the pool-less call takes the
-  /// unsharded path, whose float summation order differs.
+  /// layout is fixed by the row count and `shard_rows` (0 = auto, see
+  /// ResolveShardRows) alone — never the pool size — and partial
+  /// aggregates merge in shard order, so the result is bitwise identical
+  /// for every pool size (including a 1-thread pool); only the pool-less
+  /// call takes the unsharded path, whose float summation order differs.
   Result<QueryResult> Execute(const SelectStatement& stmt,
-                              util::ThreadPool* pool = nullptr) const;
+                              util::ThreadPool* pool = nullptr,
+                              size_t shard_rows = 0) const;
 
  private:
   std::unordered_map<std::string, const data::Table*> catalog_;

@@ -51,17 +51,22 @@ class LruCache {
     order_.push_front(Entry{key, std::move(value), cost});
     index_[key] = order_.begin();
     total_cost_ += cost;
-    while (capacity_ > 0 && total_cost_ > capacity_) {
-      total_cost_ -= order_.back().cost;
-      index_.erase(order_.back().key);
-      order_.pop_back();
-      ++evictions_;
-    }
+    EvictToCapacity();
     return true;
   }
 
   size_t size() const { return order_.size(); }
   size_t capacity() const { return capacity_; }
+
+  /// Rebounds the cache in place: growing keeps every resident entry,
+  /// shrinking evicts least-recently-used entries until the new bound
+  /// holds (counted in evictions()). Lets a catalog re-inflate surviving
+  /// relations' cache shares when a neighbor is dropped, without losing
+  /// the warm entries.
+  void set_capacity(size_t capacity) {
+    capacity_ = capacity;
+    EvictToCapacity();
+  }
 
   /// Sum of the admitted entries' costs (= size() under unit costs).
   size_t total_cost() const { return total_cost_; }
@@ -86,6 +91,16 @@ class LruCache {
     V value;
     size_t cost;
   };
+
+  /// Drops least-recently-used entries until the capacity bound holds.
+  void EvictToCapacity() {
+    while (capacity_ > 0 && total_cost_ > capacity_) {
+      total_cost_ -= order_.back().cost;
+      index_.erase(order_.back().key);
+      order_.pop_back();
+      ++evictions_;
+    }
+  }
 
   size_t capacity_;
   size_t total_cost_ = 0;

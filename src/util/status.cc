@@ -26,8 +26,25 @@ const char* StatusCodeName(StatusCode code) {
       return "Unimplemented";
     case StatusCode::kIoError:
       return "IoError";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
+}
+
+StatusCode StatusCodeFromName(const std::string& name) {
+  static constexpr StatusCode kCodes[] = {
+      StatusCode::kOk,           StatusCode::kInvalidArgument,
+      StatusCode::kNotFound,     StatusCode::kAlreadyExists,
+      StatusCode::kOutOfRange,   StatusCode::kFailedPrecondition,
+      StatusCode::kNotConverged, StatusCode::kParseError,
+      StatusCode::kInternal,     StatusCode::kUnimplemented,
+      StatusCode::kIoError,      StatusCode::kResourceExhausted,
+  };
+  for (StatusCode code : kCodes) {
+    if (name == StatusCodeName(code)) return code;
+  }
+  return StatusCode::kInternal;
 }
 
 std::string Status::ToString() const {

@@ -22,10 +22,16 @@ enum class StatusCode {
   kInternal,
   kUnimplemented,
   kIoError,
+  kResourceExhausted,
 };
 
 /// Returns a human-readable name for a status code ("InvalidArgument", ...).
 const char* StatusCodeName(StatusCode code);
+
+/// Inverse of StatusCodeName — how the serving wire protocol maps a status
+/// name back to its code. Unrecognized names map to kInternal (a forward-
+/// compatible client never crashes on a code it does not know).
+StatusCode StatusCodeFromName(const std::string& name);
 
 /// A success-or-error result of an operation. Cheap to copy on the OK path
 /// (no allocation); error path carries a message.
@@ -66,6 +72,9 @@ class Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

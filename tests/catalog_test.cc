@@ -514,5 +514,81 @@ TEST_F(CatalogTest, SharedCacheByteBudgetSplitsAcrossRelations) {
   EXPECT_EQ(solo.model()->options().result_memo_bytes, 8192u);
 }
 
+/// Dropping a relation re-inflates the survivors' cache-byte shares
+/// immediately and in place — warm entries survive and keep hitting; no
+/// rebuild required (the ROADMAP's budget-rebalancing item).
+TEST_F(CatalogTest, DropRelationReinflatesSurvivorsCacheBudgets) {
+  ThemisOptions options = FastOptions();
+  options.inference_cache_bytes = 10000;
+  options.result_memo_bytes = 8192;
+  ThemisDb db(options);
+  InsertBoth(db);
+  ASSERT_TRUE(db.Build().ok());
+
+  // Warm the flights caches so survival through the resize is visible.
+  const std::string group_by =
+      "SELECT date, COUNT(*) FROM flights GROUP BY date";
+  ASSERT_TRUE(db.Query(group_by).ok());
+  auto before = db.catalog().StatsFor("flights");
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before->result_memo.capacity, 4096u);   // half of 8192
+  EXPECT_EQ(before->inference_cache.capacity, 5000u);  // half of 10000
+  ASSERT_GE(before->result_memo.entries, 1u);
+
+  ASSERT_TRUE(db.DropRelation("shops").ok());
+  auto after = db.catalog().StatsFor("flights");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->result_memo.capacity, 8192u);    // whole budget now
+  EXPECT_EQ(after->inference_cache.capacity, 10000u);
+  // Growth never evicts: the warm entries are still resident and hit.
+  EXPECT_EQ(after->result_memo.entries, before->result_memo.entries);
+  const size_t hits_before = after->result_memo.hits;
+  ASSERT_TRUE(db.Query(group_by).ok());
+  auto warmed = db.catalog().StatsFor("flights");
+  ASSERT_TRUE(warmed.ok());
+  EXPECT_EQ(warmed->result_memo.hits, hits_before + 1);
+
+  // StatsFor's own taxonomy: the dropped relation is NotFound, while a
+  // registered-but-unbuilt one answers OK with built=false and all-zero
+  // counters.
+  EXPECT_EQ(db.catalog().StatsFor("shops").status().code(),
+            StatusCode::kNotFound);
+  ASSERT_TRUE(db.InsertSample("pending", shops_sample_->Clone()).ok());
+  auto pending = db.catalog().StatsFor("pending");
+  ASSERT_TRUE(pending.ok());
+  EXPECT_FALSE(pending->built);
+  EXPECT_EQ(pending->result_memo.capacity, 0u);
+}
+
+/// Rebalancing is grow-only: a survivor that built when the catalog was
+/// smaller (and so holds more than the fresh even split) keeps its larger
+/// share — someone else's drop never evicts warm entries.
+TEST_F(CatalogTest, RebalanceNeverShrinksAnEarlierBuiltSurvivor) {
+  ThemisOptions options = FastOptions();
+  options.result_memo_bytes = 8192;
+  ThemisDb db(options);
+  ASSERT_TRUE(db.InsertSample("flights", flights_sample_->Clone()).ok());
+  ASSERT_TRUE(
+      db.InsertAggregateFrom("flights", *flights_population_, {"date"}).ok());
+  ASSERT_TRUE(db.Build().ok());  // alone: the whole 8192-byte budget
+  ASSERT_EQ(db.catalog().StatsFor("flights")->result_memo.capacity, 8192u);
+
+  ASSERT_TRUE(db.InsertSample("shops", shops_sample_->Clone()).ok());
+  ASSERT_TRUE(
+      db.InsertAggregateFrom("shops", *shops_population_, {"city"}).ok());
+  ASSERT_TRUE(db.InsertSample("mirror", flights_sample_->Clone()).ok());
+  ASSERT_TRUE(
+      db.InsertAggregateFrom("mirror", *flights_population_, {"date"}).ok());
+  ASSERT_TRUE(db.Build().ok());  // shops+mirror build at n=3: 2730 each
+  EXPECT_EQ(db.catalog().StatsFor("flights")->result_memo.capacity, 8192u);
+  EXPECT_EQ(db.catalog().StatsFor("shops")->result_memo.capacity, 2730u);
+
+  ASSERT_TRUE(db.DropRelation("mirror").ok());
+  // flights' fresh even share would be 4096 — a shrink, so it keeps 8192;
+  // shops genuinely grows to the n=2 split.
+  EXPECT_EQ(db.catalog().StatsFor("flights")->result_memo.capacity, 8192u);
+  EXPECT_EQ(db.catalog().StatsFor("shops")->result_memo.capacity, 4096u);
+}
+
 }  // namespace
 }  // namespace themis::core

@@ -1,0 +1,478 @@
+// Tests for the async serving front-end: the line-delimited JSON wire
+// protocol, server::QueryServer on the catalog's shared thread pool, and
+// server::Client. Proves N concurrent clients receive answers bitwise
+// identical to a sequential in-process Query() loop at pool sizes 1/2/hw,
+// that batched requests ride the catalog's cross-relation QueryBatch,
+// the error mapping over the wire (NotFound / FailedPrecondition /
+// InvalidArgument / ResourceExhausted), the STATS verb, admission
+// control, and graceful drain-on-shutdown.
+#include <gtest/gtest.h>
+
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/themis_db.h"
+#include "server/client.h"
+#include "server/query_server.h"
+#include "server/wire.h"
+#include "util/thread_pool.h"
+
+namespace themis::server {
+namespace {
+
+using core::AnswerMode;
+using core::ThemisDb;
+using core::ThemisOptions;
+
+/// The catalog_test fixture's two small relations (flights + shops), plus
+/// a third that is registered but never built.
+class ServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    flights_schema_ = std::make_shared<data::Schema>();
+    flights_schema_->AddAttribute("date", {"01", "02"});
+    flights_schema_->AddAttribute("o_st", {"FL", "NC", "NY"});
+    flights_schema_->AddAttribute("d_st", {"FL", "NC", "NY"});
+    flights_population_ = std::make_unique<data::Table>(flights_schema_);
+    const char* fp[][3] = {
+        {"01", "FL", "FL"}, {"01", "FL", "FL"}, {"02", "FL", "NY"},
+        {"01", "NC", "FL"}, {"02", "NC", "NY"}, {"02", "NC", "NY"},
+        {"02", "NC", "NY"}, {"01", "NY", "FL"}, {"01", "NY", "NC"},
+        {"02", "NY", "NY"}};
+    for (const auto& r : fp) {
+      flights_population_->AppendRowLabels({r[0], r[1], r[2]});
+    }
+    flights_sample_ = std::make_unique<data::Table>(flights_schema_);
+    const char* fs[][3] = {{"01", "FL", "FL"},
+                           {"01", "FL", "FL"},
+                           {"02", "NC", "NY"},
+                           {"01", "NY", "NC"}};
+    for (const auto& r : fs) {
+      flights_sample_->AppendRowLabels({r[0], r[1], r[2]});
+    }
+
+    shops_schema_ = std::make_shared<data::Schema>();
+    shops_schema_->AddAttribute("city", {"AA", "BB", "CC"});
+    shops_schema_->AddAttribute("kind", {"K1", "K2"});
+    shops_population_ = std::make_unique<data::Table>(shops_schema_);
+    const char* sp[][2] = {{"AA", "K1"}, {"AA", "K1"}, {"AA", "K2"},
+                           {"BB", "K1"}, {"BB", "K2"}, {"BB", "K2"},
+                           {"CC", "K1"}, {"CC", "K2"}, {"CC", "K2"},
+                           {"CC", "K2"}, {"AA", "K2"}, {"BB", "K1"}};
+    for (const auto& r : sp) {
+      shops_population_->AppendRowLabels({r[0], r[1]});
+    }
+    shops_sample_ = std::make_unique<data::Table>(shops_schema_);
+    const char* ss[][2] = {
+        {"AA", "K1"}, {"BB", "K2"}, {"CC", "K2"}, {"CC", "K2"}, {"AA", "K2"}};
+    for (const auto& r : ss) shops_sample_->AppendRowLabels({r[0], r[1]});
+  }
+
+  ThemisOptions FastOptions(size_t num_threads = 0) const {
+    ThemisOptions options;
+    options.bn_group_by_samples = 5;
+    options.bn_sample_rows = 50;
+    options.num_threads = num_threads;
+    return options;
+  }
+
+  /// Builds flights + shops and registers (without building) "pending".
+  std::unique_ptr<ThemisDb> MakeDb(ThemisOptions options) const {
+    auto db = std::make_unique<ThemisDb>(options);
+    EXPECT_TRUE(db->InsertSample("flights", flights_sample_->Clone()).ok());
+    EXPECT_TRUE(
+        db->InsertAggregateFrom("flights", *flights_population_, {"date"})
+            .ok());
+    EXPECT_TRUE(db->InsertAggregateFrom("flights", *flights_population_,
+                                        {"o_st", "d_st"})
+                    .ok());
+    EXPECT_TRUE(db->InsertSample("shops", shops_sample_->Clone()).ok());
+    EXPECT_TRUE(
+        db->InsertAggregateFrom("shops", *shops_population_, {"city"}).ok());
+    EXPECT_TRUE(db->InsertAggregateFrom("shops", *shops_population_,
+                                        {"city", "kind"})
+                    .ok());
+    EXPECT_TRUE(db->Build("flights").ok());
+    EXPECT_TRUE(db->Build("shops").ok());
+    EXPECT_TRUE(db->InsertSample("pending", shops_sample_->Clone()).ok());
+    return db;
+  }
+
+  /// Interleaved cross-relation workload covering point, GROUP BY, and
+  /// non-point global aggregates on both relations.
+  std::vector<std::string> MixedQueries() const {
+    return {
+        "SELECT COUNT(*) FROM flights WHERE o_st = 'FL' AND d_st = 'FL'",
+        "SELECT COUNT(*) FROM shops WHERE city = 'AA' AND kind = 'K1'",
+        "SELECT COUNT(*) FROM flights WHERE o_st = 'FL' AND d_st = 'NY'",
+        "SELECT city, kind, COUNT(*) FROM shops GROUP BY city, kind",
+        "SELECT o_st, d_st, COUNT(*) FROM flights GROUP BY o_st, d_st",
+        "SELECT COUNT(*) FROM shops WHERE city = 'QQ'",
+        "SELECT date, COUNT(*) FROM flights GROUP BY date",
+        "SELECT kind, COUNT(*) FROM shops GROUP BY kind",
+        "SELECT COUNT(*) FROM flights WHERE date <> '02'",
+        "SELECT COUNT(*) FROM shops WHERE kind <> 'K2'",
+    };
+  }
+
+  static void ExpectBitwiseEqual(const sql::QueryResult& actual,
+                                 const sql::QueryResult& expected,
+                                 const std::string& context) {
+    EXPECT_EQ(actual.group_names, expected.group_names) << context;
+    EXPECT_EQ(actual.value_names, expected.value_names) << context;
+    ASSERT_EQ(actual.rows.size(), expected.rows.size()) << context;
+    for (size_t i = 0; i < actual.rows.size(); ++i) {
+      EXPECT_EQ(actual.rows[i].group, expected.rows[i].group) << context;
+      ASSERT_EQ(actual.rows[i].values.size(), expected.rows[i].values.size())
+          << context;
+      for (size_t j = 0; j < actual.rows[i].values.size(); ++j) {
+        // Bitwise double equality, not approximate.
+        EXPECT_EQ(actual.rows[i].values[j], expected.rows[i].values[j])
+            << context << " row " << i << " value " << j;
+      }
+    }
+  }
+
+  data::SchemaPtr flights_schema_;
+  std::unique_ptr<data::Table> flights_population_;
+  std::unique_ptr<data::Table> flights_sample_;
+  data::SchemaPtr shops_schema_;
+  std::unique_ptr<data::Table> shops_population_;
+  std::unique_ptr<data::Table> shops_sample_;
+};
+
+TEST_F(ServerTest, QueryOverTheWireMatchesInProcessAcrossModes) {
+  auto db = MakeDb(FastOptions());
+  QueryServer server(&db->catalog());
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_GT(server.port(), 0);
+
+  auto client = Client::Connect(server.port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  for (const AnswerMode mode :
+       {AnswerMode::kHybrid, AnswerMode::kSampleOnly, AnswerMode::kBnOnly}) {
+    for (const std::string& sql : MixedQueries()) {
+      auto expected = db->Query(sql, mode);
+      ASSERT_TRUE(expected.ok()) << sql;
+      auto actual = client->Query(sql, "", mode);
+      ASSERT_TRUE(actual.ok()) << sql << ": " << actual.status().ToString();
+      ExpectBitwiseEqual(*actual, *expected, sql);
+    }
+  }
+  // Pinning the relation explicitly answers identically for these
+  // relations (their names are their SQL table names).
+  auto pinned = client->Query(MixedQueries()[0], "flights");
+  ASSERT_TRUE(pinned.ok());
+  ExpectBitwiseEqual(*pinned, *db->Query(MixedQueries()[0]), "pinned");
+  server.Stop();
+}
+
+/// The acceptance bar: N concurrent clients, each streaming the mixed
+/// cross-relation workload, all bitwise identical to a sequential
+/// in-process Query() loop — at pool sizes 1, 2, and hardware.
+TEST_F(ServerTest, ConcurrentClientsBitwiseIdenticalAcrossPoolSizes) {
+  const std::vector<std::string> sqls = MixedQueries();
+  for (const size_t pool_size : {size_t{1}, size_t{2}, size_t{0}}) {
+    auto db = MakeDb(FastOptions(pool_size));
+    // The sequential in-process baseline, computed before any server
+    // traffic exists.
+    std::vector<sql::QueryResult> expected;
+    for (const std::string& sql : sqls) {
+      auto result = db->Query(sql);
+      ASSERT_TRUE(result.ok()) << sql;
+      expected.push_back(std::move(*result));
+    }
+
+    QueryServer server(&db->catalog());
+    ASSERT_TRUE(server.Start().ok());
+    constexpr size_t kClients = 4;
+    constexpr size_t kRounds = 3;  // repeats exercise the warm memo paths
+    std::vector<std::thread> clients;
+    std::vector<std::string> failures(kClients);
+    for (size_t c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        auto client = Client::Connect(server.port());
+        if (!client.ok()) {
+          failures[c] = client.status().ToString();
+          return;
+        }
+        for (size_t round = 0; round < kRounds; ++round) {
+          // Stagger the starting offset so clients interleave relations.
+          for (size_t i = 0; i < sqls.size(); ++i) {
+            const size_t q = (i + c) % sqls.size();
+            auto actual = client->Query(sqls[q]);
+            if (!actual.ok()) {
+              failures[c] = sqls[q] + ": " + actual.status().ToString();
+              return;
+            }
+            if (actual->rows.size() != expected[q].rows.size()) {
+              failures[c] = sqls[q] + ": row count mismatch";
+              return;
+            }
+            for (size_t r = 0; r < actual->rows.size(); ++r) {
+              if (actual->rows[r].group != expected[q].rows[r].group ||
+                  actual->rows[r].values != expected[q].rows[r].values) {
+                failures[c] = sqls[q] + ": bitwise mismatch";
+                return;
+              }
+            }
+          }
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();
+    for (size_t c = 0; c < kClients; ++c) {
+      EXPECT_TRUE(failures[c].empty())
+          << "pool " << pool_size << " client " << c << ": " << failures[c];
+    }
+    server.Stop();
+  }
+}
+
+TEST_F(ServerTest, BatchRequestRidesCrossRelationQueryBatch) {
+  auto db = MakeDb(FastOptions(2));
+  QueryServer server(&db->catalog());
+  ASSERT_TRUE(server.Start().ok());
+  auto client = Client::Connect(server.port());
+  ASSERT_TRUE(client.ok());
+
+  const std::vector<std::string> sqls = MixedQueries();
+  auto batch = client->QueryBatch(sqls);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  ASSERT_EQ(batch->size(), sqls.size());
+  for (size_t i = 0; i < sqls.size(); ++i) {
+    auto expected = db->Query(sqls[i]);
+    ASSERT_TRUE(expected.ok());
+    ExpectBitwiseEqual((*batch)[i], *expected, sqls[i]);
+  }
+  // A batch with one bad query fails as a whole, before any execution.
+  auto bad = client->QueryBatch({sqls[0], "SELECT COUNT(*) FROM nosuch"});
+  EXPECT_EQ(bad.status().code(), StatusCode::kNotFound);
+  server.Stop();
+}
+
+/// The satellite's error-mapping table, each asserted over the wire.
+TEST_F(ServerTest, ErrorMappingOverTheWire) {
+  auto db = MakeDb(FastOptions());
+  QueryServer server(&db->catalog());
+  ASSERT_TRUE(server.Start().ok());
+  auto client = Client::Connect(server.port());
+  ASSERT_TRUE(client.ok());
+
+  // Unknown relation -> NotFound (both FROM-routed and pinned).
+  auto unknown = client->Query("SELECT COUNT(*) FROM nosuch");
+  EXPECT_EQ(unknown.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(unknown.status().message().find("nosuch"), std::string::npos);
+  auto pinned = client->Query("SELECT COUNT(*) FROM flights", "nosuch");
+  EXPECT_EQ(pinned.status().code(), StatusCode::kNotFound);
+
+  // Registered-but-unbuilt relation -> FailedPrecondition.
+  auto unbuilt = client->Query("SELECT COUNT(*) FROM pending");
+  EXPECT_EQ(unbuilt.status().code(), StatusCode::kFailedPrecondition);
+
+  // Malformed JSON -> InvalidArgument.
+  auto raw = client->RoundTrip("{\"sql\": oops");
+  ASSERT_TRUE(raw.ok());
+  EXPECT_NE(raw->find("\"InvalidArgument\""), std::string::npos) << *raw;
+  // Valid JSON, invalid request shapes -> InvalidArgument.
+  auto no_sql = client->RoundTrip("{}");
+  ASSERT_TRUE(no_sql.ok());
+  EXPECT_NE(no_sql->find("\"InvalidArgument\""), std::string::npos);
+  auto bad_mode = client->Query("SELECT COUNT(*) FROM flights");
+  ASSERT_TRUE(bad_mode.ok());  // sanity: the connection still works
+  auto bad_mode_raw = client->RoundTrip(
+      "{\"sql\": \"SELECT COUNT(*) FROM flights\", \"mode\": \"psychic\"}");
+  ASSERT_TRUE(bad_mode_raw.ok());
+  EXPECT_NE(bad_mode_raw->find("\"InvalidArgument\""), std::string::npos);
+
+  // Bad SQL -> InvalidArgument (the parser's kParseError never crosses
+  // the wire).
+  auto bad_sql = client->Query("SELEC COUNT(*) FROM flights");
+  EXPECT_EQ(bad_sql.status().code(), StatusCode::kInvalidArgument);
+
+  // The session survives every error above and still answers.
+  auto alive = client->Query("SELECT date, COUNT(*) FROM flights GROUP BY date");
+  EXPECT_TRUE(alive.ok());
+  server.Stop();
+}
+
+/// Admission control: with max_inflight=1 and the only slot held open by
+/// a hook-blocked request, the next query bounces with ResourceExhausted
+/// — deterministically, no timing. STATS bypasses admission so the
+/// overload stays observable while it is happening.
+TEST_F(ServerTest, OverloadRejectsWithResourceExhausted) {
+  auto db = MakeDb(FastOptions(1));
+  std::promise<void> release;
+  std::shared_future<void> released = release.get_future().share();
+  QueryServer::Options options;
+  options.max_inflight = 1;
+  options.request_hook = [released] { released.wait(); };
+  QueryServer server(&db->catalog(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto holder = Client::Connect(server.port());
+  ASSERT_TRUE(holder.ok());
+  ASSERT_TRUE(
+      holder->Send("{\"sql\": \"SELECT COUNT(*) FROM flights\"}").ok());
+  // Wait until the server has admitted the held request.
+  auto observer = Client::Connect(server.port());
+  ASSERT_TRUE(observer.ok());
+  for (;;) {
+    auto stats = observer->Stats();
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    EXPECT_EQ(stats->server.max_inflight, 1u);
+    if (stats->server.inflight >= 1) break;
+    std::this_thread::yield();
+  }
+
+  auto rejected = observer->Query("SELECT COUNT(*) FROM shops");
+  EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted);
+
+  release.set_value();
+  auto held = holder->Receive();
+  ASSERT_TRUE(held.ok());
+  auto decoded = DecodeResultResponse(*held);
+  EXPECT_TRUE(decoded.ok()) << *held;
+
+  auto stats = observer->Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->server.rejected_overload, 1u);
+  EXPECT_EQ(stats->server.served_ok, 1u);
+  // After the slot freed, the observer is admitted again.
+  EXPECT_TRUE(observer->Query("SELECT COUNT(*) FROM shops").ok());
+  server.Stop();
+}
+
+TEST_F(ServerTest, StatsVerbExposesLiveCacheCounters) {
+  auto db = MakeDb(FastOptions());
+  QueryServer server(&db->catalog());
+  ASSERT_TRUE(server.Start().ok());
+  auto client = Client::Connect(server.port());
+  ASSERT_TRUE(client.ok());
+
+  const std::string group_by =
+      "SELECT date, COUNT(*) FROM flights GROUP BY date";
+  ASSERT_TRUE(client->Query(group_by).ok());
+  ASSERT_TRUE(client->Query(group_by).ok());  // warm repeat
+
+  auto stats = client->Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->server.served_ok, 2u);
+  EXPECT_EQ(stats->server.rejected_overload, 0u);
+  EXPECT_GE(stats->server.accepted_connections, 1u);
+  EXPECT_GE(stats->server.active_connections, 1u);
+
+  ASSERT_EQ(stats->relations.size(), 3u);
+  const core::RelationStats& flights = stats->relations.at("flights");
+  EXPECT_TRUE(flights.built);
+  // Same text twice: one plan-cache miss then one hit, one result-memo
+  // miss then one hit.
+  EXPECT_GE(flights.plan_cache_hits, 1u);
+  EXPECT_GE(flights.plan_cache_misses, 1u);
+  EXPECT_EQ(flights.result_memo.hits, 1u);
+  EXPECT_EQ(flights.result_memo.misses, 1u);
+  EXPECT_EQ(flights.result_memo.entries, 1u);
+  // The BN-backed GROUP BY ran inference; shops stayed cold; pending is
+  // registered but unbuilt.
+  EXPECT_TRUE(stats->relations.at("shops").built);
+  EXPECT_EQ(stats->relations.at("shops").result_memo.misses, 0u);
+  EXPECT_FALSE(stats->relations.at("pending").built);
+  server.Stop();
+}
+
+/// Stop() with a request still executing: the response is written before
+/// the connection closes — in-flight work drains, nothing is dropped.
+TEST_F(ServerTest, GracefulShutdownDrainsInflightRequests) {
+  auto db = MakeDb(FastOptions(2));
+  std::promise<void> release;
+  std::shared_future<void> released = release.get_future().share();
+  QueryServer::Options options;
+  options.request_hook = [released] { released.wait(); };
+  QueryServer server(&db->catalog(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto client = Client::Connect(server.port());
+  ASSERT_TRUE(client.ok());
+  const std::string sql = "SELECT date, COUNT(*) FROM flights GROUP BY date";
+  ASSERT_TRUE(client->Send("{\"sql\": \"" + sql + "\"}").ok());
+  while (server.counters().inflight < 1) std::this_thread::yield();
+
+  std::thread stopper([&server] { server.Stop(); });
+  release.set_value();
+  stopper.join();
+  EXPECT_FALSE(server.running());
+
+  // The drained response arrived despite the shutdown racing it.
+  auto response = client->Receive();
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  auto decoded = DecodeResultResponse(*response);
+  ASSERT_TRUE(decoded.ok()) << *response;
+  auto expected = db->Query(sql);
+  ASSERT_TRUE(expected.ok());
+  ExpectBitwiseEqual(*decoded, *expected, "drained");
+}
+
+/// JSON round-trip fidelity: escapes, unicode, and 17-digit doubles.
+TEST(WireTest, JsonRoundTrip) {
+  const std::string text =
+      "{\"a\":[1,2.5,-3e-2,true,false,null],\"b\":\"q\\\"\\\\\\n\\u00e9\","
+      "\"c\":{\"nested\":\"\\u0041\"}}";
+  auto parsed = JsonValue::Parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  auto reparsed = JsonValue::Parse(parsed->Dump());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(parsed->Dump(), reparsed->Dump());
+  const JsonValue* a = parsed->Find("a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->items().size(), 6u);
+  EXPECT_EQ(a->items()[1].number_value(), 2.5);
+  EXPECT_EQ(parsed->Find("b")->string_value(), "q\"\\\n\xc3\xa9");
+
+  EXPECT_FALSE(JsonValue::Parse("{\"a\":}").ok());
+  EXPECT_FALSE(JsonValue::Parse("{} trailing").ok());
+  EXPECT_FALSE(JsonValue::Parse("\"unterminated").ok());
+
+  // Doubles survive the wire bitwise at 17 significant digits.
+  const double awkward = 0.1 + 0.2;  // 0.30000000000000004
+  JsonValue number = JsonValue::Number(awkward);
+  auto back = JsonValue::Parse(number.Dump());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->number_value(), awkward);
+}
+
+TEST(WireTest, RequestParsing) {
+  auto query = ParseRequest(
+      "{\"sql\": \"SELECT 1\", \"relation\": \"r\", \"mode\": \"bn\"}");
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query->verb, WireRequest::Verb::kQuery);
+  EXPECT_EQ(query->sql, "SELECT 1");
+  EXPECT_EQ(query->relation, "r");
+  EXPECT_EQ(query->mode, AnswerMode::kBnOnly);
+
+  auto batch = ParseRequest("{\"batch\": [\"a\", \"b\"]}");
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(batch->verb, WireRequest::Verb::kBatch);
+  EXPECT_EQ(batch->batch.size(), 2u);
+  EXPECT_EQ(batch->mode, AnswerMode::kHybrid);
+
+  auto stats = ParseRequest("{\"verb\": \"STATS\"}");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->verb, WireRequest::Verb::kStats);
+
+  // Exactly one of sql/batch; batch rejects a pinned relation.
+  EXPECT_FALSE(ParseRequest("{}").ok());
+  EXPECT_FALSE(
+      ParseRequest("{\"sql\": \"a\", \"batch\": [\"b\"]}").ok());
+  EXPECT_FALSE(
+      ParseRequest("{\"batch\": [\"a\"], \"relation\": \"r\"}").ok());
+  EXPECT_FALSE(ParseRequest("{\"sql\": 7}").ok());
+  EXPECT_FALSE(ParseRequest("{\"sql\": \"a\", \"verb\": \"put\"}").ok());
+  EXPECT_EQ(ParseRequest("not json").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace themis::server

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 
 #include "sql/executor.h"
 #include "sql/lexer.h"
@@ -360,6 +361,61 @@ TEST(ExecutorShardingTest, ShardedJoinProbeMatchesSequentialAcrossPoolSizes) {
           EXPECT_DOUBLE_EQ(result.rows[i].values[j],
                            sequential->rows[i].values[j])
               << sql;
+        }
+      }
+    }
+  }
+}
+
+/// The shard size is configurable: ThemisOptions::shard_rows (explicit)
+/// beats THEMIS_SHARD_ROWS (environment) beats the 8192-row default, a
+/// small size engages sharding on tables the default would scan inline,
+/// and any fixed size stays bitwise identical across pool sizes.
+TEST(ExecutorShardingTest, ConfigurableShardRows) {
+  EXPECT_EQ(ResolveShardRows(0), 8192u);
+  EXPECT_EQ(ResolveShardRows(123), 123u);
+  ASSERT_EQ(setenv("THEMIS_SHARD_ROWS", "777", 1), 0);
+  EXPECT_EQ(ResolveShardRows(0), 777u);
+  EXPECT_EQ(ResolveShardRows(123), 123u);  // explicit beats environment
+  ASSERT_EQ(unsetenv("THEMIS_SHARD_ROWS"), 0);
+  EXPECT_EQ(ResolveShardRows(0), 8192u);
+
+  // 2000 rows: unsharded under the default, sharded at small sizes.
+  auto schema = std::make_shared<data::Schema>();
+  schema->AddAttribute("g", {"a", "b", "c", "d"});
+  schema->AddAttribute("v", {"1", "2", "3"});
+  data::Table table(schema);
+  for (size_t r = 0; r < 2000; ++r) {
+    table.AppendRow({static_cast<data::ValueCode>(r % 4),
+                     static_cast<data::ValueCode>((r / 7) % 3)});
+    table.set_weight(r, static_cast<double>(r % 5) + 0.5);
+  }
+  Executor executor;
+  executor.RegisterTable("t", &table);
+
+  const std::string sql = "SELECT g, COUNT(*), SUM(v) FROM t GROUP BY g";
+  auto sequential = executor.Query(sql);
+  ASSERT_TRUE(sequential.ok());
+  for (const size_t shard_rows : {size_t{100}, size_t{333}, size_t{1000}}) {
+    std::vector<QueryResult> sharded;
+    for (const size_t threads : {size_t{1}, size_t{2}, size_t{4}}) {
+      util::ThreadPool pool(threads);
+      auto result = executor.Query(sql, &pool, shard_rows);
+      ASSERT_TRUE(result.ok()) << shard_rows;
+      sharded.push_back(std::move(*result));
+    }
+    for (const QueryResult& result : sharded) {
+      ASSERT_EQ(result.rows.size(), sequential->rows.size());
+      for (size_t i = 0; i < result.rows.size(); ++i) {
+        EXPECT_EQ(result.rows[i].group, sequential->rows[i].group);
+        for (size_t j = 0; j < result.rows[i].values.size(); ++j) {
+          // Bitwise across pool sizes at a fixed shard size; the x.5
+          // weights sum exactly, so every layout agrees bit-for-bit with
+          // the sequential scan too.
+          EXPECT_EQ(result.rows[i].values[j], sharded[0].rows[i].values[j])
+              << "shard_rows " << shard_rows;
+          EXPECT_EQ(result.rows[i].values[j], sequential->rows[i].values[j])
+              << "shard_rows " << shard_rows;
         }
       }
     }
