@@ -1,0 +1,192 @@
+// Code-native executor micro-bench: the vectorized pipeline (selection
+// vectors, packed group/join keys, flat aggregation) against the retained
+// row-at-a-time reference path on ~1M-row scans and joins. Every answer —
+// sequential and pooled at sizes 1/2/hw — is bitwise-checked against the
+// reference at the same configuration before anything is timed; any
+// divergence aborts.
+//
+//   ./bench_executor [rounds] [--smoke] [--strict]
+//
+// The acceptance bar is a >= 2x sequential speedup on the 1M-row GROUP BY
+// scan; --strict turns the bar into the exit code (without it timing
+// stays informational — wall-clock gates flake on noisy shared runners).
+// --smoke shrinks the tables for CI: correctness everywhere, timing as a
+// sanity print.
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.h"
+
+#include "data/table.h"
+#include "sql/executor.h"
+#include "sql/parser.h"
+#include "util/logging.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace themis::bench {
+namespace {
+
+void CheckIdentical(const sql::QueryResult& a, const sql::QueryResult& b,
+                    const std::string& what) {
+  THEMIS_CHECK(a.rows.size() == b.rows.size()) << what;
+  for (size_t i = 0; i < a.rows.size(); ++i) {
+    THEMIS_CHECK(a.rows[i].group == b.rows[i].group) << what;
+    // Bitwise double equality, not approximate.
+    THEMIS_CHECK(a.rows[i].values == b.rows[i].values) << what;
+  }
+}
+
+std::vector<std::string> Labels(const std::string& prefix, size_t n) {
+  std::vector<std::string> labels;
+  labels.reserve(n);
+  for (size_t i = 0; i < n; ++i) labels.push_back(prefix + std::to_string(i));
+  return labels;
+}
+
+int Run(size_t rounds, bool smoke, bool strict) {
+  PrintHeader("Code-native executor micro-bench",
+              "vectorized vs row-at-a-time reference, bitwise-checked");
+  const size_t t_rows = smoke ? 120000 : 1000000;
+  const size_t b_rows = smoke ? 10000 : 50000;
+
+  // Scan table: group columns g/d, numeric v, filter column f, join key k.
+  // Weights are multiples of 0.25 so sums are exact and every shard
+  // layout agrees with the sequential answer bit for bit.
+  auto t_schema = std::make_shared<data::Schema>();
+  t_schema->AddAttribute("g", Labels("g", 32));
+  t_schema->AddAttribute("d", Labels("d", 24));
+  t_schema->AddAttribute("v", Labels("", 64));
+  t_schema->AddAttribute("f", Labels("f", 8));
+  t_schema->AddAttribute("k", Labels("k", 4096));
+  data::Table t(t_schema);
+  std::mt19937_64 rng(42);
+  for (size_t r = 0; r < t_rows; ++r) {
+    t.AppendRow({static_cast<data::ValueCode>(rng() % 32),
+                 static_cast<data::ValueCode>(rng() % 24),
+                 static_cast<data::ValueCode>(rng() % 64),
+                 static_cast<data::ValueCode>(rng() % 8),
+                 static_cast<data::ValueCode>(rng() % 4096)});
+    t.set_weight(r, static_cast<double>(rng() % 16) * 0.25 + 0.25);
+  }
+  // Build-side table: its key domain is a distinct Domain object with the
+  // same labels, so the probe path exercises the code translation.
+  auto b_schema = std::make_shared<data::Schema>();
+  b_schema->AddAttribute("kb", Labels("k", 4096));
+  b_schema->AddAttribute("h", Labels("h", 16));
+  data::Table b(b_schema);
+  for (size_t r = 0; r < b_rows; ++r) {
+    b.AppendRow({static_cast<data::ValueCode>(rng() % 4096),
+                 static_cast<data::ValueCode>(rng() % 16)});
+    b.set_weight(r, static_cast<double>(rng() % 8) * 0.25 + 0.5);
+  }
+  sql::Executor executor;
+  executor.RegisterTable("t", &t);
+  executor.RegisterTable("b", &b);
+  std::printf("  t: %zu rows, b: %zu rows, %zu timing rounds\n", t_rows,
+              b_rows, rounds);
+
+  struct Case {
+    const char* name;
+    std::string sql;
+    bool gated;  // carries the >= 2x acceptance bar
+  };
+  const std::vector<Case> cases = {
+      {"group-by scan",
+       "SELECT g, d, COUNT(*), SUM(v), AVG(v) FROM t GROUP BY g, d", true},
+      {"filtered scan",
+       "SELECT g, COUNT(*), SUM(v) FROM t "
+       "WHERE f IN ('f1', 'f3', 'f5') AND v < 40 GROUP BY g",
+       false},
+      {"hash join",
+       "SELECT h, COUNT(*) FROM b x, t y WHERE x.kb = y.k GROUP BY h",
+       false},
+  };
+
+  const size_t hw = std::max<size_t>(2, std::thread::hardware_concurrency());
+  std::vector<std::unique_ptr<util::ThreadPool>> pools;
+  for (const size_t threads : {size_t{1}, size_t{2}, hw}) {
+    pools.push_back(std::make_unique<util::ThreadPool>(threads));
+  }
+
+  double gated_speedup = 0;
+  for (const Case& c : cases) {
+    auto stmt = sql::Parse(c.sql);
+    THEMIS_CHECK(stmt.ok()) << c.sql;
+
+    // Correctness first: vectorized == reference, sequential and at every
+    // pool size (and — exact weights — every layout == sequential).
+    auto reference = executor.ExecuteReference(*stmt);
+    THEMIS_CHECK(reference.ok()) << reference.status().ToString();
+    auto vectorized = executor.Execute(*stmt);
+    THEMIS_CHECK(vectorized.ok()) << vectorized.status().ToString();
+    CheckIdentical(*vectorized, *reference, std::string(c.name) + " seq");
+    for (const auto& pool : pools) {
+      const std::string what =
+          std::string(c.name) + " pool " + std::to_string(pool->num_threads());
+      auto ref_pooled = executor.ExecuteReference(*stmt, pool.get());
+      THEMIS_CHECK(ref_pooled.ok()) << what;
+      auto vec_pooled = executor.Execute(*stmt, pool.get());
+      THEMIS_CHECK(vec_pooled.ok()) << what;
+      CheckIdentical(*vec_pooled, *ref_pooled, what + " vs reference");
+      CheckIdentical(*vec_pooled, *reference, what + " vs sequential");
+    }
+
+    // Timing: sequential reference vs sequential vectorized (the tentpole
+    // bar), plus the pooled vectorized scan for context.
+    Timer timer;
+    for (size_t r = 0; r < rounds; ++r) {
+      THEMIS_CHECK(executor.ExecuteReference(*stmt).ok());
+    }
+    const double ref_seconds = timer.Seconds() / rounds;
+    timer.Restart();
+    for (size_t r = 0; r < rounds; ++r) {
+      THEMIS_CHECK(executor.Execute(*stmt).ok());
+    }
+    const double vec_seconds = timer.Seconds() / rounds;
+    timer.Restart();
+    for (size_t r = 0; r < rounds; ++r) {
+      THEMIS_CHECK(executor.Execute(*stmt, pools.back().get()).ok());
+    }
+    const double pooled_seconds = timer.Seconds() / rounds;
+
+    const double speedup = vec_seconds > 0 ? ref_seconds / vec_seconds : 0;
+    if (c.gated) gated_speedup = speedup;
+    std::printf(
+        "  %-14s reference %7.1f ms   vectorized %7.1f ms (%.1fx)   "
+        "pooled(%zu) %7.1f ms\n",
+        c.name, ref_seconds * 1e3, vec_seconds * 1e3, speedup, hw,
+        pooled_seconds * 1e3);
+  }
+
+  std::printf("  all answers bitwise-identical to the reference path: yes\n");
+  std::printf("  group-by scan sequential speedup: %.2fx %s\n", gated_speedup,
+              gated_speedup >= 2.0 ? "(>= 2x: vectorization win demonstrated)"
+                                   : "(below the 2x bar)");
+  return (strict && gated_speedup < 2.0) ? 1 : 0;
+}
+
+}  // namespace
+}  // namespace themis::bench
+
+int main(int argc, char** argv) {
+  size_t rounds = 3;
+  bool smoke = false;
+  bool strict = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--strict") == 0) {
+      strict = true;
+    } else {
+      rounds = static_cast<size_t>(std::strtoul(argv[i], nullptr, 10));
+    }
+  }
+  if (rounds == 0) rounds = 1;
+  return themis::bench::Run(rounds, smoke, strict);
+}

@@ -228,6 +228,7 @@ Result<RelationStats> Catalog::StatsFor(const std::string& name) const {
     stats.inference_cache = evaluator->inference_engine()->cache_stats();
   }
   stats.result_memo = evaluator->result_memo_stats();
+  stats.executor = evaluator->executor_stats();
   return stats;
 }
 

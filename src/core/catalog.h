@@ -29,6 +29,9 @@ struct RelationStats {
   bn::InferenceCacheStats inference_cache;
   /// Plan->result memo.
   ResultMemoStats result_memo;
+  /// Scan-path counters summed over the relation's sample and BN-sample
+  /// executors (rows scanned/passed, groups emitted, join build/probe).
+  sql::ExecutorStats executor;
 };
 
 /// Per-relation overrides applied at InsertSample time.

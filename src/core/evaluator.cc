@@ -52,9 +52,12 @@ HybridEvaluator::HybridEvaluator(const ThemisModel* model,
       model_->reweighted_sample().schema(), has_bn,
       options.plan_cache_capacity, relation_);
   pool_ = util::ResolvePool(pool, options.num_threads, owned_pool_);
-  // Resolved once: no getenv on the query hot path, and the shard layout
-  // (which fixes the float summation order) cannot drift mid-run.
-  shard_rows_ = sql::ResolveShardRows(options.shard_rows);
+  // The environment override resolves once here so the shard layout
+  // (which fixes the float summation order) cannot drift mid-run; a
+  // remaining 0 means the executor's cache-aware auto policy picks the
+  // size per query — deterministically, from the query and table alone.
+  shard_rows_ = options.shard_rows > 0 ? options.shard_rows
+                                       : sql::ShardRowsEnvOverride();
   result_memo_enabled_ = options.enable_result_memo;
   result_memo_cost_aware_ = options.result_memo_bytes > 0;
   result_memo_ =
@@ -267,6 +270,14 @@ Result<sql::QueryResult> HybridEvaluator::ExecutePlan(const QueryPlan& plan,
     result_memo_.Put(key, std::move(shared), cost);
   }
   return result;
+}
+
+sql::ExecutorStats HybridEvaluator::executor_stats() const {
+  sql::ExecutorStats total = sample_executor_.stats();
+  for (const sql::Executor& executor : bn_executors_) {
+    total += executor.stats();
+  }
+  return total;
 }
 
 ResultMemoStats HybridEvaluator::result_memo_stats() const {

@@ -145,6 +145,11 @@ class HybridEvaluator {
 
   ResultMemoStats result_memo_stats() const;
 
+  /// Aggregated scan-path counters over the sample executor and the K
+  /// BN-sample executors — rows scanned/passed, groups emitted, join
+  /// build/probe rows (see sql::ExecutorStats).
+  sql::ExecutorStats executor_stats() const;
+
   /// Drops every memoized query result (the memo also dies naturally with
   /// the evaluator on rebuild).
   void ClearResultMemo() const;

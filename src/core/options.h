@@ -83,11 +83,13 @@ struct ThemisOptions {
   /// else hardware concurrency).
   size_t num_threads = 0;
 
-  /// Rows per shard of the executor's sharded scans and hash-join probes.
-  /// 0 = sql::ResolveShardRows default (THEMIS_SHARD_ROWS env override,
-  /// else 8192). The shard layout — and with it the float summation order
-  /// — depends only on this value and the table, so a fixed shard_rows
-  /// keeps answers bitwise identical across pool sizes; changing it may
+  /// Rows per shard of the executor's sharded scans, hash-join build
+  /// sides, and hash-join probes. 0 = auto (THEMIS_SHARD_ROWS env
+  /// override, else the cache-aware policy in sql::ResolveShardRows: a
+  /// ~256 KiB per-shard working set over the query's scanned columns).
+  /// The shard layout — and with it the float summation order — depends
+  /// only on this value, the query, and the table, so answers stay
+  /// bitwise identical across pool sizes; changing the value may
   /// legitimately reorder float sums.
   size_t shard_rows = 0;
 

@@ -36,6 +36,15 @@ bool Domain::Contains(const std::string& label) const {
   return index_.count(label) > 0;
 }
 
+std::vector<ValueCode> Domain::TranslateTo(const Domain& target) const {
+  std::vector<ValueCode> out(labels_.size(), kNullCode);
+  for (size_t c = 0; c < labels_.size(); ++c) {
+    auto code = target.Code(labels_[c]);
+    if (code.ok()) out[c] = *code;
+  }
+  return out;
+}
+
 const std::string& Domain::Label(ValueCode code) const {
   THEMIS_CHECK(code >= 0 && static_cast<size_t>(code) < labels_.size())
       << "code " << code << " out of range for domain " << name_;

@@ -43,6 +43,13 @@ class Domain {
 
   const std::vector<std::string>& labels() const { return labels_; }
 
+  /// Per-code translation into `target`'s code space: out[c] is the code
+  /// of Label(c) in `target`, or kNullCode when that label is absent
+  /// there. Lets join probes compare dictionary codes directly when the
+  /// two sides' domains differ (label equality == translated-code
+  /// equality, since labels are unique within a domain).
+  std::vector<ValueCode> TranslateTo(const Domain& target) const;
+
  private:
   std::string name_;
   std::vector<std::string> labels_;

@@ -38,4 +38,12 @@ std::vector<std::string> Schema::AttributeNames() const {
   return names;
 }
 
+std::vector<size_t> Schema::DomainSizes(
+    const std::vector<size_t>& attrs) const {
+  std::vector<size_t> sizes;
+  sizes.reserve(attrs.size());
+  for (size_t a : attrs) sizes.push_back(domains_[a].size());
+  return sizes;
+}
+
 }  // namespace themis::data

@@ -40,6 +40,10 @@ class Schema {
   /// All attribute names in order.
   std::vector<std::string> AttributeNames() const;
 
+  /// Active-domain sizes of `attrs` in order — the input to a
+  /// PackedKeyCodec over those attributes.
+  std::vector<size_t> DomainSizes(const std::vector<size_t>& attrs) const;
+
  private:
   std::vector<Domain> domains_;
   std::unordered_map<std::string, size_t> index_;

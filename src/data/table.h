@@ -50,6 +50,13 @@ class Table {
     return columns_[attr];
   }
 
+  /// Approximate bytes a scan touches per row when it reads `num_columns`
+  /// code columns plus the weight column — the working-set input to the
+  /// executor's cache-aware auto shard policy.
+  static constexpr size_t ScanBytesPerRow(size_t num_columns) {
+    return num_columns * sizeof(ValueCode) + sizeof(double);
+  }
+
   /// Key of `row` restricted to `attrs` (attribute indices).
   TupleKey KeyFor(size_t row, const std::vector<size_t>& attrs) const;
 

@@ -1,7 +1,10 @@
 #ifndef THEMIS_DATA_TUPLE_KEY_H_
 #define THEMIS_DATA_TUPLE_KEY_H_
 
+#include <algorithm>
+#include <bit>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <vector>
 
@@ -23,6 +26,45 @@ struct TupleKeyHash {
     }
     return h;
   }
+};
+
+/// Fixed-width bit layout packing a composite code key into one uint64_t.
+/// Component i occupies bits [shift(i), shift(i)+bits(i)) where bits(i) is
+/// just wide enough for codes 0..N_i-1 of a domain with N_i labels. The
+/// codec is `packable()` when the widths sum to <= 64 bits; callers fall
+/// back to a TupleKey otherwise. Codes must be valid for their domains
+/// (0 <= code < N_i) — the same precondition Domain::Label enforces.
+class PackedKeyCodec {
+ public:
+  PackedKeyCodec() = default;
+  explicit PackedKeyCodec(const std::vector<size_t>& domain_sizes) {
+    shifts_.reserve(domain_sizes.size());
+    masks_.reserve(domain_sizes.size());
+    size_t total = 0;
+    for (size_t n : domain_sizes) {
+      const unsigned bits =
+          std::max<unsigned>(1, std::bit_width(n > 1 ? n - 1 : 1));
+      shifts_.push_back(static_cast<uint32_t>(total));
+      masks_.push_back(bits >= 64 ? ~0ull : (1ull << bits) - 1);
+      total += bits;
+    }
+    packable_ = total <= 64;
+  }
+
+  bool packable() const { return packable_; }
+
+  /// Bit offset of component i — callers' hot loops OR `code << shift(i)`
+  /// terms together to encode a key.
+  uint32_t shift(size_t i) const { return shifts_[i]; }
+
+  ValueCode Component(uint64_t key, size_t i) const {
+    return static_cast<ValueCode>((key >> shifts_[i]) & masks_[i]);
+  }
+
+ private:
+  std::vector<uint32_t> shifts_;
+  std::vector<uint64_t> masks_;
+  bool packable_ = true;
 };
 
 }  // namespace themis::data

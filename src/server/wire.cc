@@ -429,6 +429,17 @@ JsonValue RelationStatsToJson(const core::RelationStats& stats) {
              CacheCountersToJson(memo.hits, memo.misses, memo.evictions,
                                  memo.rejections, memo.entries, memo.cost,
                                  memo.capacity));
+  const sql::ExecutorStats& executor = stats.executor;
+  JsonValue exec = JsonValue::Object();
+  auto set_counter = [&exec](const char* key, uint64_t v) {
+    exec.Set(key, JsonValue::Number(static_cast<double>(v)));
+  };
+  set_counter("rows_scanned", executor.rows_scanned);
+  set_counter("rows_passed", executor.rows_passed);
+  set_counter("groups_emitted", executor.groups_emitted);
+  set_counter("join_build_rows", executor.join_build_rows);
+  set_counter("join_probe_rows", executor.join_probe_rows);
+  object.Set("executor", std::move(exec));
   return object;
 }
 
@@ -457,6 +468,15 @@ core::RelationStats RelationStatsFromJson(const JsonValue& json) {
     stats.result_memo.entries = CounterFrom(*memo, "entries");
     stats.result_memo.cost = CounterFrom(*memo, "cost");
     stats.result_memo.capacity = CounterFrom(*memo, "capacity");
+  }
+  if (const JsonValue* executor = json.Find("executor")) {
+    stats.executor.rows_scanned = CounterFrom(*executor, "rows_scanned");
+    stats.executor.rows_passed = CounterFrom(*executor, "rows_passed");
+    stats.executor.groups_emitted = CounterFrom(*executor, "groups_emitted");
+    stats.executor.join_build_rows =
+        CounterFrom(*executor, "join_build_rows");
+    stats.executor.join_probe_rows =
+        CounterFrom(*executor, "join_probe_rows");
   }
   return stats;
 }

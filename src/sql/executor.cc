@@ -1,9 +1,13 @@
 #include "sql/executor.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <cstdlib>
+#include <limits>
+#include <numeric>
 #include <sstream>
+#include <utility>
 
 #include "sql/parser.h"
 #include "util/string_util.h"
@@ -23,114 +27,71 @@ struct BoundTable {
   std::string alias;
 };
 
-/// Per-row aggregate accumulators for one group.
-struct Accumulator {
-  double count_weight = 0;                 // Σ w (COUNT(*))
-  std::vector<double> weighted_sums;       // Σ w·v per SUM/AVG item
-  std::vector<double> weight_totals;       // Σ w per SUM/AVG item
+/// A non-join predicate compiled to a per-domain-code match mask, so row
+/// evaluation is a single array lookup.
+struct Filter {
+  BoundColumn column;
+  std::vector<char> code_matches;  // indexed by value code
 };
 
-using GroupMap = std::map<std::vector<std::string>, Accumulator>;
+struct AggItem {
+  AggFunc func = AggFunc::kCount;
+  BoundColumn column;  // unused for COUNT(*)
+};
 
-/// Default rows per scan shard. Never derived from the pool size, so the
-/// shard layout — and with it the float summation order — depends only on
-/// the table and the (fixed) shard size, keeping sharded results bitwise
-/// identical across pool sizes.
+/// A SELECT statement bound against the registered tables: resolved
+/// tables and columns, compiled filters, join pairs, and per-code numeric
+/// caches — everything both execution paths (vectorized and reference)
+/// need before touching a row.
+struct BoundQuery {
+  std::vector<BoundTable> tables;
+  std::vector<Filter> filters;
+  std::vector<std::pair<BoundColumn, BoundColumn>> joins;
+  std::vector<BoundColumn> group_columns;
+  std::vector<AggItem> agg_items;
+  /// Per agg item: NumericValueOfLabel per domain code (empty for COUNT).
+  std::vector<std::vector<double>> numeric_cache;
+  std::vector<std::string> group_names;
+  std::vector<std::string> value_names;
+};
+
+/// Default rows per scan shard when the caller gives no column
+/// information. Never derived from the pool size, so the shard layout —
+/// and with it the float summation order — depends only on the table and
+/// the (fixed) shard size, keeping sharded results bitwise identical
+/// across pool sizes.
 constexpr size_t kDefaultShardRows = 8192;
+/// Auto shard policy: per-shard working-set target and clamp bounds.
+constexpr size_t kAutoShardTargetBytes = 256 * 1024;
+constexpr size_t kMinAutoShardRows = 1024;
+constexpr size_t kMaxAutoShardRows = 262144;
 
-}  // namespace
-
-size_t ResolveShardRows(size_t requested) {
-  if (requested > 0) return requested;
-  if (const char* env = std::getenv("THEMIS_SHARD_ROWS")) {
-    const unsigned long v = std::strtoul(env, nullptr, 10);
-    if (v > 0) return static_cast<size_t>(v);
-  }
-  return kDefaultShardRows;
-}
-
-double NumericValueOfLabel(const std::string& label) {
-  if (label.size() >= 2 && label.front() == '[' && label.back() == ')') {
-    // Equi-width bucket label "[lo,hi)": midpoint.
-    const size_t comma = label.find(',');
-    if (comma != std::string::npos) {
-      const double lo = std::strtod(label.c_str() + 1, nullptr);
-      const double hi = std::strtod(label.c_str() + comma + 1, nullptr);
-      return (lo + hi) / 2.0;
-    }
-  }
-  char* end = nullptr;
-  const double v = std::strtod(label.c_str(), &end);
-  if (end == label.c_str() || end != label.c_str() + label.size()) {
-    return std::numeric_limits<double>::quiet_NaN();
-  }
-  return v;
-}
-
-std::map<std::string, double> QueryResult::ValueMap(
-    size_t value_index) const {
-  std::map<std::string, double> out;
-  for (const ResultRow& row : rows) {
-    std::string key = Join(row.group, "|");
-    if (value_index < row.values.size()) {
-      out[key] = row.values[value_index];
-    }
-  }
-  return out;
-}
-
-std::string QueryResult::ToString() const {
-  std::ostringstream out;
-  for (const auto& name : group_names) out << name << "\t";
-  for (const auto& name : value_names) out << name << "\t";
-  out << "\n";
-  for (const ResultRow& row : rows) {
-    for (const auto& g : row.group) out << g << "\t";
-    for (double v : row.values) out << StrFormat("%.3f", v) << "\t";
-    out << "\n";
-  }
-  return out.str();
-}
-
-void Executor::RegisterTable(const std::string& name,
-                             const data::Table* table) {
-  catalog_[name] = table;
-}
-
-Result<QueryResult> Executor::Query(const std::string& sql,
-                                    util::ThreadPool* pool,
-                                    size_t shard_rows) const {
-  THEMIS_ASSIGN_OR_RETURN(SelectStatement stmt, Parse(sql));
-  return Execute(stmt, pool, shard_rows);
-}
-
-Result<QueryResult> Executor::Execute(const SelectStatement& stmt,
-                                      util::ThreadPool* pool,
-                                      size_t shard_rows) const {
-  const size_t kShardRows = ResolveShardRows(shard_rows);
+Result<BoundQuery> Bind(
+    const SelectStatement& stmt,
+    const std::unordered_map<std::string, const data::Table*>& catalog) {
+  BoundQuery q;
   // --- Bind tables. ---
   if (stmt.tables.empty() || stmt.tables.size() > 2) {
     return Status::Unimplemented("only 1- and 2-table queries supported");
   }
-  std::vector<BoundTable> tables;
   for (const TableRef& ref : stmt.tables) {
-    auto it = catalog_.find(ref.name);
-    if (it == catalog_.end()) {
+    auto it = catalog.find(ref.name);
+    if (it == catalog.end()) {
       return Status::NotFound("no relation '" + ref.name + "' registered");
     }
-    tables.push_back({it->second, ref.alias});
+    q.tables.push_back({it->second, ref.alias});
   }
 
   // --- Bind columns. ---
   auto bind = [&](const ColumnRef& ref) -> Result<BoundColumn> {
     BoundColumn bound;
     bool found = false;
-    for (size_t t = 0; t < tables.size(); ++t) {
+    for (size_t t = 0; t < q.tables.size(); ++t) {
       if (!ref.table_alias.empty() &&
-          !EqualsIgnoreCase(ref.table_alias, tables[t].alias)) {
+          !EqualsIgnoreCase(ref.table_alias, q.tables[t].alias)) {
         continue;
       }
-      auto idx = tables[t].table->schema()->AttributeIndex(ref.column);
+      auto idx = q.tables[t].table->schema()->AttributeIndex(ref.column);
       if (idx.ok()) {
         if (found) {
           return Result<BoundColumn>(Status::InvalidArgument(
@@ -148,14 +109,6 @@ Result<QueryResult> Executor::Execute(const SelectStatement& stmt,
   };
 
   // --- Split predicates into per-table filters and join conditions. ---
-  // For a filter, precompute a per-domain-code match mask so row evaluation
-  // is a single array lookup.
-  struct Filter {
-    BoundColumn column;
-    std::vector<char> code_matches;  // indexed by value code
-  };
-  std::vector<Filter> filters;
-  std::vector<std::pair<BoundColumn, BoundColumn>> joins;
   for (const Predicate& pred : stmt.where) {
     THEMIS_ASSIGN_OR_RETURN(BoundColumn lhs, bind(pred.lhs));
     if (pred.is_join) {
@@ -165,11 +118,11 @@ Result<QueryResult> Executor::Execute(const SelectStatement& stmt,
             "same-table column equality not supported");
       }
       if (lhs.table > rhs.table) std::swap(lhs, rhs);
-      joins.emplace_back(lhs, rhs);
+      q.joins.emplace_back(lhs, rhs);
       continue;
     }
     const data::Domain& domain =
-        tables[lhs.table].table->schema()->domain(lhs.attr);
+        q.tables[lhs.table].table->schema()->domain(lhs.attr);
     Filter filter;
     filter.column = lhs;
     filter.code_matches.assign(domain.size(), 0);
@@ -216,22 +169,15 @@ Result<QueryResult> Executor::Execute(const SelectStatement& stmt,
         break;
       }
     }
-    filters.push_back(std::move(filter));
+    q.filters.push_back(std::move(filter));
   }
 
   // --- Bind SELECT / GROUP BY columns. ---
-  std::vector<BoundColumn> group_columns;
-  QueryResult result;
   for (const ColumnRef& ref : stmt.group_by) {
     THEMIS_ASSIGN_OR_RETURN(BoundColumn bc, bind(ref));
-    group_columns.push_back(bc);
-    result.group_names.push_back(ref.ToString());
+    q.group_columns.push_back(bc);
+    q.group_names.push_back(ref.ToString());
   }
-  struct AggItem {
-    AggFunc func;
-    BoundColumn column;  // unused for COUNT(*)
-  };
-  std::vector<AggItem> agg_items;
   for (const SelectItem& item : stmt.items) {
     if (item.func == AggFunc::kNone) continue;  // plain group column
     AggItem agg;
@@ -239,17 +185,105 @@ Result<QueryResult> Executor::Execute(const SelectStatement& stmt,
     if (item.func != AggFunc::kCount) {
       THEMIS_ASSIGN_OR_RETURN(agg.column, bind(item.column));
     }
-    agg_items.push_back(agg);
+    q.agg_items.push_back(agg);
     std::string name = !item.alias.empty() ? item.alias
                        : item.func == AggFunc::kCount
                            ? "count"
                            : (item.func == AggFunc::kSum ? "sum_" : "avg_") +
                                  item.column.ToString();
-    result.value_names.push_back(std::move(name));
+    q.value_names.push_back(std::move(name));
   }
 
-  // --- Row iteration. ---
-  // Candidate rows per table after filters.
+  // Numeric per-code caches for SUM/AVG columns.
+  q.numeric_cache.resize(q.agg_items.size());
+  for (size_t i = 0; i < q.agg_items.size(); ++i) {
+    if (q.agg_items[i].func == AggFunc::kCount) continue;
+    const BoundColumn& bc = q.agg_items[i].column;
+    const data::Domain& domain =
+        q.tables[bc.table].table->schema()->domain(bc.attr);
+    std::vector<double> values(domain.size());
+    for (size_t code = 0; code < domain.size(); ++code) {
+      values[code] = NumericValueOfLabel(
+          domain.Label(static_cast<data::ValueCode>(code)));
+    }
+    q.numeric_cache[i] = std::move(values);
+  }
+
+  // The seed executor surfaced this at execution time, after all column
+  // binding — keep that error precedence.
+  if (q.tables.size() == 2 && q.joins.empty()) {
+    return Status::Unimplemented(
+        "cross joins without join predicates are not supported");
+  }
+  return q;
+}
+
+/// Shard size for `q`: explicit request, else the executor's
+/// construction-time THEMIS_SHARD_ROWS snapshot (`env_override`), else
+/// the cache-aware auto size derived from the scanned-column working set
+/// of the sharded table (the probe side for joins). Depends only on the
+/// query and table — never the pool — so the shard layout is pool-size
+/// independent.
+/// The cache-aware auto size: ~kAutoShardTargetBytes of scanned data per
+/// shard, clamped to sane bounds.
+size_t AutoShardRows(size_t bytes_per_row) {
+  return std::clamp(kAutoShardTargetBytes / bytes_per_row, kMinAutoShardRows,
+                    kMaxAutoShardRows);
+}
+
+size_t ResolvedShardRowsFor(const BoundQuery& q, size_t requested,
+                            size_t env_override) {
+  if (requested > 0) return requested;
+  if (env_override > 0) return env_override;
+  const size_t t = q.tables.size() == 1 ? 0 : 1;
+  std::vector<size_t> attrs;
+  for (const Filter& f : q.filters) {
+    if (f.column.table == t) attrs.push_back(f.column.attr);
+  }
+  for (const BoundColumn& gc : q.group_columns) {
+    if (gc.table == t) attrs.push_back(gc.attr);
+  }
+  for (const AggItem& item : q.agg_items) {
+    if (item.func != AggFunc::kCount && item.column.table == t) {
+      attrs.push_back(item.column.attr);
+    }
+  }
+  for (const auto& [lhs, rhs] : q.joins) {
+    attrs.push_back(t == 0 ? lhs.attr : rhs.attr);
+  }
+  std::sort(attrs.begin(), attrs.end());
+  attrs.erase(std::unique(attrs.begin(), attrs.end()), attrs.end());
+  return AutoShardRows(data::Table::ScanBytesPerRow(attrs.size()));
+}
+
+// ---------------------------------------------------------------------
+// Reference path: the pre-vectorization executor, retained verbatim as
+// the bitwise oracle for differential tests and bench_executor. Label
+// strings key an ordered map; every row allocates temporaries.
+// ---------------------------------------------------------------------
+
+/// Per-row aggregate accumulators for one group (reference path).
+struct Accumulator {
+  double count_weight = 0;                 // Σ w (COUNT(*))
+  std::vector<double> weighted_sums;       // Σ w·v per SUM/AVG item
+  std::vector<double> weight_totals;       // Σ w per SUM/AVG item
+};
+
+using GroupMap = std::map<std::vector<std::string>, Accumulator>;
+
+QueryResult ExecuteRowAtATime(const BoundQuery& q, util::ThreadPool* pool,
+                              size_t kShardRows) {
+  const auto& tables = q.tables;
+  const auto& filters = q.filters;
+  const auto& joins = q.joins;
+  const auto& group_columns = q.group_columns;
+  const auto& agg_items = q.agg_items;
+  const auto& numeric_cache = q.numeric_cache;
+
+  QueryResult result;
+  result.group_names = q.group_names;
+  result.value_names = q.value_names;
+
   auto passes = [&](size_t t, size_t row) {
     for (const Filter& f : filters) {
       if (f.column.table != t) continue;
@@ -261,24 +295,6 @@ Result<QueryResult> Executor::Execute(const SelectStatement& stmt,
     }
     return true;
   };
-
-  // Numeric per-code caches for SUM/AVG columns.
-  auto numeric_for = [&](const BoundColumn& bc) {
-    const data::Domain& domain =
-        tables[bc.table].table->schema()->domain(bc.attr);
-    std::vector<double> values(domain.size());
-    for (size_t code = 0; code < domain.size(); ++code) {
-      values[code] =
-          NumericValueOfLabel(domain.Label(static_cast<data::ValueCode>(code)));
-    }
-    return values;
-  };
-  std::vector<std::vector<double>> numeric_cache(agg_items.size());
-  for (size_t i = 0; i < agg_items.size(); ++i) {
-    if (agg_items[i].func != AggFunc::kCount) {
-      numeric_cache[i] = numeric_for(agg_items[i].column);
-    }
-  }
 
   GroupMap groups;
   // Lazily sizes a group's per-item vectors on first touch (shared by the
@@ -357,10 +373,6 @@ Result<QueryResult> Executor::Execute(const SelectStatement& stmt,
       }
     }
   } else {
-    if (joins.empty()) {
-      return Status::Unimplemented(
-          "cross joins without join predicates are not supported");
-    }
     // Hash join: build on table 0, probe with table 1. Keys are label
     // strings so tables with different schemas still join correctly.
     const data::Table& t0 = *tables[0].table;
@@ -443,6 +455,794 @@ Result<QueryResult> Executor::Execute(const SelectStatement& stmt,
     result.rows.push_back(std::move(row));
   }
   return result;
+}
+
+// ---------------------------------------------------------------------
+// Vectorized path: selection vectors, packed code keys, flat aggregation.
+//
+// Bitwise identity with the reference path holds because per-group float
+// sums depend only on (a) row iteration order within a shard, (b) the
+// shard layout, and (c) the shard-index merge order — never on how the
+// group container orders its keys, since distinct groups accumulate into
+// disjoint slots. All three are identical here, and groups sort by their
+// decoded labels at materialization, matching the reference's ordered
+// map. Codes must be valid for their domains (Domain::Label's CHECK
+// precondition, same as the reference).
+// ---------------------------------------------------------------------
+
+/// splitmix64 finalizer — mixes packed keys before open addressing.
+inline uint64_t MixKey(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Flat per-group accumulators keyed by a packed uint64 group key: open
+/// addressing with linear probing over (key, group-index) slot arrays,
+/// accumulator blocks of `stride` doubles appended in first-touch order.
+/// No per-row or per-group heap allocation beyond the amortized array
+/// growth.
+class PackedGroupTable {
+ public:
+  explicit PackedGroupTable(size_t stride) : stride_(stride) { Rehash(16); }
+
+  void Reserve(size_t groups) {
+    keys_.reserve(groups);
+    acc_.reserve(groups * stride_);
+    size_t cap = 16;
+    while (cap * 7 < groups * 10) cap <<= 1;
+    if (cap > slot_keys_.size()) Rehash(cap);
+  }
+
+  /// The group's accumulator block, zero-initialized on first touch.
+  double* Slot(uint64_t key) {
+    size_t i = MixKey(key) & mask_;
+    while (true) {
+      const uint32_t g = slot_groups_[i];
+      if (g == kEmpty) break;
+      if (slot_keys_[i] == key) return acc_.data() + g * stride_;
+      i = (i + 1) & mask_;
+    }
+    if ((keys_.size() + 1) * 10 > slot_keys_.size() * 7) {
+      Rehash(slot_keys_.size() * 2);
+      i = MixKey(key) & mask_;
+      while (slot_groups_[i] != kEmpty) i = (i + 1) & mask_;
+    }
+    const uint32_t g = static_cast<uint32_t>(keys_.size());
+    slot_keys_[i] = key;
+    slot_groups_[i] = g;
+    keys_.push_back(key);
+    acc_.resize(acc_.size() + stride_, 0.0);
+    return acc_.data() + g * stride_;
+  }
+
+  size_t num_groups() const { return keys_.size(); }
+  uint64_t key(size_t g) const { return keys_[g]; }
+  const double* acc(size_t g) const { return acc_.data() + g * stride_; }
+
+  /// Adds `other`'s partials group-by-group (in its first-touch order;
+  /// per-group arithmetic is order-independent across groups).
+  void MergeFrom(const PackedGroupTable& other) {
+    for (size_t g = 0; g < other.num_groups(); ++g) {
+      double* dst = Slot(other.key(g));
+      const double* src = other.acc(g);
+      for (size_t k = 0; k < stride_; ++k) dst[k] += src[k];
+    }
+  }
+
+ private:
+  static constexpr uint32_t kEmpty = std::numeric_limits<uint32_t>::max();
+
+  void Rehash(size_t capacity) {
+    slot_keys_.assign(capacity, 0);
+    slot_groups_.assign(capacity, kEmpty);
+    mask_ = capacity - 1;
+    for (size_t g = 0; g < keys_.size(); ++g) {
+      size_t i = MixKey(keys_[g]) & mask_;
+      while (slot_groups_[i] != kEmpty) i = (i + 1) & mask_;
+      slot_keys_[i] = keys_[g];
+      slot_groups_[i] = static_cast<uint32_t>(g);
+    }
+  }
+
+  size_t stride_;
+  size_t mask_ = 0;
+  std::vector<uint64_t> slot_keys_;
+  std::vector<uint32_t> slot_groups_;
+  std::vector<uint64_t> keys_;  // first-touch order
+  std::vector<double> acc_;     // num_groups() * stride_
+};
+
+/// Small-array fallback when the group key widths exceed 64 bits: the
+/// same flat accumulator blocks, indexed by TupleKey.
+class WideGroupTable {
+ public:
+  explicit WideGroupTable(size_t stride) : stride_(stride) {}
+
+  double* Slot(const data::TupleKey& key) {
+    auto [it, inserted] =
+        index_.try_emplace(key, static_cast<uint32_t>(keys_.size()));
+    if (inserted) {
+      keys_.push_back(key);
+      acc_.resize(acc_.size() + stride_, 0.0);
+    }
+    return acc_.data() + it->second * stride_;
+  }
+
+  size_t num_groups() const { return keys_.size(); }
+  const data::TupleKey& key(size_t g) const { return keys_[g]; }
+  const double* acc(size_t g) const { return acc_.data() + g * stride_; }
+
+  void MergeFrom(const WideGroupTable& other) {
+    for (size_t g = 0; g < other.num_groups(); ++g) {
+      double* dst = Slot(other.key(g));
+      const double* src = other.acc(g);
+      for (size_t k = 0; k < stride_; ++k) dst[k] += src[k];
+    }
+  }
+
+ private:
+  size_t stride_;
+  std::unordered_map<data::TupleKey, uint32_t, data::TupleKeyHash> index_;
+  std::vector<data::TupleKey> keys_;  // first-touch order
+  std::vector<double> acc_;
+};
+
+/// Per-query vectorized context: raw column pointers, the group-key
+/// codec, and the flat accumulator layout [count, sum_0, total_0, ...].
+struct VecContext {
+  size_t stride = 1;
+  bool group_packed = true;
+  data::PackedKeyCodec gcodec;
+  std::vector<const data::ValueCode*> gcols;
+  std::vector<uint8_t> gtables;
+  std::vector<const data::Domain*> gdomains;
+
+  struct AggCol {
+    const data::ValueCode* col = nullptr;
+    const double* numeric = nullptr;
+    uint32_t domain_size = 0;
+    uint8_t table = 0;
+    bool is_count = true;
+  };
+  std::vector<AggCol> aggs;
+
+  /// One row's contribution; rows[t] is table t's current row. The add
+  /// order per slot matches the reference Accumulator exactly. Codes must
+  /// be valid for their domains — the reference path crashes loudly on a
+  /// stray code (Domain::Label's CHECK); here the asserts give debug
+  /// builds the same crash parity at zero release cost.
+  void Update(double* acc, const size_t* rows, double w) const {
+    acc[0] += w;
+    for (size_t i = 0; i < aggs.size(); ++i) {
+      const AggCol& a = aggs[i];
+      if (a.is_count) continue;
+      const uint32_t code = static_cast<uint32_t>(a.col[rows[a.table]]);
+      assert(code < a.domain_size);
+      const double v = a.numeric[code];
+      if (std::isnan(v)) continue;
+      acc[2 * i + 1] += w * v;
+      acc[2 * i + 2] += w;
+    }
+  }
+
+  uint64_t PackedKeyOf(const size_t* rows) const {
+    uint64_t key = 0;
+    for (size_t j = 0; j < gcols.size(); ++j) {
+      const uint32_t code =
+          static_cast<uint32_t>(gcols[j][rows[gtables[j]]]);
+      assert(code < gdomains[j]->size());
+      key |= static_cast<uint64_t>(code) << gcodec.shift(j);
+    }
+    return key;
+  }
+
+  void WideKeyOf(const size_t* rows, data::TupleKey& buf) const {
+    buf.clear();
+    for (size_t j = 0; j < gcols.size(); ++j) {
+      const data::ValueCode code = gcols[j][rows[gtables[j]]];
+      assert(code >= 0 &&
+             static_cast<size_t>(code) < gdomains[j]->size());
+      buf.push_back(code);
+    }
+  }
+};
+
+/// Adapters giving the scan/join kernels one Slot(rows) shape for both
+/// group-key representations.
+struct PackedGroups {
+  const VecContext* ctx;
+  PackedGroupTable table;
+  PackedGroups(const VecContext& c, size_t reserve)
+      : ctx(&c), table(c.stride) {
+    if (reserve > 0) table.Reserve(reserve);
+  }
+  double* Slot(const size_t* rows) {
+    return table.Slot(ctx->PackedKeyOf(rows));
+  }
+  void MergeFrom(const PackedGroups& o) { table.MergeFrom(o.table); }
+  size_t num_groups() const { return table.num_groups(); }
+  const double* acc(size_t g) const { return table.acc(g); }
+  void Labels(size_t g, std::vector<std::string>& out) const {
+    const uint64_t key = table.key(g);
+    for (size_t j = 0; j < ctx->gdomains.size(); ++j) {
+      out.push_back(ctx->gdomains[j]->Label(ctx->gcodec.Component(key, j)));
+    }
+  }
+};
+
+struct WideGroups {
+  const VecContext* ctx;
+  WideGroupTable table;
+  data::TupleKey buf;
+  WideGroups(const VecContext& c, size_t /*reserve*/)
+      : ctx(&c), table(c.stride) {}
+  double* Slot(const size_t* rows) {
+    ctx->WideKeyOf(rows, buf);
+    return table.Slot(buf);
+  }
+  void MergeFrom(const WideGroups& o) { table.MergeFrom(o.table); }
+  size_t num_groups() const { return table.num_groups(); }
+  const double* acc(size_t g) const { return table.acc(g); }
+  void Labels(size_t g, std::vector<std::string>& out) const {
+    const data::TupleKey& key = table.key(g);
+    for (size_t j = 0; j < ctx->gdomains.size(); ++j) {
+      out.push_back(ctx->gdomains[j]->Label(key[j]));
+    }
+  }
+};
+
+/// Evaluates every filter on table `t` over rows [lo, hi) into `sel`
+/// (ascending row ids): the first filter scans its code column, each
+/// further filter compacts the survivors in place — one column pass per
+/// filter instead of a filter-list walk per row.
+void BuildSelection(const BoundQuery& q, size_t t, size_t lo, size_t hi,
+                    std::vector<uint32_t>& sel) {
+  sel.clear();
+  bool first = true;
+  for (const Filter& f : q.filters) {
+    if (f.column.table != t) continue;
+    const data::ValueCode* col =
+        q.tables[t].table->column(f.column.attr).data();
+    const char* match = f.code_matches.data();
+    const size_t domain_size = f.code_matches.size();
+    if (first) {
+      for (size_t r = lo; r < hi; ++r) {
+        const data::ValueCode c = col[r];
+        if (c >= 0 && static_cast<size_t>(c) < domain_size && match[c]) {
+          sel.push_back(static_cast<uint32_t>(r));
+        }
+      }
+      first = false;
+    } else {
+      size_t out = 0;
+      for (const uint32_t r : sel) {
+        const data::ValueCode c = col[r];
+        if (c >= 0 && static_cast<size_t>(c) < domain_size && match[c]) {
+          sel[out++] = r;
+        }
+      }
+      sel.resize(out);
+    }
+  }
+  if (first) {  // no filters on this table: all rows pass
+    sel.resize(hi - lo);
+    std::iota(sel.begin(), sel.end(), static_cast<uint32_t>(lo));
+  }
+}
+
+/// Single-table GROUP BY scan. Sequential execution (pool-less or small
+/// table) chunks rows only to bound the selection buffer — accumulation
+/// stays in global row order into `out`, exactly like the reference's
+/// row loop. Pooled execution on >= 2 shards gives each shard a private
+/// group table and merges them in shard-index order, reproducing the
+/// reference's summation tree.
+template <typename GroupsT>
+void ScanSingleTable(const VecContext& ctx, const BoundQuery& q,
+                     util::ThreadPool* pool, size_t kShardRows,
+                     size_t group_reserve, GroupsT& out,
+                     ExecutorStats& stats) {
+  const data::Table& t0 = *q.tables[0].table;
+  const size_t num_rows = t0.num_rows();
+  const double* weights = t0.weights().data();
+  stats.rows_scanned += num_rows;
+  if (pool != nullptr && num_rows >= 2 * kShardRows) {
+    const size_t num_shards = (num_rows + kShardRows - 1) / kShardRows;
+    const size_t shard_reserve = std::min(group_reserve, kShardRows);
+    std::vector<GroupsT> shard_groups;
+    shard_groups.reserve(num_shards);
+    for (size_t s = 0; s < num_shards; ++s) {
+      shard_groups.emplace_back(ctx, shard_reserve);
+    }
+    std::vector<uint64_t> passed(num_shards, 0);
+    pool->ParallelFor(0, num_shards, [&](size_t s) {
+      const size_t lo = s * kShardRows;
+      const size_t hi = std::min(num_rows, lo + kShardRows);
+      std::vector<uint32_t> sel;
+      sel.reserve(hi - lo);
+      BuildSelection(q, 0, lo, hi, sel);
+      passed[s] = sel.size();
+      GroupsT& groups = shard_groups[s];
+      for (const uint32_t r : sel) {
+        const size_t rows[2] = {r, 0};
+        ctx.Update(groups.Slot(rows), rows, weights[r]);
+      }
+    });
+    for (const GroupsT& shard : shard_groups) out.MergeFrom(shard);
+    for (const uint64_t p : passed) stats.rows_passed += p;
+  } else {
+    std::vector<uint32_t> sel;
+    sel.reserve(std::min(num_rows, kShardRows));
+    for (size_t lo = 0; lo < num_rows; lo += kShardRows) {
+      const size_t hi = std::min(num_rows, lo + kShardRows);
+      BuildSelection(q, 0, lo, hi, sel);
+      stats.rows_passed += sel.size();
+      for (const uint32_t r : sel) {
+        const size_t rows[2] = {r, 0};
+        ctx.Update(out.Slot(rows), rows, weights[r]);
+      }
+    }
+  }
+}
+
+/// Code-native join-key maker backed by a packed uint64. `translations`
+/// bridge probe codes into the build side's code space when the two
+/// domains differ (empty vector = same Domain object, codes agree).
+struct PackedJoinKey {
+  using Key = uint64_t;
+  using Map = std::unordered_map<uint64_t, std::vector<uint32_t>>;
+  data::PackedKeyCodec codec;
+  std::vector<const data::ValueCode*> build_cols;
+  std::vector<const data::ValueCode*> probe_cols;
+  std::vector<std::vector<data::ValueCode>> translations;
+
+  void BuildKey(size_t r, Key& key) const {
+    key = 0;
+    for (size_t j = 0; j < build_cols.size(); ++j) {
+      key |= static_cast<uint64_t>(
+                 static_cast<uint32_t>(build_cols[j][r]))
+             << codec.shift(j);
+    }
+  }
+  /// False when a probe label has no code on the build side (no match).
+  bool ProbeKey(size_t r, Key& key) const {
+    key = 0;
+    for (size_t j = 0; j < probe_cols.size(); ++j) {
+      data::ValueCode c = probe_cols[j][r];
+      if (!translations[j].empty()) {
+        assert(static_cast<size_t>(c) < translations[j].size());
+        c = translations[j][static_cast<uint32_t>(c)];
+        if (c < 0) return false;
+      }
+      key |= static_cast<uint64_t>(static_cast<uint32_t>(c))
+             << codec.shift(j);
+    }
+    return true;
+  }
+};
+
+/// TupleKey fallback for join keys wider than 64 bits.
+struct WideJoinKey {
+  using Key = data::TupleKey;
+  using Map =
+      std::unordered_map<data::TupleKey, std::vector<uint32_t>,
+                         data::TupleKeyHash>;
+  std::vector<const data::ValueCode*> build_cols;
+  std::vector<const data::ValueCode*> probe_cols;
+  std::vector<std::vector<data::ValueCode>> translations;
+
+  void BuildKey(size_t r, Key& key) const {
+    key.clear();
+    for (size_t j = 0; j < build_cols.size(); ++j) {
+      key.push_back(build_cols[j][r]);
+    }
+  }
+  bool ProbeKey(size_t r, Key& key) const {
+    key.clear();
+    for (size_t j = 0; j < probe_cols.size(); ++j) {
+      data::ValueCode c = probe_cols[j][r];
+      if (!translations[j].empty()) {
+        assert(static_cast<size_t>(c) < translations[j].size());
+        c = translations[j][static_cast<uint32_t>(c)];
+        if (c < 0) return false;
+      }
+      key.push_back(c);
+    }
+    return true;
+  }
+};
+
+/// Hash join on code-native keys. Large build sides shard across the
+/// pool: shard maps merge by appending row lists in shard-index order, so
+/// every key's rows stay in ascending row order — the build table's
+/// content (and with it the probe-side accumulation order) is identical
+/// to a sequential build at any pool size. The probe side shards by row
+/// range like the single-table scan.
+template <typename JoinT, typename GroupsT>
+void JoinTables(const VecContext& ctx, const BoundQuery& q,
+                const JoinT& join, util::ThreadPool* pool, size_t kShardRows,
+                size_t group_reserve, GroupsT& out, ExecutorStats& stats) {
+  const data::Table& t0 = *q.tables[0].table;
+  const data::Table& t1 = *q.tables[1].table;
+  const double* w0 = t0.weights().data();
+  const double* w1 = t1.weights().data();
+
+  // --- Build side. ---
+  const size_t build_rows = t0.num_rows();
+  stats.rows_scanned += build_rows;
+  typename JoinT::Map build;
+  if (pool != nullptr && build_rows >= 2 * kShardRows) {
+    const size_t num_shards = (build_rows + kShardRows - 1) / kShardRows;
+    std::vector<typename JoinT::Map> shard_maps(num_shards);
+    std::vector<uint64_t> passed(num_shards, 0);
+    pool->ParallelFor(0, num_shards, [&](size_t s) {
+      const size_t lo = s * kShardRows;
+      const size_t hi = std::min(build_rows, lo + kShardRows);
+      std::vector<uint32_t> sel;
+      sel.reserve(hi - lo);
+      BuildSelection(q, 0, lo, hi, sel);
+      passed[s] = sel.size();
+      typename JoinT::Key key{};
+      for (const uint32_t r : sel) {
+        join.BuildKey(r, key);
+        shard_maps[s][key].push_back(r);
+      }
+    });
+    for (typename JoinT::Map& shard : shard_maps) {
+      for (auto& [key, rows] : shard) {
+        auto& dst = build[key];
+        dst.insert(dst.end(), rows.begin(), rows.end());
+      }
+    }
+    for (const uint64_t p : passed) {
+      stats.rows_passed += p;
+      stats.join_build_rows += p;
+    }
+  } else {
+    std::vector<uint32_t> sel;
+    typename JoinT::Key key{};
+    for (size_t lo = 0; lo < build_rows; lo += kShardRows) {
+      const size_t hi = std::min(build_rows, lo + kShardRows);
+      BuildSelection(q, 0, lo, hi, sel);
+      stats.rows_passed += sel.size();
+      stats.join_build_rows += sel.size();
+      for (const uint32_t r : sel) {
+        join.BuildKey(r, key);
+        build[key].push_back(r);
+      }
+    }
+  }
+
+  // --- Probe side. ---
+  const size_t probe_rows = t1.num_rows();
+  stats.rows_scanned += probe_rows;
+  auto probe_range = [&](GroupsT& groups, size_t lo, size_t hi,
+                         ExecutorStats& local) {
+    std::vector<uint32_t> sel;
+    sel.reserve(hi - lo);
+    BuildSelection(q, 1, lo, hi, sel);
+    local.rows_passed += sel.size();
+    local.join_probe_rows += sel.size();
+    typename JoinT::Key key{};
+    for (const uint32_t r1 : sel) {
+      if (!join.ProbeKey(r1, key)) continue;
+      auto it = build.find(key);
+      if (it == build.end()) continue;
+      const double weight1 = w1[r1];
+      for (const uint32_t r0 : it->second) {
+        const size_t rows[2] = {r0, r1};
+        ctx.Update(groups.Slot(rows), rows, w0[r0] * weight1);
+      }
+    }
+  };
+  if (pool != nullptr && probe_rows >= 2 * kShardRows) {
+    const size_t num_shards = (probe_rows + kShardRows - 1) / kShardRows;
+    const size_t shard_reserve = std::min(group_reserve, kShardRows);
+    std::vector<GroupsT> shard_groups;
+    shard_groups.reserve(num_shards);
+    for (size_t s = 0; s < num_shards; ++s) {
+      shard_groups.emplace_back(ctx, shard_reserve);
+    }
+    std::vector<ExecutorStats> shard_stats(num_shards);
+    pool->ParallelFor(0, num_shards, [&](size_t s) {
+      const size_t lo = s * kShardRows;
+      probe_range(shard_groups[s], lo, std::min(probe_rows, lo + kShardRows),
+                  shard_stats[s]);
+    });
+    for (const GroupsT& shard : shard_groups) out.MergeFrom(shard);
+    for (const ExecutorStats& s : shard_stats) stats += s;
+  } else {
+    for (size_t lo = 0; lo < probe_rows; lo += kShardRows) {
+      probe_range(out, lo, std::min(probe_rows, lo + kShardRows), stats);
+    }
+  }
+}
+
+/// Decodes, sorts, and emits the groups. Sorting the decoded label
+/// vectors reproduces the reference's std::map<vector<string>> order
+/// exactly (labels are unique per domain, so code order != label order
+/// is corrected here and only here).
+template <typename GroupsT>
+QueryResult MaterializeGroups(const GroupsT& groups, const BoundQuery& q) {
+  QueryResult result;
+  result.group_names = q.group_names;
+  result.value_names = q.value_names;
+  const size_t num_aggs = q.agg_items.size();
+
+  // Global aggregates (no GROUP BY) always yield exactly one row, even
+  // when no input rows qualify.
+  if (q.group_columns.empty() && groups.num_groups() == 0) {
+    ResultRow row;
+    row.values.assign(num_aggs, 0.0);
+    result.rows.push_back(std::move(row));
+    return result;
+  }
+
+  std::vector<std::pair<std::vector<std::string>, size_t>> order;
+  order.reserve(groups.num_groups());
+  for (size_t g = 0; g < groups.num_groups(); ++g) {
+    std::vector<std::string> labels;
+    labels.reserve(q.group_columns.size());
+    groups.Labels(g, labels);
+    order.emplace_back(std::move(labels), g);
+  }
+  std::sort(order.begin(), order.end());  // keys are distinct: total order
+
+  result.rows.reserve(order.size());
+  for (auto& [labels, g] : order) {
+    const double* acc = groups.acc(g);
+    ResultRow row;
+    row.group = std::move(labels);
+    row.values.reserve(num_aggs);
+    for (size_t i = 0; i < num_aggs; ++i) {
+      switch (q.agg_items[i].func) {
+        case AggFunc::kCount:
+          row.values.push_back(acc[0]);
+          break;
+        case AggFunc::kSum:
+          row.values.push_back(acc[2 * i + 1]);
+          break;
+        case AggFunc::kAvg:
+          row.values.push_back(
+              acc[2 * i + 2] > 0 ? acc[2 * i + 1] / acc[2 * i + 2] : 0.0);
+          break;
+        case AggFunc::kNone:
+          break;
+      }
+    }
+    result.rows.push_back(std::move(row));
+  }
+  return result;
+}
+
+QueryResult ExecuteVectorized(const BoundQuery& q, util::ThreadPool* pool,
+                              size_t kShardRows, ExecutorStats& stats) {
+  VecContext ctx;
+  ctx.stride = 1 + 2 * q.agg_items.size();
+  ctx.aggs.resize(q.agg_items.size());
+  for (size_t i = 0; i < q.agg_items.size(); ++i) {
+    VecContext::AggCol& a = ctx.aggs[i];
+    a.is_count = q.agg_items[i].func == AggFunc::kCount;
+    if (!a.is_count) {
+      const BoundColumn& bc = q.agg_items[i].column;
+      a.col = q.tables[bc.table].table->column(bc.attr).data();
+      a.numeric = q.numeric_cache[i].data();
+      a.domain_size = static_cast<uint32_t>(q.numeric_cache[i].size());
+      a.table = static_cast<uint8_t>(bc.table);
+    }
+  }
+  std::vector<size_t> gsizes;
+  for (const BoundColumn& gc : q.group_columns) {
+    const data::Domain& domain =
+        q.tables[gc.table].table->schema()->domain(gc.attr);
+    ctx.gcols.push_back(q.tables[gc.table].table->column(gc.attr).data());
+    ctx.gtables.push_back(static_cast<uint8_t>(gc.table));
+    ctx.gdomains.push_back(&domain);
+    gsizes.push_back(domain.size());
+  }
+  ctx.gcodec = data::PackedKeyCodec(gsizes);
+  ctx.group_packed = ctx.gcodec.packable();
+
+  // Reserve the group table from the domain cardinality product where
+  // that is cheap to know and small enough to be worth pre-sizing.
+  size_t group_reserve = 1;
+  if (ctx.group_packed) {
+    for (const data::Domain* d : ctx.gdomains) {
+      group_reserve *= std::max<size_t>(1, d->size());
+      if (group_reserve > (1u << 16)) {
+        group_reserve = 1u << 16;
+        break;
+      }
+    }
+  }
+
+  if (q.tables.size() == 1) {
+    if (ctx.group_packed) {
+      PackedGroups groups(ctx, group_reserve);
+      ScanSingleTable(ctx, q, pool, kShardRows, group_reserve, groups, stats);
+      return MaterializeGroups(groups, q);
+    }
+    WideGroups groups(ctx, group_reserve);
+    ScanSingleTable(ctx, q, pool, kShardRows, group_reserve, groups, stats);
+    return MaterializeGroups(groups, q);
+  }
+
+  // --- Join: compile the key columns and domain translations. ---
+  const data::Table& t0 = *q.tables[0].table;
+  const data::Table& t1 = *q.tables[1].table;
+  std::vector<size_t> jsizes;
+  std::vector<const data::ValueCode*> build_cols;
+  std::vector<const data::ValueCode*> probe_cols;
+  std::vector<std::vector<data::ValueCode>> translations;
+  for (const auto& [lhs, rhs] : q.joins) {
+    const data::Domain& d0 = t0.schema()->domain(lhs.attr);
+    const data::Domain& d1 = t1.schema()->domain(rhs.attr);
+    jsizes.push_back(d0.size());
+    build_cols.push_back(t0.column(lhs.attr).data());
+    probe_cols.push_back(t1.column(rhs.attr).data());
+    // Same Domain object (e.g. a self-join): codes already agree.
+    translations.push_back(&d0 == &d1 ? std::vector<data::ValueCode>{}
+                                      : d1.TranslateTo(d0));
+  }
+  data::PackedKeyCodec jcodec(jsizes);
+
+  auto run_join = [&](const auto& join) -> QueryResult {
+    if (ctx.group_packed) {
+      PackedGroups groups(ctx, group_reserve);
+      JoinTables(ctx, q, join, pool, kShardRows, group_reserve, groups,
+                 stats);
+      return MaterializeGroups(groups, q);
+    }
+    WideGroups groups(ctx, group_reserve);
+    JoinTables(ctx, q, join, pool, kShardRows, group_reserve, groups, stats);
+    return MaterializeGroups(groups, q);
+  };
+  if (jcodec.packable()) {
+    return run_join(PackedJoinKey{std::move(jcodec), std::move(build_cols),
+                                  std::move(probe_cols),
+                                  std::move(translations)});
+  }
+  return run_join(WideJoinKey{std::move(build_cols), std::move(probe_cols),
+                              std::move(translations)});
+}
+
+}  // namespace
+
+size_t ShardRowsEnvOverride() {
+  if (const char* env = std::getenv("THEMIS_SHARD_ROWS")) {
+    const unsigned long v = std::strtoul(env, nullptr, 10);
+    if (v > 0) return static_cast<size_t>(v);
+  }
+  return 0;
+}
+
+size_t ResolveShardRows(size_t requested, size_t bytes_per_row) {
+  if (requested > 0) return requested;
+  if (const size_t env = ShardRowsEnvOverride(); env > 0) return env;
+  if (bytes_per_row == 0) return kDefaultShardRows;
+  return AutoShardRows(bytes_per_row);
+}
+
+double NumericValueOfLabel(const std::string& label) {
+  if (label.size() >= 2 && label.front() == '[' && label.back() == ')') {
+    // Equi-width bucket label "[lo,hi)": midpoint.
+    const size_t comma = label.find(',');
+    if (comma != std::string::npos) {
+      const double lo = std::strtod(label.c_str() + 1, nullptr);
+      const double hi = std::strtod(label.c_str() + comma + 1, nullptr);
+      return (lo + hi) / 2.0;
+    }
+  }
+  char* end = nullptr;
+  const double v = std::strtod(label.c_str(), &end);
+  if (end == label.c_str() || end != label.c_str() + label.size()) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  return v;
+}
+
+std::map<std::string, double> QueryResult::ValueMap(
+    size_t value_index) const {
+  std::map<std::string, double> out;
+  for (const ResultRow& row : rows) {
+    std::string key = Join(row.group, "|");
+    if (value_index < row.values.size()) {
+      out[key] = row.values[value_index];
+    }
+  }
+  return out;
+}
+
+std::string QueryResult::ToString() const {
+  std::ostringstream out;
+  for (const auto& name : group_names) out << name << "\t";
+  for (const auto& name : value_names) out << name << "\t";
+  out << "\n";
+  for (const ResultRow& row : rows) {
+    for (const auto& g : row.group) out << g << "\t";
+    for (double v : row.values) out << StrFormat("%.3f", v) << "\t";
+    out << "\n";
+  }
+  return out.str();
+}
+
+Executor::Executor()
+    : counters_(std::make_unique<StatCounters>()),
+      env_shard_rows_(ShardRowsEnvOverride()) {}
+
+void Executor::RegisterTable(const std::string& name,
+                             const data::Table* table) {
+  catalog_[name] = table;
+}
+
+Result<QueryResult> Executor::Query(const std::string& sql,
+                                    util::ThreadPool* pool,
+                                    size_t shard_rows) const {
+  THEMIS_ASSIGN_OR_RETURN(SelectStatement stmt, Parse(sql));
+  return Execute(stmt, pool, shard_rows);
+}
+
+Result<QueryResult> Executor::Execute(const SelectStatement& stmt,
+                                      util::ThreadPool* pool,
+                                      size_t shard_rows) const {
+  THEMIS_ASSIGN_OR_RETURN(BoundQuery q, Bind(stmt, catalog_));
+  const size_t kShardRows =
+      ResolvedShardRowsFor(q, shard_rows, env_shard_rows_);
+  // Row ids travel as uint32 through selection vectors and build tables;
+  // a table beyond that (not reachable with in-memory samples) takes the
+  // reference path, which carries size_t rows. That path doesn't observe
+  // per-filter/join flow, so only the coarse counters update.
+  for (const BoundTable& bt : q.tables) {
+    if (bt.table->num_rows() > std::numeric_limits<uint32_t>::max()) {
+      QueryResult wide = ExecuteRowAtATime(q, pool, kShardRows);
+      uint64_t scanned = 0;
+      for (const BoundTable& scanned_table : q.tables) {
+        scanned += scanned_table.table->num_rows();
+      }
+      counters_->rows_scanned.fetch_add(scanned, std::memory_order_relaxed);
+      counters_->groups_emitted.fetch_add(wide.rows.size(),
+                                          std::memory_order_relaxed);
+      return wide;
+    }
+  }
+  ExecutorStats local;
+  QueryResult result = ExecuteVectorized(q, pool, kShardRows, local);
+  local.groups_emitted = result.rows.size();
+  counters_->rows_scanned.fetch_add(local.rows_scanned,
+                                    std::memory_order_relaxed);
+  counters_->rows_passed.fetch_add(local.rows_passed,
+                                   std::memory_order_relaxed);
+  counters_->groups_emitted.fetch_add(local.groups_emitted,
+                                      std::memory_order_relaxed);
+  counters_->join_build_rows.fetch_add(local.join_build_rows,
+                                       std::memory_order_relaxed);
+  counters_->join_probe_rows.fetch_add(local.join_probe_rows,
+                                       std::memory_order_relaxed);
+  return result;
+}
+
+Result<QueryResult> Executor::ExecuteReference(const SelectStatement& stmt,
+                                               util::ThreadPool* pool,
+                                               size_t shard_rows) const {
+  THEMIS_ASSIGN_OR_RETURN(BoundQuery q, Bind(stmt, catalog_));
+  // Same shard layout as Execute, so the two paths' pooled answers are
+  // directly comparable bit for bit.
+  return ExecuteRowAtATime(
+      q, pool, ResolvedShardRowsFor(q, shard_rows, env_shard_rows_));
+}
+
+ExecutorStats Executor::stats() const {
+  ExecutorStats s;
+  s.rows_scanned = counters_->rows_scanned.load(std::memory_order_relaxed);
+  s.rows_passed = counters_->rows_passed.load(std::memory_order_relaxed);
+  s.groups_emitted =
+      counters_->groups_emitted.load(std::memory_order_relaxed);
+  s.join_build_rows =
+      counters_->join_build_rows.load(std::memory_order_relaxed);
+  s.join_probe_rows =
+      counters_->join_probe_rows.load(std::memory_order_relaxed);
+  return s;
 }
 
 }  // namespace themis::sql

@@ -1,7 +1,10 @@
 #ifndef THEMIS_SQL_EXECUTOR_H_
 #define THEMIS_SQL_EXECUTOR_H_
 
+#include <atomic>
+#include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -40,18 +43,68 @@ struct QueryResult {
 /// "[lo,hi)" evaluate to their midpoint; anything else is NaN.
 double NumericValueOfLabel(const std::string& label);
 
+/// The THEMIS_SHARD_ROWS environment override as a row count, or 0 when
+/// the variable is unset or not a positive integer. Each Executor
+/// snapshots this once at construction — queries never re-read the
+/// environment, so a mid-run setenv cannot change the shard layout (and
+/// with it the float summation order) of a live executor.
+size_t ShardRowsEnvOverride();
+
 /// Rows per shard of sharded scans and hash-join probes: `requested` when
 /// positive, else the THEMIS_SHARD_ROWS environment variable when set to a
-/// positive integer, else 8192. This is how ThemisOptions::shard_rows
-/// (0 = auto) resolves — the first step toward NUMA-/cache-aware sizing.
-size_t ResolveShardRows(size_t requested);
+/// positive integer, else automatic. The automatic size targets a
+/// ~256 KiB per-shard working set: with `bytes_per_row` > 0 (bytes the
+/// scan touches per row, see data::Table::ScanBytesPerRow) it returns
+/// 256 KiB / bytes_per_row clamped to [1024, 262144]; with bytes_per_row
+/// 0 (caller has no column information) it returns the legacy 8192.
+/// Deterministic for a fixed query and table — never derived from the
+/// pool size — so the shard layout, and with it the float summation
+/// order, is identical at every pool size. This is how
+/// ThemisOptions::shard_rows (0 = auto) resolves.
+size_t ResolveShardRows(size_t requested, size_t bytes_per_row = 0);
+
+/// Live counters of one Executor, aggregated over every query it has run
+/// (all answer modes funnel through here, so these are the system-wide
+/// scan-path counters surfaced by Catalog::Stats() and the server's
+/// STATS verb). Queries on tables beyond uint32 rows fall back to the
+/// reference path and update only rows_scanned and groups_emitted.
+struct ExecutorStats {
+  uint64_t rows_scanned = 0;     ///< rows fed through the filter pipeline
+  uint64_t rows_passed = 0;      ///< rows surviving every filter
+  uint64_t groups_emitted = 0;   ///< result rows materialized
+  uint64_t join_build_rows = 0;  ///< rows inserted into join build tables
+  uint64_t join_probe_rows = 0;  ///< filtered rows probed into build tables
+
+  ExecutorStats& operator+=(const ExecutorStats& other) {
+    rows_scanned += other.rows_scanned;
+    rows_passed += other.rows_passed;
+    groups_emitted += other.groups_emitted;
+    join_build_rows += other.join_build_rows;
+    join_probe_rows += other.join_probe_rows;
+    return *this;
+  }
+};
 
 /// Executes SQL over registered, weighted, in-memory tables. COUNT(*) is
 /// evaluated as SUM(weight) and joins multiply weights, so queries over a
 /// reweighted sample estimate the corresponding population answers
 /// (Sec 4.1).
+///
+/// The execution pipeline is code-native and vectorized: filters evaluate
+/// per shard into selection vectors (one pass per filter over the
+/// dictionary-code column, no per-row filter-list walk), GROUP BY keys
+/// pack the group columns' codes into one uint64_t (TupleKey fallback
+/// when the widths exceed 64 bits) aggregated into a flat open-addressing
+/// table, and hash joins build/probe on packed code keys (differing
+/// domains are bridged by a once-per-domain code translation). Labels are
+/// decoded only at result materialization, where groups sort by their
+/// decoded labels — so output order, float summation order, and hence
+/// bitwise results are identical to the retained row-at-a-time reference
+/// path at every pool size.
 class Executor {
  public:
+  Executor();
+
   /// Registers `table` under `name` (pointer must outlive the executor).
   void RegisterTable(const std::string& name, const data::Table* table);
 
@@ -60,20 +113,49 @@ class Executor {
                             util::ThreadPool* pool = nullptr,
                             size_t shard_rows = 0) const;
 
-  /// Executes a parsed statement. With a pool, large single-table scans
-  /// and the probe side of hash joins are sharded by row range across the
-  /// pool's workers (the join's build side stays sequential). The shard
-  /// layout is fixed by the row count and `shard_rows` (0 = auto, see
-  /// ResolveShardRows) alone — never the pool size — and partial
-  /// aggregates merge in shard order, so the result is bitwise identical
-  /// for every pool size (including a 1-thread pool); only the pool-less
-  /// call takes the unsharded path, whose float summation order differs.
+  /// Executes a parsed statement. With a pool, large single-table scans,
+  /// the build side of large hash joins, and hash-join probes are sharded
+  /// by row range across the pool's workers. The shard layout is fixed by
+  /// the row count and `shard_rows` (0 = auto, see ResolveShardRows)
+  /// alone — never the pool size — and partial aggregates merge in shard
+  /// order, so the result is bitwise identical for every pool size
+  /// (including a 1-thread pool); only the pool-less call takes the
+  /// unsharded path, whose float summation order differs.
   Result<QueryResult> Execute(const SelectStatement& stmt,
                               util::ThreadPool* pool = nullptr,
                               size_t shard_rows = 0) const;
 
+  /// The retained row-at-a-time reference implementation (the
+  /// pre-vectorization executor, kept verbatim): label-string group and
+  /// join keys in ordered maps, per-row temporaries. Differential tests
+  /// and bench_executor check the vectorized path is bitwise identical to
+  /// — and measure its speedup over — this path. Does not update stats().
+  Result<QueryResult> ExecuteReference(const SelectStatement& stmt,
+                                       util::ThreadPool* pool = nullptr,
+                                       size_t shard_rows = 0) const;
+
+  /// Snapshot of the cumulative per-executor counters (thread-safe;
+  /// queries running concurrently with the snapshot may be partially
+  /// counted).
+  ExecutorStats stats() const;
+
  private:
+  struct StatCounters {
+    std::atomic<uint64_t> rows_scanned{0};
+    std::atomic<uint64_t> rows_passed{0};
+    std::atomic<uint64_t> groups_emitted{0};
+    std::atomic<uint64_t> join_build_rows{0};
+    std::atomic<uint64_t> join_probe_rows{0};
+  };
+
   std::unordered_map<std::string, const data::Table*> catalog_;
+  /// Heap-allocated so the executor stays movable despite the atomics;
+  /// queries tally locally and add here once at the end.
+  std::unique_ptr<StatCounters> counters_;
+  /// THEMIS_SHARD_ROWS, read once at construction: no getenv on the
+  /// query hot path, and the shard layout (which fixes the float
+  /// summation order) cannot drift if the environment changes mid-run.
+  size_t env_shard_rows_ = 0;
 };
 
 }  // namespace themis::sql

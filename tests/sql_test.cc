@@ -367,6 +367,53 @@ TEST(ExecutorShardingTest, ShardedJoinProbeMatchesSequentialAcrossPoolSizes) {
   }
 }
 
+/// Scan-path counters: rows scanned/passed, groups emitted, and join
+/// build/probe rows accumulate across queries.
+TEST_F(ExecutorTest, StatsCountScanAndJoin) {
+  EXPECT_EQ(executor_.stats().rows_scanned, 0u);
+  ASSERT_TRUE(executor_.Query("SELECT o, COUNT(*) FROM f "
+                              "WHERE o IN ('CA', 'NY') GROUP BY o")
+                  .ok());
+  ExecutorStats stats = executor_.stats();
+  EXPECT_EQ(stats.rows_scanned, 5u);
+  EXPECT_EQ(stats.rows_passed, 4u);   // 3x CA + 1x NY
+  EXPECT_EQ(stats.groups_emitted, 2u);
+  EXPECT_EQ(stats.join_build_rows, 0u);
+
+  ASSERT_TRUE(
+      executor_.Query("SELECT COUNT(*) FROM f t, f s WHERE t.de = s.o")
+          .ok());
+  stats = executor_.stats();
+  EXPECT_EQ(stats.rows_scanned, 5u + 10u);  // both join sides scanned
+  EXPECT_EQ(stats.join_build_rows, 5u);
+  EXPECT_EQ(stats.join_probe_rows, 5u);
+  EXPECT_EQ(stats.groups_emitted, 2u + 1u);
+
+  // The reference path is a measurement oracle and leaves stats alone.
+  auto stmt = Parse("SELECT COUNT(*) FROM f");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_TRUE(executor_.ExecuteReference(*stmt).ok());
+  EXPECT_EQ(executor_.stats().rows_scanned, stats.rows_scanned);
+}
+
+/// The auto shard size targets a ~256 KiB per-shard working set over the
+/// scanned columns, clamped to [1024, 262144]; explicit and environment
+/// overrides still win, and no column information falls back to 8192.
+TEST(ExecutorShardingTest, CacheAwareAutoShardRows) {
+  EXPECT_EQ(ResolveShardRows(0, 0), 8192u);  // unknown working set
+  const size_t two_columns = data::Table::ScanBytesPerRow(2);
+  EXPECT_EQ(two_columns, 16u);
+  EXPECT_EQ(ResolveShardRows(0, two_columns), 256u * 1024u / 16u);
+  EXPECT_EQ(ResolveShardRows(0, 1), 262144u);        // clamp above
+  EXPECT_EQ(ResolveShardRows(0, 1 << 20), 1024u);    // clamp below
+  EXPECT_EQ(ResolveShardRows(123, two_columns), 123u);
+  ASSERT_EQ(setenv("THEMIS_SHARD_ROWS", "777", 1), 0);
+  EXPECT_EQ(ShardRowsEnvOverride(), 777u);
+  EXPECT_EQ(ResolveShardRows(0, two_columns), 777u);
+  ASSERT_EQ(unsetenv("THEMIS_SHARD_ROWS"), 0);
+  EXPECT_EQ(ShardRowsEnvOverride(), 0u);
+}
+
 /// The shard size is configurable: ThemisOptions::shard_rows (explicit)
 /// beats THEMIS_SHARD_ROWS (environment) beats the 8192-row default, a
 /// small size engages sharding on tables the default would scan inline,
