@@ -1,19 +1,23 @@
 // Code-native executor micro-bench: the vectorized pipeline (selection
 // vectors, packed group/join keys, flat aggregation) against the retained
-// row-at-a-time reference path on ~1M-row scans and joins. Every answer —
-// sequential and pooled at sizes 1/2/hw — is bitwise-checked against the
-// reference at the same configuration before anything is timed; any
-// divergence aborts.
+// row-at-a-time reference path on ~1M-row scans and joins. A second
+// executor pinned to the scalar SIMD backend runs everything too, so each
+// answer — sequential and pooled at sizes 1/2/hw — is three-way
+// bitwise-checked (simd == scalar == reference) before anything is timed;
+// any divergence aborts.
 //
-//   ./bench_executor [rounds] [--smoke] [--strict]
+//   ./bench_executor [rounds] [--smoke] [--strict] [--json PATH]
 //
 // The acceptance bar is a >= 2x sequential speedup on the 1M-row GROUP BY
 // scan; --strict turns the bar into the exit code (without it timing
 // stays informational — wall-clock gates flake on noisy shared runners).
 // --smoke shrinks the tables for CI: correctness everywhere, timing as a
-// sanity print.
+// sanity print. --json writes a machine-readable snapshot whose "gate"
+// object holds the ratios tools/check_bench.py compares across runs.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <memory>
 #include <random>
 #include <string>
@@ -23,8 +27,11 @@
 #include "common.h"
 
 #include "data/table.h"
+#include "server/wire.h"
+#include "simd/simd.h"
 #include "sql/executor.h"
 #include "sql/parser.h"
+#include "util/cpu_topology.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -49,9 +56,25 @@ std::vector<std::string> Labels(const std::string& prefix, size_t n) {
   return labels;
 }
 
-int Run(size_t rounds, bool smoke, bool strict) {
+/// Constructs an executor with THEMIS_SIMD pinned to `backend` for the
+/// duration of construction (the kernel table is snapshotted there).
+std::unique_ptr<sql::Executor> MakePinnedExecutor(const char* backend) {
+  const char* prev = std::getenv("THEMIS_SIMD");
+  const std::string saved = prev ? prev : "";
+  setenv("THEMIS_SIMD", backend, 1);
+  auto executor = std::make_unique<sql::Executor>();
+  if (prev) {
+    setenv("THEMIS_SIMD", saved.c_str(), 1);
+  } else {
+    unsetenv("THEMIS_SIMD");
+  }
+  return executor;
+}
+
+int Run(size_t rounds, bool smoke, bool strict,
+        const std::string& json_path) {
   PrintHeader("Code-native executor micro-bench",
-              "vectorized vs row-at-a-time reference, bitwise-checked");
+              "simd vs scalar vs row-at-a-time reference, bitwise-checked");
   const size_t t_rows = smoke ? 120000 : 1000000;
   const size_t b_rows = smoke ? 10000 : 50000;
 
@@ -88,8 +111,17 @@ int Run(size_t rounds, bool smoke, bool strict) {
   sql::Executor executor;
   executor.RegisterTable("t", &t);
   executor.RegisterTable("b", &b);
+  std::unique_ptr<sql::Executor> scalar_executor = MakePinnedExecutor("scalar");
+  THEMIS_CHECK(scalar_executor->stats().simd_backend == "scalar");
+  scalar_executor->RegisterTable("t", &t);
+  scalar_executor->RegisterTable("b", &b);
+  const std::string simd_backend = executor.stats().simd_backend;
   std::printf("  t: %zu rows, b: %zu rows, %zu timing rounds\n", t_rows,
               b_rows, rounds);
+  std::printf("  simd backend: %s (vs pinned scalar), %s, shard target %zu B\n",
+              simd_backend.c_str(),
+              util::CpuTopology::Host().ToString().c_str(),
+              sql::AutoShardTargetBytes());
 
   struct Case {
     const char* name;
@@ -115,17 +147,22 @@ int Run(size_t rounds, bool smoke, bool strict) {
   }
 
   double gated_speedup = 0;
+  double gated_simd_vs_scalar = 0;
+  server::JsonValue json_cases = server::JsonValue::Object();
   for (const Case& c : cases) {
     auto stmt = sql::Parse(c.sql);
     THEMIS_CHECK(stmt.ok()) << c.sql;
 
-    // Correctness first: vectorized == reference, sequential and at every
-    // pool size (and — exact weights — every layout == sequential).
+    // Correctness first: simd == scalar == reference, sequential and at
+    // every pool size (and — exact weights — every layout == sequential).
     auto reference = executor.ExecuteReference(*stmt);
     THEMIS_CHECK(reference.ok()) << reference.status().ToString();
     auto vectorized = executor.Execute(*stmt);
     THEMIS_CHECK(vectorized.ok()) << vectorized.status().ToString();
     CheckIdentical(*vectorized, *reference, std::string(c.name) + " seq");
+    auto scalar = scalar_executor->Execute(*stmt);
+    THEMIS_CHECK(scalar.ok()) << scalar.status().ToString();
+    CheckIdentical(*scalar, *reference, std::string(c.name) + " scalar seq");
     for (const auto& pool : pools) {
       const std::string what =
           std::string(c.name) + " pool " + std::to_string(pool->num_threads());
@@ -135,15 +172,23 @@ int Run(size_t rounds, bool smoke, bool strict) {
       THEMIS_CHECK(vec_pooled.ok()) << what;
       CheckIdentical(*vec_pooled, *ref_pooled, what + " vs reference");
       CheckIdentical(*vec_pooled, *reference, what + " vs sequential");
+      auto scalar_pooled = scalar_executor->Execute(*stmt, pool.get());
+      THEMIS_CHECK(scalar_pooled.ok()) << what;
+      CheckIdentical(*vec_pooled, *scalar_pooled, what + " simd vs scalar");
     }
 
-    // Timing: sequential reference vs sequential vectorized (the tentpole
-    // bar), plus the pooled vectorized scan for context.
+    // Timing: sequential reference vs scalar-kernel vs simd-kernel (the
+    // tentpole bars), plus the pooled vectorized scan for context.
     Timer timer;
     for (size_t r = 0; r < rounds; ++r) {
       THEMIS_CHECK(executor.ExecuteReference(*stmt).ok());
     }
     const double ref_seconds = timer.Seconds() / rounds;
+    timer.Restart();
+    for (size_t r = 0; r < rounds; ++r) {
+      THEMIS_CHECK(scalar_executor->Execute(*stmt).ok());
+    }
+    const double scalar_seconds = timer.Seconds() / rounds;
     timer.Restart();
     for (size_t r = 0; r < rounds; ++r) {
       THEMIS_CHECK(executor.Execute(*stmt).ok());
@@ -156,18 +201,62 @@ int Run(size_t rounds, bool smoke, bool strict) {
     const double pooled_seconds = timer.Seconds() / rounds;
 
     const double speedup = vec_seconds > 0 ? ref_seconds / vec_seconds : 0;
-    if (c.gated) gated_speedup = speedup;
+    const double simd_vs_scalar =
+        vec_seconds > 0 ? scalar_seconds / vec_seconds : 0;
+    if (c.gated) {
+      gated_speedup = speedup;
+      gated_simd_vs_scalar = simd_vs_scalar;
+    }
     std::printf(
-        "  %-14s reference %7.1f ms   vectorized %7.1f ms (%.1fx)   "
-        "pooled(%zu) %7.1f ms\n",
-        c.name, ref_seconds * 1e3, vec_seconds * 1e3, speedup, hw,
-        pooled_seconds * 1e3);
+        "  %-14s reference %7.1f ms   scalar %7.1f ms   %s %7.1f ms "
+        "(%.1fx vs ref, %.2fx vs scalar)   pooled(%zu) %7.1f ms\n",
+        c.name, ref_seconds * 1e3, scalar_seconds * 1e3, simd_backend.c_str(),
+        vec_seconds * 1e3, speedup, simd_vs_scalar, hw, pooled_seconds * 1e3);
+
+    server::JsonValue entry = server::JsonValue::Object();
+    entry.Set("reference_ms", server::JsonValue::Number(ref_seconds * 1e3));
+    entry.Set("scalar_ms", server::JsonValue::Number(scalar_seconds * 1e3));
+    entry.Set("simd_ms", server::JsonValue::Number(vec_seconds * 1e3));
+    entry.Set("pooled_ms", server::JsonValue::Number(pooled_seconds * 1e3));
+    entry.Set("speedup_vs_reference", server::JsonValue::Number(speedup));
+    entry.Set("simd_speedup_vs_scalar",
+              server::JsonValue::Number(simd_vs_scalar));
+    json_cases.Set(c.name, std::move(entry));
   }
 
   std::printf("  all answers bitwise-identical to the reference path: yes\n");
   std::printf("  group-by scan sequential speedup: %.2fx %s\n", gated_speedup,
               gated_speedup >= 2.0 ? "(>= 2x: vectorization win demonstrated)"
                                    : "(below the 2x bar)");
+  std::printf("  group-by scan %s vs scalar kernels: %.2fx\n",
+              simd_backend.c_str(), gated_simd_vs_scalar);
+
+  if (!json_path.empty()) {
+    server::JsonValue root = server::JsonValue::Object();
+    root.Set("bench", server::JsonValue::String("executor"));
+    root.Set("smoke", server::JsonValue::Bool(smoke));
+    root.Set("rounds",
+             server::JsonValue::Number(static_cast<double>(rounds)));
+    root.Set("simd_backend", server::JsonValue::String(simd_backend));
+    root.Set("shard_target_bytes",
+             server::JsonValue::Number(
+                 static_cast<double>(sql::AutoShardTargetBytes())));
+    root.Set("cpu_topology",
+             server::JsonValue::String(util::CpuTopology::Host().ToString()));
+    root.Set("cases", std::move(json_cases));
+    // The gate object is what tools/check_bench.py compares across runs:
+    // ratios, not wall-clock, so the gate survives runner speed changes.
+    server::JsonValue gate = server::JsonValue::Object();
+    gate.Set("group_by_scan_speedup_vs_reference",
+             server::JsonValue::Number(gated_speedup));
+    gate.Set("group_by_scan_simd_speedup_vs_scalar",
+             server::JsonValue::Number(gated_simd_vs_scalar));
+    root.Set("gate", std::move(gate));
+    std::ofstream out(json_path);
+    THEMIS_CHECK(out.good()) << json_path;
+    out << root.Dump() << "\n";
+    std::printf("  wrote %s\n", json_path.c_str());
+  }
   return (strict && gated_speedup < 2.0) ? 1 : 0;
 }
 
@@ -178,15 +267,18 @@ int main(int argc, char** argv) {
   size_t rounds = 3;
   bool smoke = false;
   bool strict = false;
+  std::string json_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
     } else if (std::strcmp(argv[i], "--strict") == 0) {
       strict = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
     } else {
       rounds = static_cast<size_t>(std::strtoul(argv[i], nullptr, 10));
     }
   }
   if (rounds == 0) rounds = 1;
-  return themis::bench::Run(rounds, smoke, strict);
+  return themis::bench::Run(rounds, smoke, strict, json_path);
 }

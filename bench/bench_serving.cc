@@ -5,12 +5,13 @@
 // divergence aborts — across pool sizes 1 / 2 / hardware and client
 // counts 1 / 4.
 //
-//   ./bench_serving [rounds] [--strict] [--smoke]
+//   ./bench_serving [rounds] [--strict] [--smoke] [--json PATH]
 //
 // Timing is informational by default (wall-clock gates flake on noisy
 // shared runners); --strict turns the concurrency bar — 4 clients on the
 // hardware pool >= 1.3x the single-client throughput on the same pool —
-// into the exit code.
+// into the exit code. --json writes a machine-readable snapshot whose
+// "gate" object holds the ratios tools/check_bench.py compares.
 //
 // --smoke runs the CI smoke sequence instead: start a server, issue a
 // point query, a GROUP BY, a STATS probe, and a deterministic overload
@@ -19,6 +20,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <future>
 #include <string>
 #include <thread>
@@ -128,7 +130,7 @@ double RunClients(uint16_t port, const std::vector<std::string>& sqls,
          timer.Seconds();
 }
 
-int Run(size_t rounds, bool strict) {
+int Run(size_t rounds, bool strict, const std::string& json_path) {
   PrintHeader("Serving micro-bench",
               "closed-loop multi-client TCP serving vs in-process loop");
   BenchScale scale;
@@ -204,6 +206,28 @@ int Run(size_t rounds, bool strict) {
               speedup >= 1.3
                   ? "(>= 1.3x: concurrent serving win demonstrated)"
                   : "(below the 1.3x bar)");
+
+  if (!json_path.empty()) {
+    server::JsonValue root = server::JsonValue::Object();
+    root.Set("bench", server::JsonValue::String("serving"));
+    root.Set("rounds",
+             server::JsonValue::Number(static_cast<double>(rounds)));
+    root.Set("simd_backend",
+             server::JsonValue::String(server::HostStatsNow().simd_backend));
+    root.Set("hw_pool_single_client_qps",
+             server::JsonValue::Number(hw_single_qps));
+    root.Set("hw_pool_four_client_qps",
+             server::JsonValue::Number(hw_multi_qps));
+    // The gate is the ratio, not the absolute q/s, so the gate survives
+    // runner speed changes; tools/check_bench.py compares it across runs.
+    server::JsonValue gate = server::JsonValue::Object();
+    gate.Set("multi_client_speedup", server::JsonValue::Number(speedup));
+    root.Set("gate", std::move(gate));
+    std::ofstream out(json_path);
+    THEMIS_CHECK(out.good()) << json_path;
+    out << root.Dump() << "\n";
+    std::printf("  wrote %s\n", json_path.c_str());
+  }
   return (strict && speedup < 1.3) ? 1 : 0;
 }
 
@@ -294,15 +318,19 @@ int main(int argc, char** argv) {
   size_t rounds = 2;
   bool strict = false;
   bool smoke = false;
+  std::string json_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--strict") == 0) {
       strict = true;
     } else if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
     } else {
       rounds = static_cast<size_t>(std::strtoul(argv[i], nullptr, 10));
     }
   }
   if (rounds == 0) rounds = 1;
-  return smoke ? themis::bench::Smoke() : themis::bench::Run(rounds, strict);
+  return smoke ? themis::bench::Smoke()
+               : themis::bench::Run(rounds, strict, json_path);
 }

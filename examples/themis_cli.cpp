@@ -24,6 +24,7 @@
 #include "core/themis_db.h"
 #include "data/csv.h"
 #include "server/query_server.h"
+#include "util/cpu_topology.h"
 #include "workload/flights.h"
 #include "workload/sampler.h"
 
@@ -166,6 +167,10 @@ int Main(int argc, const char** argv) {
       std::fprintf(stderr, "serve failed: %s\n", started.ToString().c_str());
       return 1;
     }
+    server::HostStats host = server::HostStatsNow();
+    std::printf("host: %s simd=%s shard_target=%zuB\n",
+                util::CpuTopology::Host().ToString().c_str(),
+                host.simd_backend.c_str(), host.shard_target_bytes);
     std::printf(
         "serving on 127.0.0.1:%u — line-delimited JSON, e.g.\n"
         "  {\"sql\": \"SELECT ... FROM sample ...\"}\n"

@@ -10,6 +10,9 @@
 #include <cstring>
 #include <utility>
 
+#include "simd/simd.h"
+#include "sql/executor.h"
+#include "util/cpu_topology.h"
 #include "util/string_util.h"
 
 namespace themis::server {
@@ -298,8 +301,23 @@ std::string QueryServer::ExecuteRequest(const WireRequest& request) {
 std::string QueryServer::ExecuteStats() {
   ServerStats stats;
   stats.server = counters();
+  stats.host = HostStatsNow();
   stats.relations = catalog_->Stats();
   return EncodeStatsResponse(stats);
+}
+
+HostStats HostStatsNow() {
+  const util::CpuTopology& topo = util::CpuTopology::Host();
+  HostStats host;
+  host.num_cpus = topo.num_cpus;
+  host.l1d_bytes = topo.l1d_bytes;
+  host.l2_bytes = topo.l2_bytes;
+  host.l3_bytes = topo.l3_bytes;
+  host.cache_line_bytes = topo.cache_line_bytes;
+  host.cache_probed = topo.probed;
+  host.simd_backend = simd::BackendName(simd::FromEnv());
+  host.shard_target_bytes = sql::AutoShardTargetBytes();
+  return host;
 }
 
 ServerCounters QueryServer::counters() const {

@@ -19,6 +19,12 @@
 
 namespace themis::server {
 
+/// The host capability snapshot the STATS verb reports: probed cache
+/// topology, active SIMD backend (per THEMIS_SIMD at call time), and the
+/// derived per-shard working-set target. Also used by the CLI's startup
+/// log so the two always agree.
+HostStats HostStatsNow();
+
 /// The async serving front-end: a TCP query server that turns a built
 /// core::Catalog into a network service. One accept thread hands each
 /// connection a session; a session's requests are parsed off the socket

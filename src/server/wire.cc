@@ -394,6 +394,42 @@ size_t CounterFrom(const JsonValue& object, const char* key) {
              : 0;
 }
 
+std::string StringFrom(const JsonValue& object, const char* key) {
+  const JsonValue* v = object.Find(key);
+  return v != nullptr && v->is_string() ? v->string_value() : "";
+}
+
+JsonValue HostStatsToJson(const HostStats& host) {
+  JsonValue object = JsonValue::Object();
+  auto set = [&object](const char* key, size_t v) {
+    object.Set(key, JsonValue::Number(static_cast<double>(v)));
+  };
+  set("num_cpus", host.num_cpus);
+  set("l1d_bytes", host.l1d_bytes);
+  set("l2_bytes", host.l2_bytes);
+  set("l3_bytes", host.l3_bytes);
+  set("cache_line_bytes", host.cache_line_bytes);
+  object.Set("cache_probed", JsonValue::Bool(host.cache_probed));
+  object.Set("simd_backend", JsonValue::String(host.simd_backend));
+  set("shard_target_bytes", host.shard_target_bytes);
+  return object;
+}
+
+HostStats HostStatsFromJson(const JsonValue& json) {
+  HostStats host;
+  host.num_cpus = CounterFrom(json, "num_cpus");
+  host.l1d_bytes = CounterFrom(json, "l1d_bytes");
+  host.l2_bytes = CounterFrom(json, "l2_bytes");
+  host.l3_bytes = CounterFrom(json, "l3_bytes");
+  host.cache_line_bytes = CounterFrom(json, "cache_line_bytes");
+  const JsonValue* probed = json.Find("cache_probed");
+  host.cache_probed =
+      probed != nullptr && probed->is_bool() && probed->bool_value();
+  host.simd_backend = StringFrom(json, "simd_backend");
+  host.shard_target_bytes = CounterFrom(json, "shard_target_bytes");
+  return host;
+}
+
 JsonValue CacheCountersToJson(size_t hits, size_t misses, size_t evictions,
                               size_t rejections, size_t entries, size_t cost,
                               size_t capacity) {
@@ -439,6 +475,9 @@ JsonValue RelationStatsToJson(const core::RelationStats& stats) {
   set_counter("groups_emitted", executor.groups_emitted);
   set_counter("join_build_rows", executor.join_build_rows);
   set_counter("join_probe_rows", executor.join_probe_rows);
+  set_counter("filter_kernel_rows", executor.filter_kernel_rows);
+  set_counter("gather_kernel_rows", executor.gather_kernel_rows);
+  exec.Set("simd_backend", JsonValue::String(executor.simd_backend));
   object.Set("executor", std::move(exec));
   return object;
 }
@@ -477,6 +516,11 @@ core::RelationStats RelationStatsFromJson(const JsonValue& json) {
         CounterFrom(*executor, "join_build_rows");
     stats.executor.join_probe_rows =
         CounterFrom(*executor, "join_probe_rows");
+    stats.executor.filter_kernel_rows =
+        CounterFrom(*executor, "filter_kernel_rows");
+    stats.executor.gather_kernel_rows =
+        CounterFrom(*executor, "gather_kernel_rows");
+    stats.executor.simd_backend = StringFrom(*executor, "simd_backend");
   }
   return stats;
 }
@@ -682,6 +726,7 @@ std::string EncodeStatsResponse(const ServerStats& stats) {
   response.Set("status", JsonValue::String("OK"));
   JsonValue body = JsonValue::Object();
   body.Set("server", CountersToJson(stats.server));
+  body.Set("host", HostStatsToJson(stats.host));
   JsonValue relations = JsonValue::Object();
   for (const auto& [name, relation_stats] : stats.relations) {
     relations.Set(name, RelationStatsToJson(relation_stats));
@@ -783,6 +828,9 @@ Result<ServerStats> DecodeStatsResponse(const std::string& line) {
         CounterFrom(*server, "rejected_overload");
     stats.server.inflight = CounterFrom(*server, "inflight");
     stats.server.max_inflight = CounterFrom(*server, "max_inflight");
+  }
+  if (const JsonValue* host = body->Find("host")) {
+    stats.host = HostStatsFromJson(*host);
   }
   if (const JsonValue* relations = body->Find("relations")) {
     for (const auto& [name, relation_json] : relations->members()) {

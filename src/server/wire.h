@@ -111,10 +111,26 @@ struct ServerCounters {
   size_t max_inflight = 0;
 };
 
-/// Everything the STATS verb reports: server counters plus the per-
-/// relation cache counters from core::Catalog::Stats().
+/// Host capability snapshot reported by the STATS verb: the probed cache
+/// topology (util::CpuTopology::Host()), the active SIMD kernel backend,
+/// and the per-shard working-set target derived from them.
+struct HostStats {
+  size_t num_cpus = 0;
+  size_t l1d_bytes = 0;
+  size_t l2_bytes = 0;
+  size_t l3_bytes = 0;
+  size_t cache_line_bytes = 0;
+  bool cache_probed = false;
+  std::string simd_backend;
+  size_t shard_target_bytes = 0;
+};
+
+/// Everything the STATS verb reports: server counters, the host
+/// capability snapshot, plus the per-relation cache counters from
+/// core::Catalog::Stats().
 struct ServerStats {
   ServerCounters server;
+  HostStats host;
   std::map<std::string, core::RelationStats> relations;
 };
 

@@ -1,0 +1,130 @@
+// NEON kernel backend (AArch64): 4-lane filter compare with tbl-based
+// compaction. NEON has no hardware gather, so the gather/translate
+// kernels reuse the scalar implementations. On non-AArch64 builds this
+// translation unit degenerates to a null table.
+#include "simd/simd.h"
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+namespace themis::simd {
+
+namespace {
+
+/// kCompact.shuf[mask] is a byte table for vqtbl1q_u8 that moves the
+/// 4-byte lanes whose mask bit is set to the front, order preserved.
+struct CompactLut {
+  alignas(16) uint8_t shuf[16][16];
+  constexpr CompactLut() : shuf() {
+    for (int mask = 0; mask < 16; ++mask) {
+      int k = 0;
+      for (int bit = 0; bit < 4; ++bit) {
+        if (mask & (1 << bit)) {
+          for (int b = 0; b < 4; ++b) {
+            shuf[mask][4 * k + b] = static_cast<uint8_t>(4 * bit + b);
+          }
+          ++k;
+        }
+      }
+      for (; k < 4; ++k) {
+        for (int b = 0; b < 4; ++b) shuf[mask][4 * k + b] = 0;
+      }
+    }
+  }
+};
+constexpr CompactLut kCompact;
+
+/// 4-bit pass mask for 4 codes: vectorized bounds check, scalar
+/// match-byte lookups on the verified lanes (NEON has no gather).
+inline int PassMask(int32x4_t codes, int32x4_t vsize, const uint8_t* match) {
+  const uint32x4_t nonneg = vcgeq_s32(codes, vdupq_n_s32(0));
+  const uint32x4_t below = vcltq_s32(codes, vsize);
+  const uint32x4_t valid = vandq_u32(nonneg, below);
+  // Collapse each lane's all-ones/all-zeros to one bit.
+  const uint32x4_t bits = vandq_u32(
+      valid, (uint32x4_t){1u, 2u, 4u, 8u});
+  int mask = static_cast<int>(vaddvq_u32(bits));
+  if (mask & 1) mask &= ~(match[vgetq_lane_s32(codes, 0)] ? 0 : 1);
+  if (mask & 2) mask &= ~(match[vgetq_lane_s32(codes, 1)] ? 0 : 2);
+  if (mask & 4) mask &= ~(match[vgetq_lane_s32(codes, 2)] ? 0 : 4);
+  if (mask & 8) mask &= ~(match[vgetq_lane_s32(codes, 3)] ? 0 : 8);
+  return mask;
+}
+
+size_t FilterScanNeon(const int32_t* col, uint32_t lo, uint32_t hi,
+                      const uint8_t* match, uint32_t domain_size,
+                      uint32_t* out) {
+  const int32x4_t vsize = vdupq_n_s32(static_cast<int32_t>(domain_size));
+  const uint32x4_t iota = {0u, 1u, 2u, 3u};
+  size_t n = 0;
+  uint32_t r = lo;
+  for (; r + 4 <= hi; r += 4) {
+    const int32x4_t codes = vld1q_s32(col + r);
+    const int mask = PassMask(codes, vsize, match);
+    const uint32x4_t rows = vaddq_u32(vdupq_n_u32(r), iota);
+    const uint8x16_t shuf = vld1q_u8(kCompact.shuf[mask]);
+    // Full 4-lane store; n <= r - lo keeps it inside hi - lo capacity.
+    vst1q_u32(out + n, vreinterpretq_u32_u8(vqtbl1q_u8(
+                           vreinterpretq_u8_u32(rows), shuf)));
+    n += static_cast<size_t>(__builtin_popcount(static_cast<unsigned>(mask)));
+  }
+  for (; r < hi; ++r) {
+    const int32_t c = col[r];
+    if (static_cast<uint32_t>(c) < domain_size && match[c] != 0) {
+      out[n++] = r;
+    }
+  }
+  return n;
+}
+
+size_t FilterCompactNeon(const int32_t* col, const uint8_t* match,
+                         uint32_t domain_size, uint32_t* sel, size_t n) {
+  const int32x4_t vsize = vdupq_n_s32(static_cast<int32_t>(domain_size));
+  size_t out = 0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const uint32x4_t rows = vld1q_u32(sel + i);
+    const int32_t gathered[4] = {col[sel[i]], col[sel[i + 1]],
+                                 col[sel[i + 2]], col[sel[i + 3]]};
+    const int32x4_t codes = vld1q_s32(gathered);
+    const int mask = PassMask(codes, vsize, match);
+    const uint8x16_t shuf = vld1q_u8(kCompact.shuf[mask]);
+    // In place is safe: out <= i and the source lanes are in registers.
+    vst1q_u32(sel + out, vreinterpretq_u32_u8(vqtbl1q_u8(
+                             vreinterpretq_u8_u32(rows), shuf)));
+    out += static_cast<size_t>(
+        __builtin_popcount(static_cast<unsigned>(mask)));
+  }
+  for (; i < n; ++i) {
+    const uint32_t r = sel[i];
+    const int32_t c = col[r];
+    if (static_cast<uint32_t>(c) < domain_size && match[c] != 0) {
+      sel[out++] = r;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const Kernels* NeonKernelsOrNull() {
+  static const Kernels kernels = [] {
+    Kernels k = ScalarKernels();
+    k.backend = Backend::kNeon;
+    k.FilterScan = FilterScanNeon;
+    k.FilterCompact = FilterCompactNeon;
+    return k;
+  }();
+  return &kernels;
+}
+
+}  // namespace themis::simd
+
+#else  // !defined(__aarch64__)
+
+namespace themis::simd {
+const Kernels* NeonKernelsOrNull() { return nullptr; }
+}  // namespace themis::simd
+
+#endif

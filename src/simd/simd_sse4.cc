@@ -1,0 +1,133 @@
+// SSE4 kernel backend: 4-lane filter compare with byte-shuffle
+// compaction. SSE4 has no hardware gather, so the gather/translate
+// kernels reuse the scalar implementations — the filter loops are where
+// a 128-bit ISA still wins. Compiled with -msse4.2 (see CMakeLists).
+#include "simd/simd.h"
+
+#if defined(__SSE4_1__)
+
+#include <smmintrin.h>
+
+namespace themis::simd {
+
+namespace {
+
+/// kCompact.shuf[mask] is a byte shuffle for _mm_shuffle_epi8 that moves
+/// the 4-byte lanes whose mask bit is set to the front, order preserved.
+struct CompactLut {
+  alignas(16) uint8_t shuf[16][16];
+  constexpr CompactLut() : shuf() {
+    for (int mask = 0; mask < 16; ++mask) {
+      int k = 0;
+      for (int bit = 0; bit < 4; ++bit) {
+        if (mask & (1 << bit)) {
+          for (int b = 0; b < 4; ++b) {
+            shuf[mask][4 * k + b] = static_cast<uint8_t>(4 * bit + b);
+          }
+          ++k;
+        }
+      }
+      for (; k < 4; ++k) {
+        for (int b = 0; b < 4; ++b) shuf[mask][4 * k + b] = 0;
+      }
+    }
+  }
+};
+constexpr CompactLut kCompact;
+
+/// 4-bit pass mask for 4 codes. The bounds check is vectorized; the
+/// match-byte lookups are scalar (no gather before AVX2) but branch-free
+/// on the already-verified lanes.
+inline int PassMask(__m128i codes, __m128i vsize, const uint8_t* match) {
+  const __m128i zero = _mm_setzero_si128();
+  const __m128i negative = _mm_cmpgt_epi32(zero, codes);
+  const __m128i below = _mm_cmpgt_epi32(vsize, codes);
+  const __m128i valid = _mm_andnot_si128(negative, below);
+  int mask = _mm_movemask_ps(_mm_castsi128_ps(valid));
+  if (mask & 1) mask &= ~(match[_mm_extract_epi32(codes, 0)] ? 0 : 1);
+  if (mask & 2) mask &= ~(match[_mm_extract_epi32(codes, 1)] ? 0 : 2);
+  if (mask & 4) mask &= ~(match[_mm_extract_epi32(codes, 2)] ? 0 : 4);
+  if (mask & 8) mask &= ~(match[_mm_extract_epi32(codes, 3)] ? 0 : 8);
+  return mask;
+}
+
+size_t FilterScanSse4(const int32_t* col, uint32_t lo, uint32_t hi,
+                      const uint8_t* match, uint32_t domain_size,
+                      uint32_t* out) {
+  const __m128i vsize = _mm_set1_epi32(static_cast<int32_t>(domain_size));
+  const __m128i iota = _mm_setr_epi32(0, 1, 2, 3);
+  size_t n = 0;
+  uint32_t r = lo;
+  for (; r + 4 <= hi; r += 4) {
+    const __m128i codes =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(col + r));
+    const int mask = PassMask(codes, vsize, match);
+    const __m128i rows =
+        _mm_add_epi32(_mm_set1_epi32(static_cast<int32_t>(r)), iota);
+    const __m128i shuf = _mm_load_si128(
+        reinterpret_cast<const __m128i*>(kCompact.shuf[mask]));
+    // Full 4-lane store; n <= r - lo keeps it inside hi - lo capacity.
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + n),
+                     _mm_shuffle_epi8(rows, shuf));
+    n += static_cast<size_t>(__builtin_popcount(static_cast<unsigned>(mask)));
+  }
+  for (; r < hi; ++r) {
+    const int32_t c = col[r];
+    if (static_cast<uint32_t>(c) < domain_size && match[c] != 0) {
+      out[n++] = r;
+    }
+  }
+  return n;
+}
+
+size_t FilterCompactSse4(const int32_t* col, const uint8_t* match,
+                         uint32_t domain_size, uint32_t* sel, size_t n) {
+  const __m128i vsize = _mm_set1_epi32(static_cast<int32_t>(domain_size));
+  size_t out = 0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128i rows =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(sel + i));
+    const __m128i codes = _mm_setr_epi32(
+        col[sel[i]], col[sel[i + 1]], col[sel[i + 2]], col[sel[i + 3]]);
+    const int mask = PassMask(codes, vsize, match);
+    const __m128i shuf = _mm_load_si128(
+        reinterpret_cast<const __m128i*>(kCompact.shuf[mask]));
+    // In place is safe: out <= i and the source lanes are in registers.
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(sel + out),
+                     _mm_shuffle_epi8(rows, shuf));
+    out += static_cast<size_t>(
+        __builtin_popcount(static_cast<unsigned>(mask)));
+  }
+  for (; i < n; ++i) {
+    const uint32_t r = sel[i];
+    const int32_t c = col[r];
+    if (static_cast<uint32_t>(c) < domain_size && match[c] != 0) {
+      sel[out++] = r;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const Kernels* Sse4KernelsOrNull() {
+  static const Kernels kernels = [] {
+    Kernels k = ScalarKernels();
+    k.backend = Backend::kSse4;
+    k.FilterScan = FilterScanSse4;
+    k.FilterCompact = FilterCompactSse4;
+    return k;
+  }();
+  return &kernels;
+}
+
+}  // namespace themis::simd
+
+#else  // !defined(__SSE4_1__)
+
+namespace themis::simd {
+const Kernels* Sse4KernelsOrNull() { return nullptr; }
+}  // namespace themis::simd
+
+#endif

@@ -9,7 +9,9 @@
 #include <sstream>
 #include <utility>
 
+#include "simd/simd.h"
 #include "sql/parser.h"
+#include "util/cpu_topology.h"
 #include "util/string_util.h"
 
 namespace themis::sql {
@@ -61,8 +63,8 @@ struct BoundQuery {
 /// the (fixed) shard size, keeping sharded results bitwise identical
 /// across pool sizes.
 constexpr size_t kDefaultShardRows = 8192;
-/// Auto shard policy: per-shard working-set target and clamp bounds.
-constexpr size_t kAutoShardTargetBytes = 256 * 1024;
+/// Auto shard policy: row-count clamp bounds around the cache-probed
+/// working-set target (AutoShardTargetBytes).
 constexpr size_t kMinAutoShardRows = 1024;
 constexpr size_t kMaxAutoShardRows = 262144;
 
@@ -224,10 +226,10 @@ Result<BoundQuery> Bind(
 /// of the sharded table (the probe side for joins). Depends only on the
 /// query and table — never the pool — so the shard layout is pool-size
 /// independent.
-/// The cache-aware auto size: ~kAutoShardTargetBytes of scanned data per
+/// The cache-aware auto size: ~AutoShardTargetBytes() of scanned data per
 /// shard, clamped to sane bounds.
 size_t AutoShardRows(size_t bytes_per_row) {
-  return std::clamp(kAutoShardTargetBytes / bytes_per_row, kMinAutoShardRows,
+  return std::clamp(AutoShardTargetBytes() / bytes_per_row, kMinAutoShardRows,
                     kMaxAutoShardRows);
 }
 
@@ -589,11 +591,24 @@ class WideGroupTable {
   std::vector<double> acc_;
 };
 
-/// Per-query vectorized context: raw column pointers, the group-key
-/// codec, and the flat accumulator layout [count, sum_0, total_0, ...].
+/// A filter compiled for the SIMD kernels: raw code column plus the match
+/// table re-encoded as uint8 and padded by simd::kMatchPadBytes (the AVX2
+/// path gathers 32-bit lanes from it). The reference path keeps the
+/// original unpadded Filter::code_matches untouched.
+struct VecFilter {
+  const data::ValueCode* col = nullptr;
+  std::vector<uint8_t> match;
+  uint32_t domain_size = 0;
+};
+
+/// Per-query vectorized context: the kernel table, raw column pointers,
+/// per-table compiled filters, the group-key codec, and the flat
+/// accumulator layout [count, sum_0, total_0, ...].
 struct VecContext {
+  const simd::Kernels* kernels = nullptr;
   size_t stride = 1;
   bool group_packed = true;
+  std::vector<VecFilter> filters[2];  // indexed by table position
   data::PackedKeyCodec gcodec;
   std::vector<const data::ValueCode*> gcols;
   std::vector<uint8_t> gtables;
@@ -694,42 +709,95 @@ struct WideGroups {
 };
 
 /// Evaluates every filter on table `t` over rows [lo, hi) into `sel`
-/// (ascending row ids): the first filter scans its code column, each
-/// further filter compacts the survivors in place — one column pass per
-/// filter instead of a filter-list walk per row.
-void BuildSelection(const BoundQuery& q, size_t t, size_t lo, size_t hi,
-                    std::vector<uint32_t>& sel) {
-  sel.clear();
-  bool first = true;
-  for (const Filter& f : q.filters) {
-    if (f.column.table != t) continue;
-    const data::ValueCode* col =
-        q.tables[t].table->column(f.column.attr).data();
-    const char* match = f.code_matches.data();
-    const size_t domain_size = f.code_matches.size();
-    if (first) {
-      for (size_t r = lo; r < hi; ++r) {
-        const data::ValueCode c = col[r];
-        if (c >= 0 && static_cast<size_t>(c) < domain_size && match[c]) {
-          sel.push_back(static_cast<uint32_t>(r));
-        }
-      }
-      first = false;
-    } else {
-      size_t out = 0;
-      for (const uint32_t r : sel) {
-        const data::ValueCode c = col[r];
-        if (c >= 0 && static_cast<size_t>(c) < domain_size && match[c]) {
-          sel[out++] = r;
-        }
-      }
-      sel.resize(out);
-    }
-  }
-  if (first) {  // no filters on this table: all rows pass
+/// (ascending row ids): the first filter scans its code column with the
+/// FilterScan kernel, each further filter compacts the survivors in
+/// place with FilterCompact — one column pass per filter instead of a
+/// filter-list walk per row. `filter_rows` counts rows evaluated, once
+/// per filter applied.
+void BuildSelection(const VecContext& ctx, size_t t, size_t lo, size_t hi,
+                    std::vector<uint32_t>& sel, uint64_t& filter_rows) {
+  const std::vector<VecFilter>& filters = ctx.filters[t];
+  if (filters.empty()) {  // no filters on this table: all rows pass
     sel.resize(hi - lo);
     std::iota(sel.begin(), sel.end(), static_cast<uint32_t>(lo));
+    return;
   }
+  sel.resize(hi - lo);  // FilterScan needs full range capacity
+  const VecFilter& f0 = filters[0];
+  size_t n = ctx.kernels->FilterScan(f0.col, static_cast<uint32_t>(lo),
+                                     static_cast<uint32_t>(hi),
+                                     f0.match.data(), f0.domain_size,
+                                     sel.data());
+  filter_rows += hi - lo;
+  for (size_t i = 1; i < filters.size(); ++i) {
+    const VecFilter& f = filters[i];
+    filter_rows += n;
+    n = ctx.kernels->FilterCompact(f.col, f.match.data(), f.domain_size,
+                                   sel.data(), n);
+  }
+  sel.resize(n);
+}
+
+/// Reusable per-shard gather buffers for the batched accumulate.
+struct VecScratch {
+  std::vector<uint64_t> keys;
+  std::vector<double> weights;
+  std::vector<std::vector<double>> values;  // per agg item (count: unused)
+};
+
+/// Batched accumulate for packed group keys: pack every selected row's
+/// group key (GatherPack per column), gather the weights and each SUM/AVG
+/// column's numeric values, then fold rows into their group slots in
+/// ascending row order with exactly the reference Accumulator's add
+/// sequence — the gathers move bits, never arithmetic, so this is
+/// bitwise identical to the per-row path. Returns rows batched through
+/// the gather kernels.
+size_t AccumulateRows(const VecContext& ctx, PackedGroups& groups,
+                      const uint32_t* sel, size_t n, const double* weights,
+                      VecScratch& scratch) {
+  const simd::Kernels& k = *ctx.kernels;
+  scratch.keys.resize(n);
+  if (ctx.gcols.empty()) {
+    std::fill(scratch.keys.begin(), scratch.keys.end(), 0);
+  } else {
+    for (size_t j = 0; j < ctx.gcols.size(); ++j) {
+      k.GatherPack(ctx.gcols[j], sel, n, ctx.gcodec.shift(j),
+                   scratch.keys.data(), j == 0);
+    }
+  }
+  scratch.weights.resize(n);
+  k.GatherDoubles(weights, sel, n, scratch.weights.data());
+  scratch.values.resize(ctx.aggs.size());
+  for (size_t a = 0; a < ctx.aggs.size(); ++a) {
+    if (ctx.aggs[a].is_count) continue;
+    scratch.values[a].resize(n);
+    k.GatherNumeric(ctx.aggs[a].col, sel, ctx.aggs[a].numeric, n,
+                    scratch.values[a].data());
+  }
+  for (size_t i = 0; i < n; ++i) {
+    double* acc = groups.table.Slot(scratch.keys[i]);
+    const double w = scratch.weights[i];
+    acc[0] += w;
+    for (size_t a = 0; a < ctx.aggs.size(); ++a) {
+      if (ctx.aggs[a].is_count) continue;
+      const double v = scratch.values[a][i];
+      if (std::isnan(v)) continue;
+      acc[2 * a + 1] += w * v;
+      acc[2 * a + 2] += w;
+    }
+  }
+  return n;
+}
+
+/// Wide-key (TupleKey) fallback: per-row accumulate, no gather batching.
+size_t AccumulateRows(const VecContext& ctx, WideGroups& groups,
+                      const uint32_t* sel, size_t n, const double* weights,
+                      VecScratch& /*scratch*/) {
+  for (size_t i = 0; i < n; ++i) {
+    const size_t rows[2] = {sel[i], 0};
+    ctx.Update(groups.Slot(rows), rows, weights[sel[i]]);
+  }
+  return 0;
 }
 
 /// Single-table GROUP BY scan. Sequential execution (pool-less or small
@@ -755,36 +823,37 @@ void ScanSingleTable(const VecContext& ctx, const BoundQuery& q,
     for (size_t s = 0; s < num_shards; ++s) {
       shard_groups.emplace_back(ctx, shard_reserve);
     }
-    std::vector<uint64_t> passed(num_shards, 0);
+    std::vector<ExecutorStats> shard_stats(num_shards);
     pool->ParallelFor(0, num_shards, [&](size_t s) {
       const size_t lo = s * kShardRows;
       const size_t hi = std::min(num_rows, lo + kShardRows);
       std::vector<uint32_t> sel;
-      sel.reserve(hi - lo);
-      BuildSelection(q, 0, lo, hi, sel);
-      passed[s] = sel.size();
-      GroupsT& groups = shard_groups[s];
-      for (const uint32_t r : sel) {
-        const size_t rows[2] = {r, 0};
-        ctx.Update(groups.Slot(rows), rows, weights[r]);
-      }
+      VecScratch scratch;
+      ExecutorStats& local = shard_stats[s];
+      BuildSelection(ctx, 0, lo, hi, sel, local.filter_kernel_rows);
+      local.rows_passed += sel.size();
+      local.gather_kernel_rows += AccumulateRows(
+          ctx, shard_groups[s], sel.data(), sel.size(), weights, scratch);
     });
     for (const GroupsT& shard : shard_groups) out.MergeFrom(shard);
-    for (const uint64_t p : passed) stats.rows_passed += p;
+    for (const ExecutorStats& s : shard_stats) stats += s;
   } else {
     std::vector<uint32_t> sel;
+    VecScratch scratch;
     sel.reserve(std::min(num_rows, kShardRows));
     for (size_t lo = 0; lo < num_rows; lo += kShardRows) {
       const size_t hi = std::min(num_rows, lo + kShardRows);
-      BuildSelection(q, 0, lo, hi, sel);
+      BuildSelection(ctx, 0, lo, hi, sel, stats.filter_kernel_rows);
       stats.rows_passed += sel.size();
-      for (const uint32_t r : sel) {
-        const size_t rows[2] = {r, 0};
-        ctx.Update(out.Slot(rows), rows, weights[r]);
-      }
+      stats.gather_kernel_rows +=
+          AccumulateRows(ctx, out, sel.data(), sel.size(), weights, scratch);
     }
   }
 }
+
+/// Per-join-column probe codes, gathered (and domain-translated) for one
+/// selection batch; -1 marks a probe label with no build-side code.
+using ProbeCodes = std::vector<std::vector<data::ValueCode>>;
 
 /// Code-native join-key maker backed by a packed uint64. `translations`
 /// bridge probe codes into the build side's code space when the two
@@ -797,24 +866,42 @@ struct PackedJoinKey {
   std::vector<const data::ValueCode*> probe_cols;
   std::vector<std::vector<data::ValueCode>> translations;
 
-  void BuildKey(size_t r, Key& key) const {
-    key = 0;
+  /// Batched build insert: GatherPack the selected rows' keys (one kernel
+  /// pass per join column), then append each row to its key's list in
+  /// selection order. Returns rows batched through the gather kernels.
+  size_t InsertBuildRows(const simd::Kernels& k, const uint32_t* sel,
+                         size_t n, std::vector<uint64_t>& keybuf,
+                         Map& map) const {
+    keybuf.resize(n);
     for (size_t j = 0; j < build_cols.size(); ++j) {
-      key |= static_cast<uint64_t>(
-                 static_cast<uint32_t>(build_cols[j][r]))
-             << codec.shift(j);
+      k.GatherPack(build_cols[j], sel, n, codec.shift(j), keybuf.data(),
+                   j == 0);
+    }
+    for (size_t i = 0; i < n; ++i) map[keybuf[i]].push_back(sel[i]);
+    return n;
+  }
+
+  /// Batched probe-code gather + per-domain translation into `codes`.
+  void GatherProbe(const simd::Kernels& k, const uint32_t* sel, size_t n,
+                   ProbeCodes& codes) const {
+    codes.resize(probe_cols.size());
+    for (size_t j = 0; j < probe_cols.size(); ++j) {
+      codes[j].resize(n);
+      k.GatherCodes(probe_cols[j], sel, n, codes[j].data());
+      if (!translations[j].empty()) {
+        k.TranslateCodes(codes[j].data(), translations[j].data(), n,
+                         codes[j].data());
+      }
     }
   }
-  /// False when a probe label has no code on the build side (no match).
-  bool ProbeKey(size_t r, Key& key) const {
+
+  /// Assembles row i's probe key from the gathered codes; false when a
+  /// probe label has no code on the build side (no match).
+  bool ProbeKeyAt(const ProbeCodes& codes, size_t i, Key& key) const {
     key = 0;
-    for (size_t j = 0; j < probe_cols.size(); ++j) {
-      data::ValueCode c = probe_cols[j][r];
-      if (!translations[j].empty()) {
-        assert(static_cast<size_t>(c) < translations[j].size());
-        c = translations[j][static_cast<uint32_t>(c)];
-        if (c < 0) return false;
-      }
+    for (size_t j = 0; j < codes.size(); ++j) {
+      const data::ValueCode c = codes[j][i];
+      if (c < 0) return false;
       key |= static_cast<uint64_t>(static_cast<uint32_t>(c))
              << codec.shift(j);
     }
@@ -822,7 +909,9 @@ struct PackedJoinKey {
   }
 };
 
-/// TupleKey fallback for join keys wider than 64 bits.
+/// TupleKey fallback for join keys wider than 64 bits. Probe codes still
+/// gather/translate through the kernels; key assembly and build inserts
+/// stay per-row.
 struct WideJoinKey {
   using Key = data::TupleKey;
   using Map =
@@ -832,21 +921,38 @@ struct WideJoinKey {
   std::vector<const data::ValueCode*> probe_cols;
   std::vector<std::vector<data::ValueCode>> translations;
 
-  void BuildKey(size_t r, Key& key) const {
-    key.clear();
-    for (size_t j = 0; j < build_cols.size(); ++j) {
-      key.push_back(build_cols[j][r]);
+  size_t InsertBuildRows(const simd::Kernels& /*k*/, const uint32_t* sel,
+                         size_t n, std::vector<uint64_t>& /*keybuf*/,
+                         Map& map) const {
+    Key key;
+    for (size_t i = 0; i < n; ++i) {
+      key.clear();
+      for (size_t j = 0; j < build_cols.size(); ++j) {
+        key.push_back(build_cols[j][sel[i]]);
+      }
+      map[key].push_back(sel[i]);
+    }
+    return 0;
+  }
+
+  void GatherProbe(const simd::Kernels& k, const uint32_t* sel, size_t n,
+                   ProbeCodes& codes) const {
+    codes.resize(probe_cols.size());
+    for (size_t j = 0; j < probe_cols.size(); ++j) {
+      codes[j].resize(n);
+      k.GatherCodes(probe_cols[j], sel, n, codes[j].data());
+      if (!translations[j].empty()) {
+        k.TranslateCodes(codes[j].data(), translations[j].data(), n,
+                         codes[j].data());
+      }
     }
   }
-  bool ProbeKey(size_t r, Key& key) const {
+
+  bool ProbeKeyAt(const ProbeCodes& codes, size_t i, Key& key) const {
     key.clear();
-    for (size_t j = 0; j < probe_cols.size(); ++j) {
-      data::ValueCode c = probe_cols[j][r];
-      if (!translations[j].empty()) {
-        assert(static_cast<size_t>(c) < translations[j].size());
-        c = translations[j][static_cast<uint32_t>(c)];
-        if (c < 0) return false;
-      }
+    for (size_t j = 0; j < codes.size(); ++j) {
+      const data::ValueCode c = codes[j][i];
+      if (c < 0) return false;
       key.push_back(c);
     }
     return true;
@@ -875,19 +981,18 @@ void JoinTables(const VecContext& ctx, const BoundQuery& q,
   if (pool != nullptr && build_rows >= 2 * kShardRows) {
     const size_t num_shards = (build_rows + kShardRows - 1) / kShardRows;
     std::vector<typename JoinT::Map> shard_maps(num_shards);
-    std::vector<uint64_t> passed(num_shards, 0);
+    std::vector<ExecutorStats> shard_stats(num_shards);
     pool->ParallelFor(0, num_shards, [&](size_t s) {
       const size_t lo = s * kShardRows;
       const size_t hi = std::min(build_rows, lo + kShardRows);
       std::vector<uint32_t> sel;
-      sel.reserve(hi - lo);
-      BuildSelection(q, 0, lo, hi, sel);
-      passed[s] = sel.size();
-      typename JoinT::Key key{};
-      for (const uint32_t r : sel) {
-        join.BuildKey(r, key);
-        shard_maps[s][key].push_back(r);
-      }
+      std::vector<uint64_t> keybuf;
+      ExecutorStats& local = shard_stats[s];
+      BuildSelection(ctx, 0, lo, hi, sel, local.filter_kernel_rows);
+      local.rows_passed += sel.size();
+      local.join_build_rows += sel.size();
+      local.gather_kernel_rows += join.InsertBuildRows(
+          *ctx.kernels, sel.data(), sel.size(), keybuf, shard_maps[s]);
     });
     for (typename JoinT::Map& shard : shard_maps) {
       for (auto& [key, rows] : shard) {
@@ -895,22 +1000,17 @@ void JoinTables(const VecContext& ctx, const BoundQuery& q,
         dst.insert(dst.end(), rows.begin(), rows.end());
       }
     }
-    for (const uint64_t p : passed) {
-      stats.rows_passed += p;
-      stats.join_build_rows += p;
-    }
+    for (const ExecutorStats& s : shard_stats) stats += s;
   } else {
     std::vector<uint32_t> sel;
-    typename JoinT::Key key{};
+    std::vector<uint64_t> keybuf;
     for (size_t lo = 0; lo < build_rows; lo += kShardRows) {
       const size_t hi = std::min(build_rows, lo + kShardRows);
-      BuildSelection(q, 0, lo, hi, sel);
+      BuildSelection(ctx, 0, lo, hi, sel, stats.filter_kernel_rows);
       stats.rows_passed += sel.size();
       stats.join_build_rows += sel.size();
-      for (const uint32_t r : sel) {
-        join.BuildKey(r, key);
-        build[key].push_back(r);
-      }
+      stats.gather_kernel_rows += join.InsertBuildRows(
+          *ctx.kernels, sel.data(), sel.size(), keybuf, build);
     }
   }
 
@@ -920,15 +1020,18 @@ void JoinTables(const VecContext& ctx, const BoundQuery& q,
   auto probe_range = [&](GroupsT& groups, size_t lo, size_t hi,
                          ExecutorStats& local) {
     std::vector<uint32_t> sel;
-    sel.reserve(hi - lo);
-    BuildSelection(q, 1, lo, hi, sel);
+    ProbeCodes codes;
+    BuildSelection(ctx, 1, lo, hi, sel, local.filter_kernel_rows);
     local.rows_passed += sel.size();
     local.join_probe_rows += sel.size();
+    join.GatherProbe(*ctx.kernels, sel.data(), sel.size(), codes);
+    local.gather_kernel_rows += sel.size();
     typename JoinT::Key key{};
-    for (const uint32_t r1 : sel) {
-      if (!join.ProbeKey(r1, key)) continue;
+    for (size_t i = 0; i < sel.size(); ++i) {
+      if (!join.ProbeKeyAt(codes, i, key)) continue;
       auto it = build.find(key);
       if (it == build.end()) continue;
+      const uint32_t r1 = sel[i];
       const double weight1 = w1[r1];
       for (const uint32_t r0 : it->second) {
         const size_t rows[2] = {r0, r1};
@@ -1016,10 +1119,24 @@ QueryResult MaterializeGroups(const GroupsT& groups, const BoundQuery& q) {
   return result;
 }
 
-QueryResult ExecuteVectorized(const BoundQuery& q, util::ThreadPool* pool,
-                              size_t kShardRows, ExecutorStats& stats) {
+QueryResult ExecuteVectorized(const BoundQuery& q, const simd::Kernels& k,
+                              util::ThreadPool* pool, size_t kShardRows,
+                              ExecutorStats& stats) {
   VecContext ctx;
+  ctx.kernels = &k;
   ctx.stride = 1 + 2 * q.agg_items.size();
+  // Compile the filters for the kernels: uint8 match tables padded by
+  // kMatchPadBytes (the bound Filter stays unpadded for the reference
+  // path).
+  for (const Filter& f : q.filters) {
+    VecFilter vf;
+    vf.col = q.tables[f.column.table].table->column(f.column.attr).data();
+    vf.domain_size = static_cast<uint32_t>(f.code_matches.size());
+    vf.match.reserve(f.code_matches.size() + simd::kMatchPadBytes);
+    vf.match.assign(f.code_matches.begin(), f.code_matches.end());
+    vf.match.resize(f.code_matches.size() + simd::kMatchPadBytes, 0);
+    ctx.filters[f.column.table].push_back(std::move(vf));
+  }
   ctx.aggs.resize(q.agg_items.size());
   for (size_t i = 0; i < q.agg_items.size(); ++i) {
     VecContext::AggCol& a = ctx.aggs[i];
@@ -1109,6 +1226,10 @@ QueryResult ExecuteVectorized(const BoundQuery& q, util::ThreadPool* pool,
 
 }  // namespace
 
+size_t AutoShardTargetBytes() {
+  return util::CpuTopology::Host().ShardTargetBytes();
+}
+
 size_t ShardRowsEnvOverride() {
   if (const char* env = std::getenv("THEMIS_SHARD_ROWS")) {
     const unsigned long v = std::strtoul(env, nullptr, 10);
@@ -1169,7 +1290,8 @@ std::string QueryResult::ToString() const {
 
 Executor::Executor()
     : counters_(std::make_unique<StatCounters>()),
-      env_shard_rows_(ShardRowsEnvOverride()) {}
+      env_shard_rows_(ShardRowsEnvOverride()),
+      kernels_(&simd::KernelsFor(simd::FromEnv())) {}
 
 void Executor::RegisterTable(const std::string& name,
                              const data::Table* table) {
@@ -1189,12 +1311,15 @@ Result<QueryResult> Executor::Execute(const SelectStatement& stmt,
   THEMIS_ASSIGN_OR_RETURN(BoundQuery q, Bind(stmt, catalog_));
   const size_t kShardRows =
       ResolvedShardRowsFor(q, shard_rows, env_shard_rows_);
-  // Row ids travel as uint32 through selection vectors and build tables;
-  // a table beyond that (not reachable with in-memory samples) takes the
-  // reference path, which carries size_t rows. That path doesn't observe
-  // per-filter/join flow, so only the coarse counters update.
+  // Row ids travel as uint32 through selection vectors and build tables,
+  // and the AVX2 gathers index with *signed* 32-bit lanes, so rows must
+  // stay below 2^31; a table beyond that (not reachable with in-memory
+  // samples) takes the reference path, which carries size_t rows. That
+  // path doesn't observe per-filter/join flow, so only the coarse
+  // counters update.
   for (const BoundTable& bt : q.tables) {
-    if (bt.table->num_rows() > std::numeric_limits<uint32_t>::max()) {
+    if (bt.table->num_rows() >
+        static_cast<size_t>(std::numeric_limits<int32_t>::max())) {
       QueryResult wide = ExecuteRowAtATime(q, pool, kShardRows);
       uint64_t scanned = 0;
       for (const BoundTable& scanned_table : q.tables) {
@@ -1207,7 +1332,8 @@ Result<QueryResult> Executor::Execute(const SelectStatement& stmt,
     }
   }
   ExecutorStats local;
-  QueryResult result = ExecuteVectorized(q, pool, kShardRows, local);
+  QueryResult result = ExecuteVectorized(q, *kernels_, pool, kShardRows,
+                                         local);
   local.groups_emitted = result.rows.size();
   counters_->rows_scanned.fetch_add(local.rows_scanned,
                                     std::memory_order_relaxed);
@@ -1219,6 +1345,10 @@ Result<QueryResult> Executor::Execute(const SelectStatement& stmt,
                                        std::memory_order_relaxed);
   counters_->join_probe_rows.fetch_add(local.join_probe_rows,
                                        std::memory_order_relaxed);
+  counters_->filter_kernel_rows.fetch_add(local.filter_kernel_rows,
+                                          std::memory_order_relaxed);
+  counters_->gather_kernel_rows.fetch_add(local.gather_kernel_rows,
+                                          std::memory_order_relaxed);
   return result;
 }
 
@@ -1234,6 +1364,7 @@ Result<QueryResult> Executor::ExecuteReference(const SelectStatement& stmt,
 
 ExecutorStats Executor::stats() const {
   ExecutorStats s;
+  s.simd_backend = simd::BackendName(kernels_->backend);
   s.rows_scanned = counters_->rows_scanned.load(std::memory_order_relaxed);
   s.rows_passed = counters_->rows_passed.load(std::memory_order_relaxed);
   s.groups_emitted =
@@ -1242,6 +1373,10 @@ ExecutorStats Executor::stats() const {
       counters_->join_build_rows.load(std::memory_order_relaxed);
   s.join_probe_rows =
       counters_->join_probe_rows.load(std::memory_order_relaxed);
+  s.filter_kernel_rows =
+      counters_->filter_kernel_rows.load(std::memory_order_relaxed);
+  s.gather_kernel_rows =
+      counters_->gather_kernel_rows.load(std::memory_order_relaxed);
   return s;
 }
 

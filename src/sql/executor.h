@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "data/table.h"
+#include "simd/simd.h"
 #include "sql/ast.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -50,17 +51,25 @@ double NumericValueOfLabel(const std::string& label);
 /// with it the float summation order) of a live executor.
 size_t ShardRowsEnvOverride();
 
+/// Per-shard working-set target of the automatic shard policy, derived
+/// from the probed cache topology (util::CpuTopology::Host()): half the
+/// L2 clamped to [256 KiB, 2 MiB], or 256 KiB when the probe found
+/// nothing. Constant for the process lifetime, so the shard layout — and
+/// with it the float summation order — is stable across runs on one host.
+size_t AutoShardTargetBytes();
+
 /// Rows per shard of sharded scans and hash-join probes: `requested` when
 /// positive, else the THEMIS_SHARD_ROWS environment variable when set to a
-/// positive integer, else automatic. The automatic size targets a
-/// ~256 KiB per-shard working set: with `bytes_per_row` > 0 (bytes the
-/// scan touches per row, see data::Table::ScanBytesPerRow) it returns
-/// 256 KiB / bytes_per_row clamped to [1024, 262144]; with bytes_per_row
-/// 0 (caller has no column information) it returns the legacy 8192.
-/// Deterministic for a fixed query and table — never derived from the
-/// pool size — so the shard layout, and with it the float summation
-/// order, is identical at every pool size. This is how
-/// ThemisOptions::shard_rows (0 = auto) resolves.
+/// positive integer, else automatic. The automatic size targets an
+/// AutoShardTargetBytes() per-shard working set: with `bytes_per_row` > 0
+/// (bytes the scan touches per row, see data::Table::ScanBytesPerRow) it
+/// returns AutoShardTargetBytes() / bytes_per_row clamped to
+/// [1024, 262144]; with bytes_per_row 0 (caller has no column
+/// information) it returns the legacy 8192. Deterministic for a fixed
+/// query, table, and host — never derived from the pool size — so the
+/// shard layout, and with it the float summation order, is identical at
+/// every pool size. This is how ThemisOptions::shard_rows (0 = auto)
+/// resolves.
 size_t ResolveShardRows(size_t requested, size_t bytes_per_row = 0);
 
 /// Live counters of one Executor, aggregated over every query it has run
@@ -69,18 +78,33 @@ size_t ResolveShardRows(size_t requested, size_t bytes_per_row = 0);
 /// STATS verb). Queries on tables beyond uint32 rows fall back to the
 /// reference path and update only rows_scanned and groups_emitted.
 struct ExecutorStats {
+  /// Active SIMD kernel backend ("scalar" / "sse4" / "avx2" / "neon"),
+  /// resolved once at Executor construction (simd::FromEnv). Summing
+  /// stats keeps the first non-empty name — every executor in a process
+  /// resolves the same backend unless THEMIS_SIMD changed between
+  /// constructions.
+  std::string simd_backend;
   uint64_t rows_scanned = 0;     ///< rows fed through the filter pipeline
   uint64_t rows_passed = 0;      ///< rows surviving every filter
   uint64_t groups_emitted = 0;   ///< result rows materialized
   uint64_t join_build_rows = 0;  ///< rows inserted into join build tables
   uint64_t join_probe_rows = 0;  ///< filtered rows probed into build tables
+  /// Rows evaluated by the FilterScan/FilterCompact kernels (counted once
+  /// per filter applied, so a 2-filter scan counts each row twice).
+  uint64_t filter_kernel_rows = 0;
+  /// Selected rows batched through the gather/pack kernels (group-key
+  /// packing, join-key build, probe-code gather).
+  uint64_t gather_kernel_rows = 0;
 
   ExecutorStats& operator+=(const ExecutorStats& other) {
+    if (simd_backend.empty()) simd_backend = other.simd_backend;
     rows_scanned += other.rows_scanned;
     rows_passed += other.rows_passed;
     groups_emitted += other.groups_emitted;
     join_build_rows += other.join_build_rows;
     join_probe_rows += other.join_probe_rows;
+    filter_kernel_rows += other.filter_kernel_rows;
+    gather_kernel_rows += other.gather_kernel_rows;
     return *this;
   }
 };
@@ -101,6 +125,14 @@ struct ExecutorStats {
 /// decoded labels — so output order, float summation order, and hence
 /// bitwise results are identical to the retained row-at-a-time reference
 /// path at every pool size.
+///
+/// The integer inner loops (filter compare + compact, group/join key
+/// gather + pack, code translation, weight/numeric gathers) run on the
+/// simd::Kernels backend resolved once at construction from THEMIS_SIMD
+/// (default: most capable of AVX2 / SSE4 / NEON the host supports). The
+/// kernels move integers and copy doubles only — all float arithmetic
+/// stays scalar, in row order — so the SIMD and scalar backends are
+/// bitwise identical by construction; executor_diff_test proves it.
 class Executor {
  public:
   Executor();
@@ -146,6 +178,8 @@ class Executor {
     std::atomic<uint64_t> groups_emitted{0};
     std::atomic<uint64_t> join_build_rows{0};
     std::atomic<uint64_t> join_probe_rows{0};
+    std::atomic<uint64_t> filter_kernel_rows{0};
+    std::atomic<uint64_t> gather_kernel_rows{0};
   };
 
   std::unordered_map<std::string, const data::Table*> catalog_;
@@ -156,6 +190,11 @@ class Executor {
   /// query hot path, and the shard layout (which fixes the float
   /// summation order) cannot drift if the environment changes mid-run.
   size_t env_shard_rows_ = 0;
+  /// The SIMD kernel table, resolved once at construction from
+  /// THEMIS_SIMD (same snapshot discipline as env_shard_rows_): tests pin
+  /// backends per instance via setenv before construction, and a live
+  /// executor's kernels never change. Points at a static table.
+  const simd::Kernels* kernels_ = nullptr;
 };
 
 }  // namespace themis::sql

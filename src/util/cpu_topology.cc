@@ -1,0 +1,123 @@
+#include "util/cpu_topology.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+namespace themis::util {
+
+namespace {
+
+/// First line of `path` with trailing whitespace stripped; empty when the
+/// file is absent or unreadable.
+std::string ReadSysfsLine(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return "";
+  std::string line;
+  std::getline(in, line);
+  while (!line.empty() &&
+         std::isspace(static_cast<unsigned char>(line.back()))) {
+    line.pop_back();
+  }
+  return line;
+}
+
+}  // namespace
+
+size_t ParseCacheSizeToBytes(const std::string& text) {
+  if (text.empty()) return 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (end == text.c_str()) return 0;
+  size_t multiplier = 1;
+  if (*end == 'K' || *end == 'k') {
+    multiplier = 1024;
+    ++end;
+  } else if (*end == 'M' || *end == 'm') {
+    multiplier = 1024 * 1024;
+    ++end;
+  } else if (*end == 'G' || *end == 'g') {
+    multiplier = 1024ull * 1024 * 1024;
+    ++end;
+  }
+  if (*end != '\0') return 0;
+  return static_cast<size_t>(value) * multiplier;
+}
+
+CpuTopology CpuTopology::Detect() {
+  CpuTopology topo;
+  topo.num_cpus =
+      std::max<size_t>(1, std::thread::hardware_concurrency());
+  // Walk cpu0's cache indices: each is one cache instance with a level
+  // (1/2/3), a type (Data/Instruction/Unified), and a size ("48K").
+  const std::string base = "/sys/devices/system/cpu/cpu0/cache/index";
+  for (int index = 0; index < 8; ++index) {
+    const std::string dir = base + std::to_string(index) + "/";
+    const std::string level = ReadSysfsLine(dir + "level");
+    if (level.empty()) break;  // indices are contiguous; first gap ends it
+    const std::string type = ReadSysfsLine(dir + "type");
+    if (type == "Instruction") continue;
+    const size_t size = ParseCacheSizeToBytes(ReadSysfsLine(dir + "size"));
+    if (size == 0) continue;
+    if (level == "1") {
+      topo.l1d_bytes = size;
+    } else if (level == "2") {
+      topo.l2_bytes = size;
+    } else if (level == "3") {
+      topo.l3_bytes = size;
+    } else {
+      continue;
+    }
+    topo.probed = true;
+    const size_t line =
+        ParseCacheSizeToBytes(ReadSysfsLine(dir + "coherency_line_size"));
+    if (line > 0) topo.cache_line_bytes = line;
+  }
+  return topo;
+}
+
+const CpuTopology& CpuTopology::Host() {
+  static const CpuTopology topo = Detect();
+  return topo;
+}
+
+size_t CpuTopology::ShardTargetBytes() const {
+  // Half the (usually core-private) L2 leaves room for the group table
+  // and selection buffers beside the scanned columns. An L2-less probe
+  // falls back to a generous multiple of L1d, and no probe at all keeps
+  // the legacy 256 KiB target.
+  size_t target = 0;
+  if (l2_bytes > 0) {
+    target = l2_bytes / 2;
+  } else if (l1d_bytes > 0) {
+    target = l1d_bytes * 8;
+  } else {
+    return kFallbackShardTargetBytes;
+  }
+  return std::clamp<size_t>(target, kFallbackShardTargetBytes,
+                            2 * 1024 * 1024);
+}
+
+std::string CpuTopology::ToString() const {
+  if (!probed) return "cache topology unknown";
+  std::ostringstream out;
+  auto append = [&out](const char* name, size_t bytes) {
+    if (bytes == 0) return;
+    if (out.tellp() > 0) out << ", ";
+    if (bytes >= 1024 * 1024 && bytes % (1024 * 1024) == 0) {
+      out << name << " " << bytes / (1024 * 1024) << " MiB";
+    } else {
+      out << name << " " << bytes / 1024 << " KiB";
+    }
+  };
+  append("l1d", l1d_bytes);
+  append("l2", l2_bytes);
+  append("l3", l3_bytes);
+  out << ", line " << cache_line_bytes << " B, " << num_cpus << " cpus";
+  return out.str();
+}
+
+}  // namespace themis::util

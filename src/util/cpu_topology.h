@@ -1,0 +1,53 @@
+#ifndef THEMIS_UTIL_CPU_TOPOLOGY_H_
+#define THEMIS_UTIL_CPU_TOPOLOGY_H_
+
+#include <cstddef>
+#include <string>
+
+namespace themis::util {
+
+/// Per-shard working-set target when no cache information is available —
+/// the pre-probe executor's hard-coded policy, kept as the fallback.
+inline constexpr size_t kFallbackShardTargetBytes = 256 * 1024;
+
+/// Cache topology of the host CPU, probed once at startup from sysfs
+/// (/sys/devices/system/cpu/cpu0/cache). Sizes are 0 when the level is
+/// absent or the probe failed; `probed` is true when at least one data
+/// cache level was read successfully. The executor's auto shard policy
+/// sizes per-shard working sets from this instead of assuming ~256 KiB.
+struct CpuTopology {
+  size_t l1d_bytes = 0;
+  size_t l2_bytes = 0;
+  size_t l3_bytes = 0;
+  size_t cache_line_bytes = 64;
+  size_t num_cpus = 1;
+  bool probed = false;
+
+  /// Runs a fresh probe (reads sysfs). Prefer Host() on hot paths.
+  static CpuTopology Detect();
+
+  /// The process-wide topology, probed exactly once on first use and
+  /// cached — callers never pay the sysfs walk twice, and every consumer
+  /// (shard policy, STATS verb, startup logs) reports the same numbers.
+  static const CpuTopology& Host();
+
+  /// Bytes of scanned data one executor shard should target so its
+  /// working set sits comfortably in a core-private cache: half the L2
+  /// when probed (clamped to [256 KiB, 2 MiB] so an exotic topology
+  /// cannot produce degenerate shards), else the 256 KiB fallback.
+  /// Deterministic for a fixed machine, so the shard layout — and with
+  /// it the float summation order — is stable across runs on one host.
+  size_t ShardTargetBytes() const;
+
+  /// "l1d 48 KiB, l2 2048 KiB, l3 260 MiB, line 64 B, 8 cpus" (or
+  /// "cache topology unknown" when the probe found nothing).
+  std::string ToString() const;
+};
+
+/// Parses a sysfs cache-size string ("48K", "2048K", "12M", "131072") to
+/// bytes; 0 on malformed input. Exposed for tests.
+size_t ParseCacheSizeToBytes(const std::string& text);
+
+}  // namespace themis::util
+
+#endif  // THEMIS_UTIL_CPU_TOPOLOGY_H_

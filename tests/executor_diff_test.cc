@@ -3,9 +3,13 @@
 // filters x GROUP BY arities x joins x pool sizes must be bitwise
 // identical on both paths. Row weights are multiples of 0.25, so sums are
 // exact and every shard layout (sequential, auto, forced-small) must
-// agree bit for bit as well.
+// agree bit for bit as well. A second executor pinned to the scalar SIMD
+// backend (THEMIS_SIMD=scalar at construction) runs every query too, so
+// on SIMD-capable hosts each check is three-way:
+// simd == scalar == reference, bit for bit.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <memory>
 #include <random>
 #include <string>
@@ -104,6 +108,21 @@ class ExecutorDiffTest : public ::testing::Test {
 
     executor_.RegisterTable("t", t_.get());
     executor_.RegisterTable("u", u_.get());
+
+    // The scalar twin: an executor whose kernel table was pinned to the
+    // scalar backend at construction, regardless of host capability.
+    const char* prev = std::getenv("THEMIS_SIMD");
+    const std::string saved = prev ? prev : "";
+    setenv("THEMIS_SIMD", "scalar", 1);
+    scalar_executor_ = std::make_unique<Executor>();
+    if (prev) {
+      setenv("THEMIS_SIMD", saved.c_str(), 1);
+    } else {
+      unsetenv("THEMIS_SIMD");
+    }
+    ASSERT_EQ(scalar_executor_->stats().simd_backend, "scalar");
+    scalar_executor_->RegisterTable("t", t_.get());
+    scalar_executor_->RegisterTable("u", u_.get());
   }
 
   /// Runs `sql` on both paths across execution configurations and checks
@@ -116,6 +135,9 @@ class ExecutorDiffTest : public ::testing::Test {
     auto vectorized = executor_.Execute(*stmt);
     ASSERT_TRUE(vectorized.ok()) << sql;
     ExpectBitwiseEqual(*vectorized, *reference, "sequential: " + sql);
+    auto scalar = scalar_executor_->Execute(*stmt);
+    ASSERT_TRUE(scalar.ok()) << sql;
+    ExpectBitwiseEqual(*scalar, *reference, "scalar sequential: " + sql);
 
     for (util::ThreadPool* pool : pools()) {
       for (const size_t shard_rows : {size_t{0}, size_t{1000}}) {
@@ -129,6 +151,11 @@ class ExecutorDiffTest : public ::testing::Test {
         ExpectBitwiseEqual(*vec_pooled, *ref_pooled, "pooled: " + what);
         // Exact weights: every layout agrees with the sequential answer.
         ExpectBitwiseEqual(*vec_pooled, *reference, "vs sequential: " + what);
+        auto scalar_pooled =
+            scalar_executor_->Execute(*stmt, pool, shard_rows);
+        ASSERT_TRUE(scalar_pooled.ok()) << what;
+        ExpectBitwiseEqual(*vec_pooled, *scalar_pooled,
+                           "simd vs scalar: " + what);
       }
     }
   }
@@ -151,6 +178,7 @@ class ExecutorDiffTest : public ::testing::Test {
   std::unique_ptr<data::Table> u_;
   std::vector<std::unique_ptr<util::ThreadPool>> pools_;
   Executor executor_;
+  std::unique_ptr<Executor> scalar_executor_;
 };
 
 TEST_F(ExecutorDiffTest, RandomizedQueriesBitwiseIdentical) {

@@ -18,6 +18,9 @@
 #include "server/client.h"
 #include "server/query_server.h"
 #include "server/wire.h"
+#include "simd/simd.h"
+#include "sql/executor.h"
+#include "util/cpu_topology.h"
 #include "util/thread_pool.h"
 
 namespace themis::server {
@@ -380,6 +383,23 @@ TEST_F(ServerTest, StatsVerbExposesLiveCacheCounters) {
   EXPECT_TRUE(stats->relations.at("shops").built);
   EXPECT_EQ(stats->relations.at("shops").result_memo.misses, 0u);
   EXPECT_FALSE(stats->relations.at("pending").built);
+
+  // Host capability snapshot round-trips: topology, SIMD backend, and
+  // shard target match the in-process probes, and the executor counters
+  // carry the active backend plus nonzero kernel-row counts (the GROUP BY
+  // above ran the scan pipeline).
+  const util::CpuTopology& topo = util::CpuTopology::Host();
+  EXPECT_EQ(stats->host.num_cpus, topo.num_cpus);
+  EXPECT_EQ(stats->host.l1d_bytes, topo.l1d_bytes);
+  EXPECT_EQ(stats->host.l2_bytes, topo.l2_bytes);
+  EXPECT_EQ(stats->host.l3_bytes, topo.l3_bytes);
+  EXPECT_EQ(stats->host.cache_line_bytes, topo.cache_line_bytes);
+  EXPECT_EQ(stats->host.cache_probed, topo.probed);
+  EXPECT_EQ(stats->host.simd_backend,
+            simd::BackendName(simd::FromEnv()));
+  EXPECT_EQ(stats->host.shard_target_bytes, sql::AutoShardTargetBytes());
+  EXPECT_EQ(flights.executor.simd_backend, stats->host.simd_backend);
+  EXPECT_GT(flights.executor.rows_scanned, 0u);
   server.Stop();
 }
 

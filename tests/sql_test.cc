@@ -1,11 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
 
 #include "sql/executor.h"
 #include "sql/lexer.h"
 #include "sql/parser.h"
+#include "util/cpu_topology.h"
 
 namespace themis::sql {
 namespace {
@@ -379,6 +381,14 @@ TEST_F(ExecutorTest, StatsCountScanAndJoin) {
   EXPECT_EQ(stats.rows_passed, 4u);   // 3x CA + 1x NY
   EXPECT_EQ(stats.groups_emitted, 2u);
   EXPECT_EQ(stats.join_build_rows, 0u);
+  // Kernel counters: the one filter evaluated all 5 rows; the 4 selected
+  // rows batched through the gather/pack stage. The active backend is the
+  // host's best (or the THEMIS_SIMD override), never empty.
+  EXPECT_EQ(stats.filter_kernel_rows, 5u);
+  EXPECT_EQ(stats.gather_kernel_rows, 4u);
+  EXPECT_FALSE(stats.simd_backend.empty());
+  EXPECT_EQ(stats.simd_backend,
+            simd::BackendName(simd::FromEnv()));
 
   ASSERT_TRUE(
       executor_.Query("SELECT COUNT(*) FROM f t, f s WHERE t.de = s.o")
@@ -388,6 +398,10 @@ TEST_F(ExecutorTest, StatsCountScanAndJoin) {
   EXPECT_EQ(stats.join_build_rows, 5u);
   EXPECT_EQ(stats.join_probe_rows, 5u);
   EXPECT_EQ(stats.groups_emitted, 2u + 1u);
+  // Unfiltered join sides add no filter-kernel rows; build keys (5) and
+  // probe codes (5) both batch through the gather kernels.
+  EXPECT_EQ(stats.filter_kernel_rows, 5u);
+  EXPECT_EQ(stats.gather_kernel_rows, 4u + 5u + 5u);
 
   // The reference path is a measurement oracle and leaves stats alone.
   auto stmt = Parse("SELECT COUNT(*) FROM f");
@@ -396,22 +410,45 @@ TEST_F(ExecutorTest, StatsCountScanAndJoin) {
   EXPECT_EQ(executor_.stats().rows_scanned, stats.rows_scanned);
 }
 
-/// The auto shard size targets a ~256 KiB per-shard working set over the
-/// scanned columns, clamped to [1024, 262144]; explicit and environment
-/// overrides still win, and no column information falls back to 8192.
+/// The auto shard size targets an AutoShardTargetBytes() per-shard
+/// working set over the scanned columns — probed from the host's cache
+/// topology (half the L2, clamped to [256 KiB, 2 MiB]) — with the row
+/// count clamped to [1024, 262144]; explicit and environment overrides
+/// still win, and no column information falls back to 8192.
 TEST(ExecutorShardingTest, CacheAwareAutoShardRows) {
   EXPECT_EQ(ResolveShardRows(0, 0), 8192u);  // unknown working set
   const size_t two_columns = data::Table::ScanBytesPerRow(2);
   EXPECT_EQ(two_columns, 16u);
-  EXPECT_EQ(ResolveShardRows(0, two_columns), 256u * 1024u / 16u);
-  EXPECT_EQ(ResolveShardRows(0, 1), 262144u);        // clamp above
-  EXPECT_EQ(ResolveShardRows(0, 1 << 20), 1024u);    // clamp below
+  EXPECT_EQ(ResolveShardRows(0, two_columns),
+            AutoShardTargetBytes() / two_columns);
   EXPECT_EQ(ResolveShardRows(123, two_columns), 123u);
   ASSERT_EQ(setenv("THEMIS_SHARD_ROWS", "777", 1), 0);
   EXPECT_EQ(ShardRowsEnvOverride(), 777u);
   EXPECT_EQ(ResolveShardRows(0, two_columns), 777u);
   ASSERT_EQ(unsetenv("THEMIS_SHARD_ROWS"), 0);
   EXPECT_EQ(ShardRowsEnvOverride(), 0u);
+}
+
+/// Regression pin on the documented auto-shard row clamp [1024, 262144]
+/// (executor.h): the bounds hold on ANY host because the probed byte
+/// target is itself clamped to [256 KiB, 2 MiB] — 1 byte/row divides to
+/// >= 262144 rows everywhere (clamped above) and 1 MiB/row divides to
+/// <= 2 rows everywhere (clamped below). Also pins the target's own
+/// bounds, with the probed topology as input.
+TEST(ExecutorShardingTest, AutoShardRowClampBounds) {
+  EXPECT_EQ(ResolveShardRows(0, 1), 262144u);      // clamp above
+  EXPECT_EQ(ResolveShardRows(0, 1 << 20), 1024u);  // clamp below
+  const size_t target = AutoShardTargetBytes();
+  EXPECT_GE(target, 256u * 1024u);
+  EXPECT_LE(target, 2u * 1024u * 1024u);
+  const util::CpuTopology& topo = util::CpuTopology::Host();
+  if (topo.probed && topo.l2_bytes > 0) {
+    EXPECT_EQ(target, std::clamp<size_t>(topo.l2_bytes / 2, 256u * 1024u,
+                                         2u * 1024u * 1024u));
+  }
+  if (!topo.probed) {
+    EXPECT_EQ(target, util::kFallbackShardTargetBytes);
+  }
 }
 
 /// The shard size is configurable: ThemisOptions::shard_rows (explicit)

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench --json snapshot against a committed baseline.
+
+Usage:
+    tools/check_bench.py BASELINE.json CURRENT.json [--tolerance 0.20]
+
+Both files are snapshots written by `bench_executor --json` or
+`bench_serving --json`. Only the metrics in each file's "gate" object are
+compared — those are speedup ratios (higher is better), chosen over
+wall-clock numbers precisely so the gate survives runner speed changes.
+A gate metric that dropped more than `tolerance` (default 20%) below the
+baseline fails the check; everything else — including new metrics absent
+from the baseline — is reported but passes.
+
+Exit code 0 when every shared gate metric is within tolerance, 1 on any
+regression, 2 on malformed input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_gate(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            snapshot = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"check_bench: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    gate = snapshot.get("gate")
+    if not isinstance(gate, dict) or not gate:
+        print(f"check_bench: {path} has no gate object", file=sys.stderr)
+        sys.exit(2)
+    bad = {k: v for k, v in gate.items() if not isinstance(v, (int, float))}
+    if bad:
+        print(f"check_bench: non-numeric gate metrics in {path}: {bad}",
+              file=sys.stderr)
+        sys.exit(2)
+    return snapshot.get("bench", "?"), gate
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed BENCH_*.json snapshot")
+    parser.add_argument("current", help="freshly produced --json snapshot")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed fractional drop below the baseline "
+                             "(default 0.20 = 20%%)")
+    args = parser.parse_args()
+
+    base_name, baseline = load_gate(args.baseline)
+    cur_name, current = load_gate(args.current)
+    if base_name != cur_name:
+        print(f"check_bench: comparing different benches "
+              f"({base_name} vs {cur_name})", file=sys.stderr)
+        sys.exit(2)
+
+    failures = []
+    for metric in sorted(set(baseline) | set(current)):
+        if metric not in baseline:
+            print(f"  NEW  {metric} = {current[metric]:.3f} "
+                  f"(no baseline; informational)")
+            continue
+        if metric not in current:
+            failures.append(f"{metric}: present in baseline, "
+                            f"missing from current run")
+            continue
+        base, cur = float(baseline[metric]), float(current[metric])
+        floor = base * (1.0 - args.tolerance)
+        status = "OK  " if cur >= floor else "FAIL"
+        print(f"  {status} {metric}: baseline {base:.3f}, current {cur:.3f} "
+              f"(floor {floor:.3f})")
+        if cur < floor:
+            failures.append(f"{metric}: {cur:.3f} < {floor:.3f} "
+                            f"({args.tolerance:.0%} below baseline "
+                            f"{base:.3f})")
+
+    if failures:
+        print(f"check_bench: {len(failures)} gate regression(s) in "
+              f"{cur_name}:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"check_bench: {cur_name} gate metrics within "
+          f"{args.tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
