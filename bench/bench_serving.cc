@@ -6,6 +6,7 @@
 // counts 1 / 4.
 //
 //   ./bench_serving [rounds] [--strict] [--smoke] [--json PATH]
+//                   [--connections N]
 //
 // Timing is informational by default (wall-clock gates flake on noisy
 // shared runners); --strict turns the concurrency bar — 4 clients on the
@@ -17,6 +18,17 @@
 // point query, a GROUP BY, a STATS probe, and a deterministic overload
 // rejection (admission slot held open by a request hook), then shut down
 // gracefully. Exit code 0 only if every step behaves.
+//
+// --connections N switches to the open-loop mode that the epoll serving
+// core exists for: N idle connections stay parked (costing the server no
+// threads) while 64 active clients stream the workload, every answer
+// bitwise-checked; reports aggregate q/s plus p50/p99 per-request
+// latency, and --json writes them (latency keys end in _ms so
+// tools/check_bench.py gates them lower-is-better). With --smoke the
+// sweep shrinks to one round — the CI high-connection smoke.
+#include <sys/resource.h>
+
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -231,6 +243,173 @@ int Run(size_t rounds, bool strict, const std::string& json_path) {
   return (strict && speedup < 1.3) ? 1 : 0;
 }
 
+/// Both halves of a connection live in this process (client fd + server
+/// session fd), so a 1k-connection sweep needs ~2N descriptors: raise
+/// the soft RLIMIT_NOFILE toward the hard cap before opening the fleet.
+void RaiseFdLimit(size_t needed) {
+  rlimit limit{};
+  if (::getrlimit(RLIMIT_NOFILE, &limit) != 0) return;
+  const rlim_t want = static_cast<rlim_t>(needed);
+  if (limit.rlim_cur >= want) return;
+  rlimit raised = limit;
+  raised.rlim_cur = limit.rlim_max == RLIM_INFINITY
+                        ? want
+                        : std::min<rlim_t>(want, limit.rlim_max);
+  ::setrlimit(RLIMIT_NOFILE, &raised);
+}
+
+double PercentileMs(const std::vector<double>& sorted_ms, double q) {
+  if (sorted_ms.empty()) return 0;
+  const size_t index = static_cast<size_t>(
+      q * static_cast<double>(sorted_ms.size() - 1) + 0.5);
+  return sorted_ms[std::min(index, sorted_ms.size() - 1)];
+}
+
+/// The open-loop mode: `connections` idle sessions parked on the epoll
+/// loops while kActiveClients closed-loop clients stream the workload.
+/// Every served answer is bitwise-checked, and so is a sample of the
+/// idle fleet after the storm — an idle epoll session must answer
+/// exactly like a fresh one.
+int OpenLoop(size_t connections, size_t rounds, const std::string& json_path) {
+  constexpr size_t kActiveClients = 64;
+  PrintHeader("Serving open-loop bench",
+              "idle-connection fleet + active clients on the epoll core");
+  RaiseFdLimit(2 * connections + 4 * kActiveClients + 512);
+
+  BenchScale scale;
+  DatasetSetup flights = MakeFlights(scale);
+  aggregate::AggregateSet aggs =
+      MakePaperAggregates(flights.population, flights.covered_attrs, 5, 4);
+  core::ThemisOptions options = BenchOptions();
+  core::ThemisDb db(options);
+  THEMIS_CHECK_OK(
+      db.InsertSample("flights", flights.samples.at("Corners").Clone()));
+  for (const auto& spec : aggs.specs()) {
+    THEMIS_CHECK_OK(db.InsertAggregate("flights", spec));
+  }
+  THEMIS_CHECK_OK(db.Build());
+
+  const std::vector<std::string> sqls =
+      MakeRelationWorkload(flights, "flights", 20);
+  std::vector<sql::QueryResult> expected;
+  for (const std::string& sql : sqls) {
+    auto result = db.Query(sql);
+    THEMIS_CHECK_OK(result.status());
+    expected.push_back(std::move(*result));
+  }
+
+  server::QueryServer server(&db.catalog());
+  THEMIS_CHECK_OK(server.Start());
+  std::printf("  server up on 127.0.0.1:%u, io_threads=%zu\n", server.port(),
+              server.io_threads());
+
+  // Park the idle fleet. Each connection costs the server one epoll
+  // registration — no thread, no admission slot.
+  std::vector<server::Client> idle;
+  idle.reserve(connections);
+  for (size_t i = 0; i < connections; ++i) {
+    auto client = server::Client::Connect(server.port());
+    THEMIS_CHECK(client.ok())
+        << "connection " << i << ": " << client.status().ToString();
+    idle.push_back(std::move(*client));
+  }
+  {
+    auto stats = server::Client::Connect(server.port());
+    THEMIS_CHECK(stats.ok());
+    auto snapshot = stats->Stats();
+    THEMIS_CHECK(snapshot.ok());
+    THEMIS_CHECK(snapshot->server.active_connections >= connections)
+        << snapshot->server.active_connections;
+    std::printf("  idle fleet parked: %zu open sessions on %zu io threads\n",
+                snapshot->server.active_connections,
+                snapshot->server.io_threads);
+  }
+
+  // The active storm: closed-loop clients with per-request latency
+  // capture, all answers bitwise-checked against the in-process oracle.
+  std::vector<std::vector<double>> latencies(kActiveClients);
+  Timer timer;
+  std::vector<std::thread> threads;
+  for (size_t c = 0; c < kActiveClients; ++c) {
+    threads.emplace_back([&, c] {
+      auto client = server::Client::Connect(server.port());
+      THEMIS_CHECK(client.ok()) << client.status().ToString();
+      latencies[c].reserve(rounds * sqls.size());
+      for (size_t round = 0; round < rounds; ++round) {
+        for (size_t i = 0; i < sqls.size(); ++i) {
+          const size_t q = (i + c) % sqls.size();
+          Timer request_timer;
+          auto result = client->Query(sqls[q]);
+          latencies[c].push_back(request_timer.Seconds() * 1e3);
+          THEMIS_CHECK(result.ok())
+              << sqls[q] << ": " << result.status().ToString();
+          CheckIdentical(*result, expected[q], sqls[q]);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double elapsed = timer.Seconds();
+  const double qps =
+      static_cast<double>(kActiveClients * rounds * sqls.size()) / elapsed;
+
+  std::vector<double> merged;
+  for (const std::vector<double>& per_client : latencies) {
+    merged.insert(merged.end(), per_client.begin(), per_client.end());
+  }
+  std::sort(merged.begin(), merged.end());
+  const double p50_ms = PercentileMs(merged, 0.50);
+  const double p99_ms = PercentileMs(merged, 0.99);
+  std::printf(
+      "  %zu idle + %zu active: %8.0f q/s, p50 %.3f ms, p99 %.3f ms "
+      "(%zu requests, all bitwise ok)\n",
+      connections, kActiveClients, qps, p50_ms, p99_ms, merged.size());
+
+  // The idle fleet survived the storm: a sample of parked sessions must
+  // answer bitwise-identically to the oracle.
+  for (size_t i = 0; i < connections; i += std::max<size_t>(1, connections / 8)) {
+    const size_t q = i % sqls.size();
+    auto result = idle[i].Query(sqls[q]);
+    THEMIS_CHECK(result.ok())
+        << "idle " << i << ": " << result.status().ToString();
+    CheckIdentical(*result, expected[q], "idle " + sqls[q]);
+  }
+  std::printf("  idle sessions answer after the storm: bitwise ok\n");
+
+  if (!json_path.empty()) {
+    server::JsonValue root = server::JsonValue::Object();
+    root.Set("bench", server::JsonValue::String("serving_open_loop"));
+    root.Set("connections",
+             server::JsonValue::Number(static_cast<double>(connections)));
+    root.Set("active_clients",
+             server::JsonValue::Number(static_cast<double>(kActiveClients)));
+    root.Set("rounds",
+             server::JsonValue::Number(static_cast<double>(rounds)));
+    root.Set("io_threads", server::JsonValue::Number(
+                               static_cast<double>(server.io_threads())));
+    root.Set("simd_backend",
+             server::JsonValue::String(server::HostStatsNow().simd_backend));
+    // The _ms suffix marks lower-is-better for tools/check_bench.py;
+    // latency gates get a deliberately loose tolerance there because
+    // absolute milliseconds vary across runners far more than ratios.
+    server::JsonValue gate = server::JsonValue::Object();
+    gate.Set("open_loop_qps", server::JsonValue::Number(qps));
+    gate.Set("open_loop_p50_ms", server::JsonValue::Number(p50_ms));
+    gate.Set("open_loop_p99_ms", server::JsonValue::Number(p99_ms));
+    root.Set("gate", std::move(gate));
+    std::ofstream out(json_path);
+    THEMIS_CHECK(out.good()) << json_path;
+    out << root.Dump() << "\n";
+    std::printf("  wrote %s\n", json_path.c_str());
+  }
+
+  idle.clear();
+  server.Stop();
+  THEMIS_CHECK(!server.running());
+  std::printf("  graceful shutdown with the fleet connected: ok\n");
+  return 0;
+}
+
 /// The CI smoke: point + GROUP BY + STATS + deterministic overload +
 /// graceful shutdown against a one-relation server.
 int Smoke() {
@@ -316,6 +495,7 @@ int Smoke() {
 
 int main(int argc, char** argv) {
   size_t rounds = 2;
+  size_t connections = 0;
   bool strict = false;
   bool smoke = false;
   std::string json_path;
@@ -326,11 +506,17 @@ int main(int argc, char** argv) {
       smoke = true;
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--connections") == 0 && i + 1 < argc) {
+      connections = static_cast<size_t>(std::strtoul(argv[++i], nullptr, 10));
     } else {
       rounds = static_cast<size_t>(std::strtoul(argv[i], nullptr, 10));
     }
   }
   if (rounds == 0) rounds = 1;
+  if (connections > 0) {
+    return themis::bench::OpenLoop(connections, smoke ? 1 : rounds,
+                                   json_path);
+  }
   return smoke ? themis::bench::Smoke()
                : themis::bench::Run(rounds, strict, json_path);
 }

@@ -266,20 +266,24 @@ Result<std::string> Catalog::RouteFor(const std::string& sql) const {
 }
 
 Result<sql::QueryResult> Catalog::Query(const std::string& sql,
-                                        AnswerMode mode) const {
+                                        AnswerMode mode,
+                                        const util::CancelToken* cancel) const {
   THEMIS_ASSIGN_OR_RETURN(std::string from, RouteFor(sql));
-  return QueryOn(from, sql, mode);
+  return QueryOn(from, sql, mode, cancel);
 }
 
 Result<sql::QueryResult> Catalog::QueryOn(const std::string& relation,
                                           const std::string& sql,
-                                          AnswerMode mode) const {
+                                          AnswerMode mode,
+                                          const util::CancelToken* cancel)
+    const {
   THEMIS_ASSIGN_OR_RETURN(const Relation* entry, FindBuilt(relation));
-  return entry->evaluator->Query(sql, mode);
+  return entry->evaluator->Query(sql, mode, cancel);
 }
 
 Result<std::vector<sql::QueryResult>> Catalog::QueryBatch(
-    std::span<const std::string> sqls, AnswerMode mode) const {
+    std::span<const std::string> sqls, AnswerMode mode,
+    const util::CancelToken* cancel) const {
   // Route + plan everything first: repeated texts share one plan through
   // each relation's plan cache, and routing errors, malformed SQL, or an
   // unbuilt relation fail before any execution starts.
@@ -299,7 +303,7 @@ Result<std::vector<sql::QueryResult>> Catalog::QueryBatch(
   std::vector<Result<sql::QueryResult>> results(
       plans.size(), Result<sql::QueryResult>(Status::Internal("not run")));
   pool_->ParallelFor(0, plans.size(), [&](size_t i) {
-    results[i] = evaluators[i]->ExecutePlan(*plans[i], mode);
+    results[i] = evaluators[i]->ExecutePlan(*plans[i], mode, cancel);
   });
   std::vector<sql::QueryResult> out;
   out.reserve(plans.size());

@@ -142,23 +142,35 @@ class Catalog {
   /// Answers SQL against the relation named by its FROM clause.
   /// NotFound("no relation 'x'") for an unknown FROM table,
   /// FailedPrecondition for a registered-but-unbuilt one.
+  ///
+  /// `cancel` (optional) carries the serving layer's per-request deadline
+  /// / disconnect signal into plan execution: it is polled once on entry
+  /// and once per shard in the executor loops, and a fired token answers
+  /// kDeadlineExceeded / kCancelled instead of finishing the plan. A
+  /// token that never fires leaves the answer bitwise identical to
+  /// passing nullptr.
   Result<sql::QueryResult> Query(const std::string& sql,
-                                 AnswerMode mode = AnswerMode::kHybrid) const;
+                                 AnswerMode mode = AnswerMode::kHybrid,
+                                 const util::CancelToken* cancel =
+                                     nullptr) const;
 
   /// Answers SQL against an explicitly named relation (bypasses
   /// FROM-routing; required when relations share a SQL table name).
   Result<sql::QueryResult> QueryOn(
       const std::string& relation, const std::string& sql,
-      AnswerMode mode = AnswerMode::kHybrid) const;
+      AnswerMode mode = AnswerMode::kHybrid,
+      const util::CancelToken* cancel = nullptr) const;
 
   /// Batched answering across relations: routes and plans every query
   /// first (malformed SQL or an unknown relation fails before any work
   /// runs), then submits whole plans — interleaved across relations — to
   /// the shared pool. Results line up with the input order and are bitwise
-  /// identical to a sequential Query() loop at any pool size.
+  /// identical to a sequential Query() loop at any pool size. One
+  /// `cancel` token covers the whole batch.
   Result<std::vector<sql::QueryResult>> QueryBatch(
       std::span<const std::string> sqls,
-      AnswerMode mode = AnswerMode::kHybrid) const;
+      AnswerMode mode = AnswerMode::kHybrid,
+      const util::CancelToken* cancel = nullptr) const;
 
   /// Point-query convenience against a named relation: COUNT(*) WHERE
   /// attr1=v1 AND ... by attribute name.

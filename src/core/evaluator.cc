@@ -129,19 +129,22 @@ Result<double> HybridEvaluator::PointEstimate(
 }
 
 Result<sql::QueryResult> HybridEvaluator::BnGroupBy(
-    const sql::SelectStatement& stmt) const {
+    const sql::SelectStatement& stmt,
+    const util::CancelToken* cancel) const {
   if (bn_executors_.empty()) {
     return Status::FailedPrecondition("model has no BN samples");
   }
   // Execute on every generated sample; keep groups appearing in all K
   // answers and average the aggregate values (Sec 4.2.4). The K executors
   // are nested pool tasks; each may further shard its scan on the same
-  // pool without oversubscribing.
+  // pool without oversubscribing. The cancel token is shared: each
+  // executor polls it on entry and per shard, so a fired token fails the
+  // whole fan-out at the lowest index that observed it.
   const size_t k_total = bn_executors_.size();
   std::vector<Result<sql::QueryResult>> results(
       k_total, Result<sql::QueryResult>(Status::Internal("not executed")));
   pool_->ParallelFor(0, k_total, [&](size_t k) {
-    results[k] = bn_executors_[k].Execute(stmt, pool_, shard_rows_);
+    results[k] = bn_executors_[k].Execute(stmt, pool_, shard_rows_, cancel);
   });
 
   std::map<std::vector<std::string>, std::pair<std::vector<double>, size_t>>
@@ -180,12 +183,13 @@ Result<QueryPlanPtr> HybridEvaluator::Plan(const std::string& sql) const {
 }
 
 Result<sql::QueryResult> HybridEvaluator::ExecutePlanUncached(
-    const QueryPlan& plan, AnswerMode mode) const {
+    const QueryPlan& plan, AnswerMode mode,
+    const util::CancelToken* cancel) const {
   const bool has_bn =
       model_->network() != nullptr && !bn_executors_.empty();
   if (plan.kind == PlanKind::kPassthrough || mode == AnswerMode::kSampleOnly ||
       !has_bn) {
-    return sample_executor_.Execute(plan.stmt, pool_, shard_rows_);
+    return sample_executor_.Execute(plan.stmt, pool_, shard_rows_, cancel);
   }
 
   if (plan.kind == PlanKind::kPoint) {
@@ -204,15 +208,23 @@ Result<sql::QueryResult> HybridEvaluator::ExecutePlanUncached(
   }
 
   if (mode == AnswerMode::kBnOnly) {
-    return BnGroupBy(plan.stmt);
+    return BnGroupBy(plan.stmt, cancel);
   }
 
   // Hybrid: sample answer unioned with BN-only groups (Sec 4.3).
   THEMIS_ASSIGN_OR_RETURN(sql::QueryResult sample_result,
                           sample_executor_.Execute(plan.stmt, pool_,
-                                                   shard_rows_));
-  auto bn_result = BnGroupBy(plan.stmt);
-  if (!bn_result.ok()) return sample_result;
+                                                   shard_rows_, cancel));
+  auto bn_result = BnGroupBy(plan.stmt, cancel);
+  if (!bn_result.ok()) {
+    // A BN failure normally degrades to the sample answer — but a fired
+    // cancel token must surface, not be swallowed as a degraded answer.
+    if (bn_result.status().code() == StatusCode::kCancelled ||
+        bn_result.status().code() == StatusCode::kDeadlineExceeded) {
+      return bn_result.status();
+    }
+    return sample_result;
+  }
 
   std::set<std::vector<std::string>> sample_groups;
   for (const sql::ResultRow& row : sample_result.rows) {
@@ -230,8 +242,14 @@ Result<sql::QueryResult> HybridEvaluator::ExecutePlanUncached(
   return sample_result;
 }
 
-Result<sql::QueryResult> HybridEvaluator::ExecutePlan(const QueryPlan& plan,
-                                                      AnswerMode mode) const {
+Result<sql::QueryResult> HybridEvaluator::ExecutePlan(
+    const QueryPlan& plan, AnswerMode mode,
+    const util::CancelToken* cancel) const {
+  // Entry poll, before the memo: a request whose deadline has already
+  // lapsed answers kDeadlineExceeded even when the plan is memoized —
+  // deadline semantics must not depend on cache temperature, or the
+  // deterministic deadline tests (and clients' retry logic) would flap.
+  THEMIS_RETURN_IF_ERROR(util::CheckCancel(cancel));
   // The result memo covers every execution that actually scans — GROUP
   // BY, passthrough, and point plans forced onto the sample executor by
   // kSampleOnly / a BN-less model. Point plans answered through the
@@ -259,7 +277,7 @@ Result<sql::QueryResult> HybridEvaluator::ExecutePlan(const QueryPlan& plan,
     }
     if (hit != nullptr) return *hit;
   }
-  auto result = ExecutePlanUncached(plan, mode);
+  auto result = ExecutePlanUncached(plan, mode, cancel);
   if (memoizable && result.ok()) {
     // Two threads racing the same cold plan both compute and publish the
     // same deterministic answer; the second Put overwrites in place.
@@ -309,14 +327,16 @@ void HybridEvaluator::ClearResultMemo() const {
   memo_misses_ = 0;
 }
 
-Result<sql::QueryResult> HybridEvaluator::Query(const std::string& sql,
-                                                AnswerMode mode) const {
+Result<sql::QueryResult> HybridEvaluator::Query(
+    const std::string& sql, AnswerMode mode,
+    const util::CancelToken* cancel) const {
   THEMIS_ASSIGN_OR_RETURN(QueryPlanPtr plan, planner_->Plan(sql));
-  return ExecutePlan(*plan, mode);
+  return ExecutePlan(*plan, mode, cancel);
 }
 
 Result<std::vector<sql::QueryResult>> HybridEvaluator::QueryBatch(
-    std::span<const std::string> sqls, AnswerMode mode) const {
+    std::span<const std::string> sqls, AnswerMode mode,
+    const util::CancelToken* cancel) const {
   std::vector<QueryPlanPtr> plans;
   plans.reserve(sqls.size());
   for (const std::string& sql : sqls) {
@@ -328,7 +348,7 @@ Result<std::vector<sql::QueryResult>> HybridEvaluator::QueryBatch(
   std::vector<Result<sql::QueryResult>> results(
       plans.size(), Result<sql::QueryResult>(Status::Internal("not run")));
   pool_->ParallelFor(0, plans.size(), [&](size_t i) {
-    results[i] = ExecutePlan(*plans[i], mode);
+    results[i] = ExecutePlan(*plans[i], mode, cancel);
   });
   std::vector<sql::QueryResult> out;
   out.reserve(plans.size());

@@ -15,6 +15,7 @@
 #include "core/query_plan.h"
 #include "sql/ast.h"
 #include "sql/executor.h"
+#include "util/cancel.h"
 #include "util/lru_cache.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -113,9 +114,12 @@ class HybridEvaluator {
                       const data::TupleKey& values) const;
 
   /// Executes a SQL query (point, group-by, join) under the given mode:
-  /// Plan + ExecutePlan.
+  /// Plan + ExecutePlan. `cancel` (optional) is the serving layer's
+  /// cooperative cancellation handle — see ExecutePlan.
   Result<sql::QueryResult> Query(const std::string& sql,
-                                 AnswerMode mode = AnswerMode::kHybrid) const;
+                                 AnswerMode mode = AnswerMode::kHybrid,
+                                 const util::CancelToken* cancel =
+                                     nullptr) const;
 
   /// Plans `sql` through the shared plan cache.
   Result<QueryPlanPtr> Plan(const std::string& sql) const;
@@ -124,16 +128,24 @@ class HybridEvaluator {
   /// executors and large scans fan out; a 1-thread pool degenerates to
   /// the identical sequential execution). Serves memoized GROUP BY /
   /// passthrough results when the plan carries a fingerprint.
+  ///
+  /// `cancel` is polled once on entry (before the memo, so an expired
+  /// deadline answers kDeadlineExceeded even for a memoized plan) and
+  /// once per shard inside the executors; a fired token unwinds with
+  /// kCancelled / kDeadlineExceeded and is never memoized.
   Result<sql::QueryResult> ExecutePlan(const QueryPlan& plan,
-                                       AnswerMode mode) const;
+                                       AnswerMode mode,
+                                       const util::CancelToken* cancel =
+                                           nullptr) const;
 
   /// Batched answering: plans every query first (repeated texts share one
   /// plan, malformed SQL fails before any work runs), then submits whole
   /// plans to the pool so distinct queries execute concurrently. Results
   /// line up with the input order and are bitwise identical to a
-  /// sequential Query() loop.
+  /// sequential Query() loop. One `cancel` token covers the whole batch.
   Result<std::vector<sql::QueryResult>> QueryBatch(
-      std::span<const std::string> sqls, AnswerMode mode) const;
+      std::span<const std::string> sqls, AnswerMode mode,
+      const util::CancelToken* cancel = nullptr) const;
 
   /// The memoizing inference engine; null when the model has no BN.
   const bn::InferenceEngine* inference_engine() const {
@@ -175,11 +187,13 @@ class HybridEvaluator {
   /// Runs `stmt` over the K BN samples as nested pool tasks, keeping
   /// groups present in all K and averaging their values. The merge walks
   /// executors in index order, so the answer is pool-size independent.
-  Result<sql::QueryResult> BnGroupBy(const sql::SelectStatement& stmt) const;
+  Result<sql::QueryResult> BnGroupBy(const sql::SelectStatement& stmt,
+                                     const util::CancelToken* cancel) const;
 
   /// Executes the plan without consulting the result memo.
-  Result<sql::QueryResult> ExecutePlanUncached(const QueryPlan& plan,
-                                               AnswerMode mode) const;
+  Result<sql::QueryResult> ExecutePlanUncached(
+      const QueryPlan& plan, AnswerMode mode,
+      const util::CancelToken* cancel) const;
 
   /// Group-weight index per attribute set, built lazily under the lock.
   const std::unordered_map<data::TupleKey, double, data::TupleKeyHash>&

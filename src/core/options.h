@@ -99,6 +99,13 @@ struct ThemisOptions {
   /// admission control (never reject).
   size_t max_inflight = 256;
 
+  /// Serving default deadline: requests that arrive without their own
+  /// `deadline_ms` wire field inherit this budget (milliseconds from
+  /// admission). An expired request unwinds cooperatively at the next
+  /// per-shard check and answers kDeadlineExceeded. 0 = no default
+  /// deadline.
+  uint64_t default_deadline_ms = 0;
+
   uint64_t seed = 42;
 };
 

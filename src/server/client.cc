@@ -3,6 +3,7 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -53,6 +54,19 @@ Client::~Client() {
   if (fd_ >= 0) ::close(fd_);
 }
 
+Status Client::set_timeout_ms(uint64_t timeout_ms) {
+  if (fd_ < 0) return Status::FailedPrecondition("client is closed");
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout_ms / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout_ms % 1000) * 1000);
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) < 0 ||
+      ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) < 0) {
+    return Status::IoError(std::string("setsockopt: ") +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
 Status Client::Send(const std::string& line) {
   if (fd_ < 0) return Status::FailedPrecondition("client is closed");
   std::string framed = line;
@@ -79,32 +93,37 @@ Result<std::string> Client::RoundTrip(const std::string& line) {
 
 Result<sql::QueryResult> Client::Query(const std::string& sql,
                                        const std::string& relation,
-                                       core::AnswerMode mode) {
-  JsonValue request = JsonValue::Object();
-  request.Set("sql", JsonValue::String(sql));
-  if (!relation.empty()) {
-    request.Set("relation", JsonValue::String(relation));
-  }
-  request.Set("mode", JsonValue::String(AnswerModeWireName(mode)));
-  THEMIS_ASSIGN_OR_RETURN(std::string response, RoundTrip(request.Dump()));
+                                       core::AnswerMode mode,
+                                       uint64_t deadline_ms) {
+  WireRequest request;
+  request.verb = WireRequest::Verb::kQuery;
+  request.sql = sql;
+  request.relation = relation;
+  request.mode = mode;
+  request.deadline_ms = deadline_ms;
+  THEMIS_ASSIGN_OR_RETURN(std::string response,
+                          RoundTrip(EncodeRequest(request)));
   return DecodeResultResponse(response);
 }
 
 Result<std::vector<sql::QueryResult>> Client::QueryBatch(
-    const std::vector<std::string>& sqls, core::AnswerMode mode) {
-  JsonValue request = JsonValue::Object();
-  JsonValue batch = JsonValue::Array();
-  for (const std::string& sql : sqls) batch.Append(JsonValue::String(sql));
-  request.Set("batch", std::move(batch));
-  request.Set("mode", JsonValue::String(AnswerModeWireName(mode)));
-  THEMIS_ASSIGN_OR_RETURN(std::string response, RoundTrip(request.Dump()));
+    const std::vector<std::string>& sqls, core::AnswerMode mode,
+    uint64_t deadline_ms) {
+  WireRequest request;
+  request.verb = WireRequest::Verb::kBatch;
+  request.batch = sqls;
+  request.mode = mode;
+  request.deadline_ms = deadline_ms;
+  THEMIS_ASSIGN_OR_RETURN(std::string response,
+                          RoundTrip(EncodeRequest(request)));
   return DecodeBatchResponse(response);
 }
 
 Result<ServerStats> Client::Stats() {
-  JsonValue request = JsonValue::Object();
-  request.Set("verb", JsonValue::String("stats"));
-  THEMIS_ASSIGN_OR_RETURN(std::string response, RoundTrip(request.Dump()));
+  WireRequest request;
+  request.verb = WireRequest::Verb::kStats;
+  THEMIS_ASSIGN_OR_RETURN(std::string response,
+                          RoundTrip(EncodeRequest(request)));
   return DecodeStatsResponse(response);
 }
 

@@ -33,20 +33,31 @@ class Client {
   Client& operator=(const Client&) = delete;
   ~Client();
 
+  /// Bounds every subsequent socket read and write (SO_RCVTIMEO /
+  /// SO_SNDTIMEO) so a stalled server surfaces as IoError instead of
+  /// blocking the caller forever. 0 restores fully-blocking I/O. This is
+  /// a transport timeout, distinct from a request's `deadline_ms` (which
+  /// bounds server-side execution); set both to bound a call end-to-end.
+  Status set_timeout_ms(uint64_t timeout_ms);
+
   /// Answers one SQL query. Empty `relation` routes by the FROM table;
   /// non-empty pins the catalog relation (Catalog::QueryOn semantics).
   /// The decoded result is bitwise identical to the server-side answer
-  /// (doubles travel with 17 significant digits).
+  /// (doubles travel with 17 significant digits). `deadline_ms` > 0
+  /// sends the request with that execution budget: the server answers
+  /// kDeadlineExceeded when the budget lapses before the plan finishes.
   Result<sql::QueryResult> Query(
       const std::string& sql, const std::string& relation = "",
-      core::AnswerMode mode = core::AnswerMode::kHybrid);
+      core::AnswerMode mode = core::AnswerMode::kHybrid,
+      uint64_t deadline_ms = 0);
 
   /// Answers a batch in one round trip; rides Catalog::QueryBatch on the
   /// server, interleaving plans across relations. Results line up with
-  /// the input order.
+  /// the input order. One `deadline_ms` budget covers the whole batch.
   Result<std::vector<sql::QueryResult>> QueryBatch(
       const std::vector<std::string>& sqls,
-      core::AnswerMode mode = core::AnswerMode::kHybrid);
+      core::AnswerMode mode = core::AnswerMode::kHybrid,
+      uint64_t deadline_ms = 0);
 
   /// The STATS verb: live server counters + per-relation cache counters.
   Result<ServerStats> Stats();

@@ -2,33 +2,97 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
 #include <sys/socket.h>
-#include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
+#include <csignal>
 #include <cstring>
+#include <deque>
+#include <thread>
+#include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "simd/simd.h"
 #include "sql/executor.h"
 #include "util/cpu_topology.h"
+#include "util/eventfd.h"
 #include "util/string_util.h"
 
 namespace themis::server {
 
 namespace {
 
-/// An already-resolved response future, for answers produced inline
-/// (stats, parse errors, overload rejections) that must still flow
-/// through the per-connection FIFO so responses never reorder.
-std::future<std::string> Ready(std::string line) {
-  std::promise<std::string> promise;
-  promise.set_value(std::move(line));
-  return promise.get_future();
+/// epoll_event.data.u64 tags. Sessions use their id (>= 2).
+constexpr uint64_t kListenTag = 0;
+constexpr uint64_t kWakeTag = 1;
+
+/// Framing bound per session, matching RecvLine's: a peer streaming bytes
+/// with no newline may not grow the input buffer without limit.
+constexpr size_t kMaxBufferedBytes = 64ull << 20;
+
+/// How long a shutdown waits for unflushed responses once every admitted
+/// request has its answer: a peer that stops reading forfeits its
+/// responses after this grace instead of pinning Stop() forever.
+constexpr std::chrono::seconds kShutdownFlushGrace{10};
+
+size_t DefaultIoThreads() {
+  const size_t hw = std::max(1u, std::thread::hardware_concurrency());
+  return std::max<size_t>(1, std::min<size_t>(4, hw / 4));
 }
 
 }  // namespace
+
+/// One FIFO slot of a session: the response line once `done`, plus the
+/// cancel token the pool task polls (null for inline answers). Shared
+/// between the owning I/O thread and the pool task, and kept alive by the
+/// task even if the session closes first.
+struct QueryServer::PendingResponse {
+  std::shared_ptr<util::CancelToken> cancel;
+  std::string line;
+  std::atomic<bool> done{false};
+};
+
+/// One client connection. Only its owning I/O thread touches it.
+struct QueryServer::Session {
+  int fd = -1;
+  uint64_t id = 0;
+  /// Bytes read but not yet parsed into request lines.
+  std::string in;
+  /// Responses in request order; the completed prefix is flushable.
+  std::deque<std::shared_ptr<PendingResponse>> fifo;
+  /// The partially-written flush buffer ([out_pos, size) is unsent).
+  std::string out;
+  size_t out_pos = 0;
+  bool want_write = false;  // EPOLLOUT armed
+  bool peer_gone = false;   // read side saw EOF / error
+};
+
+/// One epoll event loop. `mu` guards only the cross-thread mailbox
+/// (incoming sockets, completed session ids, the shutdown flag);
+/// `sessions` is loop-thread-private.
+struct QueryServer::IoThread {
+  size_t index = 0;
+  int epoll_fd = -1;
+  util::EventFd wake;
+  std::thread thread;
+
+  std::mutex mu;
+  std::vector<int> incoming;
+  std::vector<uint64_t> completed;
+  bool shutdown = false;
+
+  std::unordered_map<uint64_t, std::unique_ptr<Session>> sessions;
+
+  ~IoThread() {
+    if (epoll_fd >= 0) ::close(epoll_fd);
+  }
+};
 
 QueryServer::QueryServer(const core::Catalog* catalog)
     : QueryServer(catalog, Options()) {}
@@ -44,10 +108,15 @@ QueryServer::~QueryServer() { Stop(); }
 
 Status QueryServer::Start() {
   std::lock_guard<std::mutex> lock(lifecycle_mu_);
-  if (listen_fd_ >= 0) {
+  if (listen_fd_ >= 0 || !io_.empty()) {
     return Status::FailedPrecondition("server already started");
   }
-  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  // Belt and braces with MSG_NOSIGNAL: no write to a vanished peer may
+  // kill the process.
+  ::signal(SIGPIPE, SIG_IGN);
+
+  const int fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0);
   if (fd < 0) {
     return Status::IoError(std::string("socket: ") + std::strerror(errno));
   }
@@ -64,7 +133,7 @@ Status QueryServer::Start() {
     ::close(fd);
     return status;
   }
-  if (::listen(fd, 128) < 0) {
+  if (::listen(fd, 1024) < 0) {
     const Status status =
         Status::IoError(std::string("listen: ") + std::strerror(errno));
     ::close(fd);
@@ -77,152 +146,365 @@ Status QueryServer::Start() {
     ::close(fd);
     return status;
   }
+
+  num_io_threads_ =
+      options_.io_threads > 0 ? options_.io_threads : DefaultIoThreads();
+  default_deadline_ms_ =
+      std::min(catalog_->options().default_deadline_ms, kMaxDeadlineMs);
+
+  io_.reserve(num_io_threads_);
+  for (size_t i = 0; i < num_io_threads_; ++i) {
+    auto io = std::make_unique<IoThread>();
+    io->index = i;
+    io->epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+    if (io->epoll_fd < 0 || !io->wake.valid()) {
+      io_.clear();
+      ::close(fd);
+      return Status::IoError("epoll/eventfd setup failed");
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = kWakeTag;
+    ::epoll_ctl(io->epoll_fd, EPOLL_CTL_ADD, io->wake.fd(), &ev);
+    io_.push_back(std::move(io));
+  }
+  // The listen socket lives on thread 0, edge-triggered like the
+  // sessions: one wakeup per connection burst, accepted until EAGAIN.
+  epoll_event ev{};
+  ev.events = EPOLLIN | EPOLLET;
+  ev.data.u64 = kListenTag;
+  ::epoll_ctl(io_[0]->epoll_fd, EPOLL_CTL_ADD, fd, &ev);
+
   port_ = ntohs(addr.sin_port);
   listen_fd_ = fd;
   stopping_.store(false, std::memory_order_release);
   running_.store(true, std::memory_order_release);
-  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  for (size_t i = 0; i < num_io_threads_; ++i) {
+    io_[i]->thread = std::thread([this, i] { IoLoop(i); });
+  }
   return Status::OK();
 }
 
 void QueryServer::Stop() {
   std::lock_guard<std::mutex> lock(lifecycle_mu_);
-  if (listen_fd_ < 0) return;  // never started, or already stopped
+  if (listen_fd_ < 0 && io_.empty()) return;  // never started / stopped
   stopping_.store(true, std::memory_order_release);
-  // Wake the blocked accept(); on Linux shutdown() on a listening socket
-  // makes accept() return immediately.
-  ::shutdown(listen_fd_, SHUT_RDWR);
-  if (accept_thread_.joinable()) accept_thread_.join();
-  ::close(listen_fd_);
-  listen_fd_ = -1;
-
-  // Drain every session: stop reading new requests, let the writer flush
-  // everything already admitted (it blocks on each in-flight future), and
-  // only then tear the connection down.
-  std::vector<std::unique_ptr<Session>> sessions;
+  for (const std::unique_ptr<IoThread>& io : io_) {
+    {
+      std::lock_guard<std::mutex> io_lock(io->mu);
+      io->shutdown = true;
+    }
+    io->wake.Signal();
+  }
+  // The I/O threads drain on their own: each keeps flushing until every
+  // admitted request has posted its response and every connected peer has
+  // read it (or the flush grace lapses).
+  for (const std::unique_ptr<IoThread>& io : io_) {
+    if (io->thread.joinable()) io->thread.join();
+  }
+  // Pool tasks may outlive their session (peer vanished mid-query, or the
+  // flush grace lapsed). Each touches this server and its I/O thread
+  // mailbox until its very last action, the drain-count decrement — so
+  // Stop() may not free anything before the count hits zero.
   {
-    std::lock_guard<std::mutex> sessions_lock(sessions_mu_);
-    sessions.swap(sessions_);
+    std::unique_lock<std::mutex> drain(drain_mu_);
+    drain_cv_.wait(drain, [this] { return tasks_active_ == 0; });
   }
-  for (const std::unique_ptr<Session>& session : sessions) {
-    ::shutdown(session->fd, SHUT_RD);
-  }
-  for (const std::unique_ptr<Session>& session : sessions) {
-    if (session->reader.joinable()) session->reader.join();
-    if (session->writer.joinable()) session->writer.join();
-    ::shutdown(session->fd, SHUT_WR);
-    ::close(session->fd);
+  io_.clear();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
   }
   running_.store(false, std::memory_order_release);
 }
 
-void QueryServer::AcceptLoop() {
+void QueryServer::IoLoop(size_t index) {
+  IoThread& io = *io_[index];
+  std::vector<epoll_event> events(64);
+  bool shutdown = false;
+  std::chrono::steady_clock::time_point flush_deadline{};
   for (;;) {
-    sockaddr_in addr{};
-    socklen_t len = sizeof(addr);
+    // Once shutdown is requested the loop polls: the remaining wakeups
+    // (task completions, final EPOLLOUTs) still arrive through epoll, but
+    // the flush grace needs a clock check even when nothing fires.
+    const int timeout_ms = shutdown ? 50 : -1;
+    const int n = ::epoll_wait(io.epoll_fd, events.data(),
+                               static_cast<int>(events.size()), timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const uint64_t tag = events[i].data.u64;
+      const uint32_t ev = events[i].events;
+      if (tag == kListenTag) {
+        AcceptReady(io);
+        continue;
+      }
+      if (tag == kWakeTag) {
+        io.wake.Drain();  // mailbox handled below
+        continue;
+      }
+      if (ev & EPOLLOUT) FlushSession(io, tag, shutdown);
+      if (ev & (EPOLLIN | EPOLLRDHUP | EPOLLHUP | EPOLLERR)) {
+        HandleReadable(io, tag);
+      }
+    }
+    DrainMailbox(io, &shutdown);
+    if (shutdown) {
+      if (flush_deadline == std::chrono::steady_clock::time_point{}) {
+        flush_deadline = std::chrono::steady_clock::now() +
+                         kShutdownFlushGrace;
+        // First pass: flush what is already complete; sessions with
+        // nothing in flight close immediately.
+        std::vector<uint64_t> ids;
+        ids.reserve(io.sessions.size());
+        for (const auto& [id, session] : io.sessions) ids.push_back(id);
+        for (uint64_t id : ids) FlushSession(io, id, true);
+      }
+      if (io.sessions.empty() ||
+          std::chrono::steady_clock::now() >= flush_deadline) {
+        break;
+      }
+    }
+  }
+  // Forced teardown of whatever survived the grace: cancel the work so
+  // the pool stops burning cycles for peers that will never read.
+  for (const auto& [id, session] : io.sessions) {
+    for (const std::shared_ptr<PendingResponse>& slot : session->fifo) {
+      if (slot->cancel && !slot->done.load(std::memory_order_acquire)) {
+        slot->cancel->Cancel();
+      }
+    }
+    ::close(session->fd);
+    open_sessions_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  io.sessions.clear();
+}
+
+void QueryServer::AcceptReady(IoThread& io) {
+  for (;;) {
     const int fd =
-        ::accept(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) {
       if (errno == EINTR) continue;
-      break;  // shutdown (or a fatal listen-socket error): stop accepting
+      break;  // EAGAIN (burst drained) or a fatal listen error
     }
     if (stopping_.load(std::memory_order_acquire)) {
       ::close(fd);
-      break;
-    }
-    // Bounded writes: a peer that stops reading until its TCP buffer
-    // fills would otherwise pin a writer in ::send forever — and with it
-    // Stop(), which joins writers after the drain. After the timeout the
-    // send fails, the writer treats the peer as gone, and the drain
-    // continues without it.
-    timeval send_timeout{};
-    send_timeout.tv_sec = 10;
-    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &send_timeout,
-                 sizeof(send_timeout));
-    accepted_connections_.fetch_add(1, std::memory_order_relaxed);
-    auto session = std::make_unique<Session>();
-    session->fd = fd;
-    Session* raw = session.get();
-    {
-      std::lock_guard<std::mutex> lock(sessions_mu_);
-      ReapFinishedSessions();
-      sessions_.push_back(std::move(session));
-    }
-    raw->reader = std::thread([this, raw] { ReaderLoop(raw); });
-    raw->writer = std::thread([this, raw] { WriterLoop(raw); });
-  }
-}
-
-void QueryServer::ReapFinishedSessions() {
-  for (auto it = sessions_.begin(); it != sessions_.end();) {
-    Session* session = it->get();
-    if (!session->finished.load(std::memory_order_acquire)) {
-      ++it;
       continue;
     }
-    if (session->reader.joinable()) session->reader.join();
-    if (session->writer.joinable()) session->writer.join();
-    ::close(session->fd);
-    it = sessions_.erase(it);
+    const size_t target = accepted_connections_.fetch_add(
+                              1, std::memory_order_relaxed) %
+                          num_io_threads_;
+    if (target == io.index) {
+      AdoptSocket(io, fd);
+      continue;
+    }
+    IoThread& peer = *io_[target];
+    {
+      std::lock_guard<std::mutex> peer_lock(peer.mu);
+      peer.incoming.push_back(fd);
+    }
+    peer.wake.Signal();
   }
 }
 
-void QueryServer::ReaderLoop(Session* session) {
-  std::string buffer;
-  std::string line;
-  while (RecvLine(session->fd, &buffer, &line)) {
-    if (!line.empty() && line.back() == '\r') line.pop_back();
-    if (Trim(line).empty()) continue;
-    std::future<std::string> response = HandleLine(line);
-    {
-      std::lock_guard<std::mutex> lock(session->mu);
-      session->responses.push_back(std::move(response));
-    }
-    session->cv.notify_one();
+void QueryServer::AdoptSocket(IoThread& io, int fd) {
+  // Responses are single short lines flushed as one send: never delay
+  // them behind Nagle.
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  auto session = std::make_unique<Session>();
+  session->fd = fd;
+  session->id = next_session_id_.fetch_add(1, std::memory_order_relaxed);
+  epoll_event ev{};
+  ev.events = EPOLLIN | EPOLLRDHUP | EPOLLET;
+  ev.data.u64 = session->id;
+  if (::epoll_ctl(io.epoll_fd, EPOLL_CTL_ADD, fd, &ev) < 0) {
+    ::close(fd);
+    return;
   }
+  open_sessions_.fetch_add(1, std::memory_order_relaxed);
+  io.sessions.emplace(session->id, std::move(session));
+}
+
+void QueryServer::DrainMailbox(IoThread& io, bool* shutdown) {
+  std::vector<int> incoming;
+  std::vector<uint64_t> completed;
   {
-    std::lock_guard<std::mutex> lock(session->mu);
-    session->reader_done = true;
+    std::lock_guard<std::mutex> io_lock(io.mu);
+    incoming.swap(io.incoming);
+    completed.swap(io.completed);
+    if (io.shutdown) *shutdown = true;
   }
-  session->cv.notify_one();
-}
-
-void QueryServer::WriterLoop(Session* session) {
-  bool peer_alive = true;
-  for (;;) {
-    std::future<std::string> next;
-    {
-      std::unique_lock<std::mutex> lock(session->mu);
-      session->cv.wait(lock, [session] {
-        return session->reader_done || !session->responses.empty();
-      });
-      if (session->responses.empty()) break;  // reader done and drained
-      next = std::move(session->responses.front());
-      session->responses.pop_front();
+  for (int fd : incoming) {
+    if (*shutdown) {
+      ::close(fd);
+      continue;
     }
-    // Blocks until the pool task resolves — this is what makes shutdown
-    // drain in-flight work instead of dropping it.
-    std::string response = next.get();
-    response.push_back('\n');
-    // A vanished peer doesn't abort the drain: remaining futures are
-    // still awaited so admitted work retires cleanly.
-    if (peer_alive) peer_alive = SendAll(session->fd, response);
+    AdoptSocket(io, fd);
   }
-  session->finished.store(true, std::memory_order_release);
+  for (uint64_t id : completed) FlushSession(io, id, *shutdown);
 }
 
-std::future<std::string> QueryServer::HandleLine(const std::string& line) {
+void QueryServer::HandleReadable(IoThread& io, uint64_t session_id) {
+  auto it = io.sessions.find(session_id);
+  if (it == io.sessions.end()) return;
+  Session& session = *it->second;
+  bool framing_abuse = false;
+  for (;;) {  // edge-triggered: drain until EAGAIN
+    char chunk[16384];
+    const ssize_t n = ::recv(session.fd, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      session.in.append(chunk, static_cast<size_t>(n));
+      if (session.in.size() > kMaxBufferedBytes) {
+        framing_abuse = true;
+        break;
+      }
+      continue;
+    }
+    if (n == 0) {
+      session.peer_gone = true;
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    session.peer_gone = true;  // ECONNRESET and friends
+    break;
+  }
+  if (framing_abuse) {
+    for (const std::shared_ptr<PendingResponse>& slot : session.fifo) {
+      if (slot->cancel && !slot->done.load(std::memory_order_acquire)) {
+        slot->cancel->Cancel();
+      }
+    }
+    CloseSession(io, session_id);
+    return;
+  }
+  // Requests already in flight when the peer disconnects are cancelled;
+  // the lines delivered together with the close (including a final
+  // unterminated one) are still parsed and answered below — the
+  // distinction between abandoning work and a half-closing client that
+  // still reads its answers.
+  const size_t inflight_before_eof =
+      session.peer_gone ? session.fifo.size() : 0;
+  if (!stopping_.load(std::memory_order_acquire)) {
+    size_t newline;
+    while ((newline = session.in.find('\n')) != std::string::npos) {
+      std::string line = session.in.substr(0, newline);
+      session.in.erase(0, newline + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (Trim(line).empty()) continue;
+      HandleLine(io, session, line);
+    }
+    if (session.peer_gone && !session.in.empty()) {
+      std::string line = std::move(session.in);
+      session.in.clear();
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (!Trim(line).empty()) HandleLine(io, session, line);
+    }
+  }
+  if (session.peer_gone) {
+    const size_t limit = std::min(inflight_before_eof, session.fifo.size());
+    for (size_t i = 0; i < limit; ++i) {
+      const std::shared_ptr<PendingResponse>& slot = session.fifo[i];
+      if (slot->cancel && !slot->done.load(std::memory_order_acquire)) {
+        slot->cancel->Cancel();
+      }
+    }
+  }
+  FlushSession(io, session_id, stopping_.load(std::memory_order_acquire));
+}
+
+void QueryServer::FlushSession(IoThread& io, uint64_t session_id,
+                               bool stopping) {
+  auto it = io.sessions.find(session_id);
+  if (it == io.sessions.end()) return;
+  Session& session = *it->second;
+  bool blocked = false;
+  for (;;) {
+    if (session.out_pos == session.out.size()) {
+      session.out.clear();
+      session.out_pos = 0;
+      // Refill from the FIFO's completed prefix — responses leave in
+      // request order no matter which finished first.
+      while (!session.fifo.empty() &&
+             session.fifo.front()->done.load(std::memory_order_acquire)) {
+        session.out += session.fifo.front()->line;
+        session.out.push_back('\n');
+        session.fifo.pop_front();
+      }
+      if (session.out.empty()) break;  // nothing flushable right now
+    }
+    const ssize_t n =
+        ::send(session.fd, session.out.data() + session.out_pos,
+               session.out.size() - session.out_pos, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        blocked = true;  // partial write: EPOLLOUT continues it
+        break;
+      }
+      // EPIPE/ECONNRESET: nothing can be delivered — stop the work.
+      session.peer_gone = true;
+      for (const std::shared_ptr<PendingResponse>& slot : session.fifo) {
+        if (slot->cancel && !slot->done.load(std::memory_order_acquire)) {
+          slot->cancel->Cancel();
+        }
+      }
+      CloseSession(io, session_id);
+      return;
+    }
+    session.out_pos += static_cast<size_t>(n);
+  }
+  if (blocked != session.want_write) {
+    session.want_write = blocked;
+    epoll_event ev{};
+    ev.data.u64 = session.id;
+    ev.events = EPOLLIN | EPOLLRDHUP | EPOLLET |
+                (blocked ? EPOLLOUT : 0u);
+    ::epoll_ctl(io.epoll_fd, EPOLL_CTL_MOD, session.fd, &ev);
+  }
+  const bool drained = !blocked && session.fifo.empty();
+  if (drained && (session.peer_gone || stopping)) {
+    // Graceful close: the kernel still delivers what was just written.
+    CloseSession(io, session_id);
+  }
+}
+
+void QueryServer::CloseSession(IoThread& io, uint64_t session_id) {
+  auto it = io.sessions.find(session_id);
+  if (it == io.sessions.end()) return;
+  ::close(it->second->fd);  // close() also removes the fd from epoll
+  io.sessions.erase(it);
+  open_sessions_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void QueryServer::HandleLine(IoThread& io, Session& session,
+                             const std::string& line) {
+  // Inline answers still enter the FIFO (already resolved) so responses
+  // never reorder around in-flight pool work on the same session.
+  const auto push_inline = [&session](std::string response) {
+    auto slot = std::make_shared<PendingResponse>();
+    slot->line = std::move(response);
+    slot->done.store(true, std::memory_order_release);
+    session.fifo.push_back(std::move(slot));
+  };
+
   auto request = ParseRequest(line);
   if (!request.ok()) {
     // Answered inline, never admitted: served_ok/served_error count only
     // admitted requests, so admitted == served_ok + served_error +
     // inflight stays an invariant for monitors.
-    return Ready(EncodeErrorResponse(request.status()));
+    push_inline(EncodeErrorResponse(request.status()));
+    return;
   }
   // STATS bypasses admission control and the pool: it answers inline from
   // counters, so overload stays observable while it is happening.
   if (request->verb == WireRequest::Verb::kStats) {
-    return Ready(ExecuteStats());
+    push_inline(ExecuteStats());
+    return;
   }
   // Admission control: claim an in-flight slot or bounce. The slot covers
   // the request from here until its pool task finishes.
@@ -242,25 +524,57 @@ std::future<std::string> QueryServer::HandleLine(const std::string& line) {
   }
   if (!admitted) {
     rejected_overload_.fetch_add(1, std::memory_order_relaxed);
-    return Ready(EncodeErrorResponse(Status::ResourceExhausted(
+    push_inline(EncodeErrorResponse(Status::ResourceExhausted(
         "server overloaded: " + std::to_string(max_inflight_) +
         " requests already in flight")));
+    return;
   }
   admitted_.fetch_add(1, std::memory_order_relaxed);
-  return catalog_->pool()->Submit(
-      [this, request = std::move(*request)]() mutable {
-        std::string response;
-        try {
-          if (options_.request_hook) options_.request_hook();
-          response = ExecuteRequest(request);
-        } catch (...) {
-          served_error_.fetch_add(1, std::memory_order_relaxed);
-          response = EncodeErrorResponse(
-              Status::Internal("request task threw an exception"));
-        }
-        inflight_.fetch_sub(1, std::memory_order_acq_rel);
-        return response;
-      });
+
+  // The deadline budget starts now, at admission — queue time on the pool
+  // counts against it.
+  const uint64_t deadline_ms =
+      request->deadline_ms > 0 ? request->deadline_ms : default_deadline_ms_;
+  auto slot = std::make_shared<PendingResponse>();
+  slot->cancel = std::make_shared<util::CancelToken>(
+      std::min(deadline_ms, kMaxDeadlineMs));
+  session.fifo.push_back(slot);
+
+  {
+    std::lock_guard<std::mutex> drain(drain_mu_);
+    ++tasks_active_;
+  }
+  const size_t io_index = io.index;
+  const uint64_t session_id = session.id;
+  catalog_->pool()->Submit([this, io_index, session_id, slot,
+                            request = std::move(*request)]() mutable {
+    std::string response;
+    try {
+      if (options_.request_hook) options_.request_hook();
+      response = ExecuteRequest(request, slot->cancel.get());
+    } catch (...) {
+      served_error_.fetch_add(1, std::memory_order_relaxed);
+      response = EncodeErrorResponse(
+          Status::Internal("request task threw an exception"));
+    }
+    inflight_.fetch_sub(1, std::memory_order_acq_rel);
+    slot->line = std::move(response);
+    slot->done.store(true, std::memory_order_release);
+    // Post the completion back to the owning I/O thread for the flush.
+    IoThread& owner = *io_[io_index];
+    {
+      std::lock_guard<std::mutex> owner_lock(owner.mu);
+      owner.completed.push_back(session_id);
+    }
+    owner.wake.Signal();
+    // Very last action: release the drain count. After this the server
+    // may be torn down, so nothing below may touch `this`.
+    {
+      std::lock_guard<std::mutex> drain(drain_mu_);
+      --tasks_active_;
+      drain_cv_.notify_all();
+    }
+  });
 }
 
 namespace {
@@ -276,24 +590,28 @@ Status AsWireStatus(const Status& status) {
 
 }  // namespace
 
-std::string QueryServer::ExecuteRequest(const WireRequest& request) {
-  if (request.verb == WireRequest::Verb::kBatch) {
-    auto results = catalog_->QueryBatch(request.batch, request.mode);
-    if (!results.ok()) {
-      served_error_.fetch_add(1, std::memory_order_relaxed);
-      return EncodeErrorResponse(AsWireStatus(results.status()));
+std::string QueryServer::ExecuteRequest(const WireRequest& request,
+                                        const util::CancelToken* cancel) {
+  const auto fail = [this](const Status& status) {
+    served_error_.fetch_add(1, std::memory_order_relaxed);
+    if (status.code() == StatusCode::kDeadlineExceeded) {
+      served_deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+    } else if (status.code() == StatusCode::kCancelled) {
+      served_cancelled_.fetch_add(1, std::memory_order_relaxed);
     }
+    return EncodeErrorResponse(AsWireStatus(status));
+  };
+  if (request.verb == WireRequest::Verb::kBatch) {
+    auto results = catalog_->QueryBatch(request.batch, request.mode, cancel);
+    if (!results.ok()) return fail(results.status());
     served_ok_.fetch_add(1, std::memory_order_relaxed);
     return EncodeBatchResponse(*results);
   }
   auto result = request.relation.empty()
-                    ? catalog_->Query(request.sql, request.mode)
+                    ? catalog_->Query(request.sql, request.mode, cancel)
                     : catalog_->QueryOn(request.relation, request.sql,
-                                        request.mode);
-  if (!result.ok()) {
-    served_error_.fetch_add(1, std::memory_order_relaxed);
-    return EncodeErrorResponse(AsWireStatus(result.status()));
-  }
+                                        request.mode, cancel);
+  if (!result.ok()) return fail(result.status());
   served_ok_.fetch_add(1, std::memory_order_relaxed);
   return EncodeResultResponse(*result);
 }
@@ -324,21 +642,20 @@ ServerCounters QueryServer::counters() const {
   ServerCounters counters;
   counters.accepted_connections =
       accepted_connections_.load(std::memory_order_relaxed);
-  {
-    std::lock_guard<std::mutex> lock(sessions_mu_);
-    for (const std::unique_ptr<Session>& session : sessions_) {
-      if (!session->finished.load(std::memory_order_acquire)) {
-        ++counters.active_connections;
-      }
-    }
-  }
+  counters.active_connections =
+      open_sessions_.load(std::memory_order_relaxed);
   counters.admitted = admitted_.load(std::memory_order_relaxed);
   counters.served_ok = served_ok_.load(std::memory_order_relaxed);
   counters.served_error = served_error_.load(std::memory_order_relaxed);
+  counters.served_deadline_exceeded =
+      served_deadline_exceeded_.load(std::memory_order_relaxed);
+  counters.served_cancelled =
+      served_cancelled_.load(std::memory_order_relaxed);
   counters.rejected_overload =
       rejected_overload_.load(std::memory_order_relaxed);
   counters.inflight = inflight_.load(std::memory_order_acquire);
   counters.max_inflight = max_inflight_;
+  counters.io_threads = num_io_threads_;
   return counters;
 }
 

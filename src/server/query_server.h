@@ -4,17 +4,15 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <functional>
-#include <future>
 #include <memory>
 #include <mutex>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "core/catalog.h"
 #include "server/wire.h"
+#include "util/cancel.h"
 #include "util/status.h"
 
 namespace themis::server {
@@ -26,28 +24,46 @@ namespace themis::server {
 HostStats HostStatsNow();
 
 /// The async serving front-end: a TCP query server that turns a built
-/// core::Catalog into a network service. One accept thread hands each
-/// connection a session; a session's requests are parsed off the socket
-/// and enqueued as whole plan tasks via util::ThreadPool::Submit on the
-/// catalog's shared pool, so distinct clients' queries execute
-/// concurrently (and nest freely with the per-plan K-executor and
-/// sharded-scan fan-outs — one pool, no oversubscription). Batched
-/// requests ride Catalog::QueryBatch, interleaving plans across
-/// relations.
+/// core::Catalog into a network service.
 ///
-/// Protocol: line-delimited JSON (see wire.h). One request line yields
-/// exactly one response line, in request order per connection —
-/// pipelining is allowed and responses never reorder.
+/// Sessions are multiplexed over a small fixed set of epoll event-loop
+/// threads (Options::io_threads) instead of a reader/writer thread pair
+/// per connection: each I/O thread owns its sockets edge-triggered,
+/// parses line-delimited requests out of a per-session input buffer, and
+/// submits each admitted request as a whole plan task via
+/// util::ThreadPool::Submit on the catalog's shared pool — so distinct
+/// clients' queries execute concurrently (and nest freely with the
+/// per-plan K-executor and sharded-scan fan-outs — one pool, no
+/// oversubscription) while thousands of idle connections cost no threads
+/// at all. Completed responses are posted back to the owning I/O thread
+/// through an eventfd wakeup and flushed from a per-session FIFO with
+/// partial-write continuation (EPOLLOUT is armed only while a flush is
+/// blocked), so one request line yields exactly one response line, in
+/// request order per connection — pipelining is allowed and responses
+/// never reorder.
+///
+/// Deadlines and cancellation: a request's `deadline_ms` wire field (or,
+/// absent that, ThemisOptions::default_deadline_ms) starts its budget at
+/// admission; the serving layer threads a util::CancelToken through
+/// Catalog::Query into the executor shard loops, so an expired request
+/// unwinds cooperatively and answers kDeadlineExceeded instead of
+/// finishing the plan. A client that disconnects mid-query fires the
+/// same token and the abandoned work unwinds as kCancelled; cancelled
+/// queries never return partial aggregates — a token that does not fire
+/// leaves the answer bitwise identical to the in-process Query().
 ///
 /// Admission control: at most `max_inflight` requests may be queued or
 /// executing on the pool across all connections; beyond that, requests
 /// are rejected immediately with ResourceExhausted instead of queueing
 /// without bound. The STATS verb bypasses admission (it answers inline
-/// from counters) so overload stays observable while it is happening.
+/// from counters on the I/O thread) so overload stays observable while
+/// it is happening.
 ///
-/// Shutdown is graceful: Stop() closes the listening socket, stops
-/// reading new requests, lets every already-admitted request finish on
-/// the pool, writes its response, and only then closes the connections.
+/// Shutdown is graceful: Stop() stops accepting and reading, lets every
+/// already-admitted request finish on the pool, flushes its response to
+/// every still-connected peer, and only then closes the sessions (a peer
+/// that stops reading forfeits its responses after a bounded flush
+/// grace).
 ///
 /// The catalog must outlive the server, and catalog mutations
 /// (Insert*/Build*/DropRelation) must not race a running server — the
@@ -62,9 +78,16 @@ class QueryServer {
     /// Overrides ThemisOptions::max_inflight when positive.
     size_t max_inflight = 0;
 
+    /// Epoll event-loop threads; 0 resolves to
+    /// max(1, min(4, hardware_concurrency / 4)) — the I/O side needs few
+    /// threads even at thousands of connections, and leaving the rest of
+    /// the machine to the executor pool is the point.
+    size_t io_threads = 0;
+
     /// Test-only: runs inside every admitted request's pool task before
     /// the query executes. Lets tests hold slots open deterministically
-    /// (admission control, drain-on-shutdown) without timing races.
+    /// (admission control, drain-on-shutdown, deadline expiry) without
+    /// timing races.
     std::function<void()> request_hook;
   };
 
@@ -75,13 +98,15 @@ class QueryServer {
   QueryServer(const QueryServer&) = delete;
   QueryServer& operator=(const QueryServer&) = delete;
 
-  /// Binds, listens, and starts the accept loop. IoError when the socket
+  /// Binds, listens, and starts the I/O threads. IoError when the socket
   /// cannot be created or bound; FailedPrecondition when already started.
+  /// Ignores SIGPIPE process-wide (every write also passes MSG_NOSIGNAL;
+  /// the ignore covers any other fd the process writes to a dead peer).
   Status Start();
 
   /// Graceful shutdown: stop accepting, stop reading, drain in-flight
-  /// requests (their responses are still written), join every thread,
-  /// close every socket. Idempotent.
+  /// requests (their responses are still flushed to connected peers),
+  /// join every I/O thread, close every socket. Idempotent.
   void Stop();
 
   bool running() const { return running_.load(std::memory_order_acquire); }
@@ -90,65 +115,81 @@ class QueryServer {
   /// Start().
   uint16_t port() const { return port_; }
 
+  /// The resolved I/O thread count; 0 before Start().
+  size_t io_threads() const { return num_io_threads_; }
+
   /// Live server counters (the server half of the STATS verb).
   ServerCounters counters() const;
 
  private:
-  /// One client connection. The reader thread parses request lines and
-  /// pushes one response future per request; the writer thread pops them
-  /// FIFO and writes each response line as it resolves — request order in,
-  /// response order out, even with pipelined clients.
-  struct Session {
-    int fd = -1;
-    std::thread reader;
-    std::thread writer;
-    std::mutex mu;
-    std::condition_variable cv;
-    std::deque<std::future<std::string>> responses;
-    bool reader_done = false;
-    /// Set by the writer as its last action; the accept loop reaps
-    /// finished sessions so long-lived servers do not accumulate them.
-    std::atomic<bool> finished{false};
-  };
+  struct PendingResponse;  // one FIFO slot: cancel token + response line
+  struct Session;          // one connection, owned by one I/O thread
+  struct IoThread;         // epoll fd + wakeup + mailbox + sessions
 
-  void AcceptLoop();
-  void ReaderLoop(Session* session);
-  void WriterLoop(Session* session);
+  void IoLoop(size_t index);
+  /// Accepts until EAGAIN (listen fd is edge-triggered on thread 0) and
+  /// hands each socket to an I/O thread round-robin.
+  void AcceptReady(IoThread& io);
+  /// Registers one accepted socket with `io` as a fresh session.
+  void AdoptSocket(IoThread& io, int fd);
+  /// Adopts mailbox sockets, flushes sessions with newly-completed
+  /// responses, and observes the shutdown flag.
+  void DrainMailbox(IoThread& io, bool* shutdown);
+  /// Edge-triggered read: drains the socket, parses complete lines,
+  /// dispatches each; on EOF cancels the requests already in flight
+  /// (the lines delivered with the close are still answered).
+  void HandleReadable(IoThread& io, uint64_t session_id);
+  /// Writes as much of the FIFO's completed prefix as the socket takes,
+  /// arming EPOLLOUT for the remainder; closes the session when it is
+  /// drained and the peer is gone (or the server is stopping).
+  void FlushSession(IoThread& io, uint64_t session_id, bool stopping);
+  void CloseSession(IoThread& io, uint64_t session_id);
 
-  /// Admission control + dispatch for one parsed line: returns the future
-  /// that will hold the response line (already resolved for inline
-  /// answers: stats, parse errors, overload rejections).
-  std::future<std::string> HandleLine(const std::string& line);
+  /// Admission control + dispatch for one parsed line on the owning I/O
+  /// thread: inline answers (stats, parse errors, overload rejections)
+  /// enter the FIFO already resolved; admitted requests get a cancel
+  /// token and a pool task that posts back through the mailbox.
+  void HandleLine(IoThread& io, Session& session, const std::string& line);
 
   /// Executes one admitted request on the calling (pool) thread.
-  std::string ExecuteRequest(const WireRequest& request);
+  std::string ExecuteRequest(const WireRequest& request,
+                             const util::CancelToken* cancel);
 
   /// STATS verb: server counters + per-relation catalog stats, inline.
   std::string ExecuteStats();
 
-  /// Joins and erases sessions whose writer has finished (locked).
-  void ReapFinishedSessions();
-
   const core::Catalog* catalog_;
   Options options_;
   size_t max_inflight_ = 0;
+  size_t num_io_threads_ = 0;
+  /// ThemisOptions::default_deadline_ms, latched at Start().
+  uint64_t default_deadline_ms_ = 0;
 
   int listen_fd_ = -1;
   uint16_t port_ = 0;
-  std::thread accept_thread_;
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
   /// Serializes Start/Stop (the destructor races nothing, but tests may
   /// Stop() explicitly before destruction).
   std::mutex lifecycle_mu_;
 
-  mutable std::mutex sessions_mu_;
-  std::vector<std::unique_ptr<Session>> sessions_;
+  std::vector<std::unique_ptr<IoThread>> io_;
+  std::atomic<uint64_t> next_session_id_{2};  // 0/1 tag listen/wake
+
+  /// Pool tasks still referencing this server. Stop() may not return
+  /// while any exist: each task decrements the count as its very last
+  /// action, after posting its response to the mailbox.
+  std::mutex drain_mu_;
+  std::condition_variable drain_cv_;
+  size_t tasks_active_ = 0;
 
   std::atomic<size_t> accepted_connections_{0};
+  std::atomic<size_t> open_sessions_{0};
   std::atomic<size_t> admitted_{0};
   std::atomic<size_t> served_ok_{0};
   std::atomic<size_t> served_error_{0};
+  std::atomic<size_t> served_deadline_exceeded_{0};
+  std::atomic<size_t> served_cancelled_{0};
   std::atomic<size_t> rejected_overload_{0};
   std::atomic<size_t> inflight_{0};
 };

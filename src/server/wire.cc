@@ -2,6 +2,7 @@
 
 #include <sys/socket.h>
 
+#include <algorithm>
 #include <cctype>
 #include <cerrno>
 #include <cmath>
@@ -381,9 +382,12 @@ JsonValue CountersToJson(const ServerCounters& counters) {
   set("admitted", counters.admitted);
   set("served_ok", counters.served_ok);
   set("served_error", counters.served_error);
+  set("served_deadline_exceeded", counters.served_deadline_exceeded);
+  set("served_cancelled", counters.served_cancelled);
   set("rejected_overload", counters.rejected_overload);
   set("inflight", counters.inflight);
   set("max_inflight", counters.max_inflight);
+  set("io_threads", counters.io_threads);
   return object;
 }
 
@@ -477,6 +481,8 @@ JsonValue RelationStatsToJson(const core::RelationStats& stats) {
   set_counter("join_probe_rows", executor.join_probe_rows);
   set_counter("filter_kernel_rows", executor.filter_kernel_rows);
   set_counter("gather_kernel_rows", executor.gather_kernel_rows);
+  set_counter("shards_executed", executor.shards_executed);
+  set_counter("queries_cancelled", executor.queries_cancelled);
   exec.Set("simd_backend", JsonValue::String(executor.simd_backend));
   object.Set("executor", std::move(exec));
   return object;
@@ -520,6 +526,9 @@ core::RelationStats RelationStatsFromJson(const JsonValue& json) {
         CounterFrom(*executor, "filter_kernel_rows");
     stats.executor.gather_kernel_rows =
         CounterFrom(*executor, "gather_kernel_rows");
+    stats.executor.shards_executed = CounterFrom(*executor, "shards_executed");
+    stats.executor.queries_cancelled =
+        CounterFrom(*executor, "queries_cancelled");
     stats.executor.simd_backend = StringFrom(*executor, "simd_backend");
   }
   return stats;
@@ -667,6 +676,18 @@ Result<WireRequest> ParseRequest(const std::string& line) {
     }
     request.relation = relation->string_value();
   }
+  if (const JsonValue* deadline = json.Find("deadline_ms")) {
+    if (!deadline->is_number() || !std::isfinite(deadline->number_value()) ||
+        deadline->number_value() < 0) {
+      return Status::InvalidArgument(
+          "'deadline_ms' must be a non-negative finite number");
+    }
+    const double ms = deadline->number_value();
+    request.deadline_ms =
+        ms >= static_cast<double>(kMaxDeadlineMs)
+            ? kMaxDeadlineMs
+            : static_cast<uint64_t>(ms);  // fractional ms truncate
+  }
 
   const JsonValue* sql = json.Find("sql");
   const JsonValue* batch = json.Find("batch");
@@ -698,6 +719,36 @@ Result<WireRequest> ParseRequest(const std::string& line) {
         "by their FROM tables");
   }
   return request;
+}
+
+std::string EncodeRequest(const WireRequest& request) {
+  JsonValue json = JsonValue::Object();
+  switch (request.verb) {
+    case WireRequest::Verb::kStats:
+      json.Set("verb", JsonValue::String("stats"));
+      return json.Dump();
+    case WireRequest::Verb::kQuery:
+      json.Set("sql", JsonValue::String(request.sql));
+      if (!request.relation.empty()) {
+        json.Set("relation", JsonValue::String(request.relation));
+      }
+      break;
+    case WireRequest::Verb::kBatch: {
+      JsonValue batch = JsonValue::Array();
+      for (const std::string& sql : request.batch) {
+        batch.Append(JsonValue::String(sql));
+      }
+      json.Set("batch", std::move(batch));
+      break;
+    }
+  }
+  json.Set("mode", JsonValue::String(AnswerModeWireName(request.mode)));
+  if (request.deadline_ms > 0) {
+    json.Set("deadline_ms", JsonValue::Number(static_cast<double>(
+                                std::min(request.deadline_ms,
+                                         kMaxDeadlineMs))));
+  }
+  return json.Dump();
 }
 
 // --- Responses --------------------------------------------------------
@@ -773,6 +824,10 @@ bool SendAll(int fd, const std::string& data) {
         ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
     if (n <= 0) {
       if (n < 0 && errno == EINTR) continue;
+      // Everything else — EPIPE/ECONNRESET from a vanished peer, and
+      // EAGAIN/EWOULDBLOCK when a blocking socket's SO_SNDTIMEO expires —
+      // fails the write instead of retrying, so a dead or stalled peer
+      // can never wedge the caller.
       return false;
     }
     sent += static_cast<size_t>(n);
@@ -824,10 +879,14 @@ Result<ServerStats> DecodeStatsResponse(const std::string& line) {
     stats.server.admitted = CounterFrom(*server, "admitted");
     stats.server.served_ok = CounterFrom(*server, "served_ok");
     stats.server.served_error = CounterFrom(*server, "served_error");
+    stats.server.served_deadline_exceeded =
+        CounterFrom(*server, "served_deadline_exceeded");
+    stats.server.served_cancelled = CounterFrom(*server, "served_cancelled");
     stats.server.rejected_overload =
         CounterFrom(*server, "rejected_overload");
     stats.server.inflight = CounterFrom(*server, "inflight");
     stats.server.max_inflight = CounterFrom(*server, "max_inflight");
+    stats.server.io_threads = CounterFrom(*server, "io_threads");
   }
   if (const JsonValue* host = body->Find("host")) {
     stats.host = HostStatsFromJson(*host);

@@ -73,6 +73,12 @@ class JsonValue {
 const char* AnswerModeWireName(core::AnswerMode mode);
 Result<core::AnswerMode> AnswerModeFromWireName(const std::string& name);
 
+/// Upper bound on a request's `deadline_ms`: one year. Larger values
+/// clamp here instead of failing — a client asking for an absurd budget
+/// means "effectively no deadline", and the clamp keeps the absolute
+/// deadline arithmetic far from time_point overflow.
+inline constexpr uint64_t kMaxDeadlineMs = 365ull * 24 * 60 * 60 * 1000;
+
 /// One parsed client request. The wire form is a single-line JSON object:
 ///
 ///   {"sql": "SELECT ...", "relation": "flights", "mode": "hybrid"}
@@ -82,6 +88,9 @@ Result<core::AnswerMode> AnswerModeFromWireName(const std::string& name);
 /// `relation` (optional) bypasses FROM-routing via Catalog::QueryOn —
 /// required when relations share a SQL table name. `mode` defaults to
 /// hybrid. `verb` defaults to "query"; "stats" takes no other fields.
+/// `deadline_ms` (optional, query/batch) is the request's execution
+/// budget in milliseconds from admission; 0 or absent defers to the
+/// server's ThemisOptions::default_deadline_ms.
 struct WireRequest {
   enum class Verb { kQuery, kBatch, kStats };
   Verb verb = Verb::kQuery;
@@ -89,26 +98,44 @@ struct WireRequest {
   std::vector<std::string> batch;  // kBatch
   std::string relation;            // kQuery only; empty = FROM-routed
   core::AnswerMode mode = core::AnswerMode::kHybrid;
+  /// 0 = no per-request deadline (server default applies, if any).
+  uint64_t deadline_ms = 0;
 };
 
 /// Parses one request line. InvalidArgument on malformed JSON, an unknown
-/// verb/mode, a non-string sql, or a request with both `sql` and `batch`.
+/// verb/mode, a non-string sql, a request with both `sql` and `batch`, or
+/// a `deadline_ms` that is not a non-negative finite number (values above
+/// kMaxDeadlineMs clamp rather than fail).
 Result<WireRequest> ParseRequest(const std::string& line);
+
+/// The client half: serializes `request` to its one-line wire form
+/// (inverse of ParseRequest, used by server::Client and the round-trip
+/// tests).
+std::string EncodeRequest(const WireRequest& request);
 
 /// Server-side counters reported by the STATS verb.
 struct ServerCounters {
   size_t accepted_connections = 0;
+  /// Sessions currently registered with an I/O thread (open sockets,
+  /// including ones draining in-flight responses after a disconnect).
   size_t active_connections = 0;
   /// Requests admitted past admission control (includes still-running).
   size_t admitted = 0;
   /// Admitted requests that completed with an OK / error answer.
   size_t served_ok = 0;
   size_t served_error = 0;
+  /// Subsets of served_error: requests that unwound cooperatively with
+  /// kDeadlineExceeded (budget lapsed) / kCancelled (client disconnected
+  /// mid-query).
+  size_t served_deadline_exceeded = 0;
+  size_t served_cancelled = 0;
   /// Requests bounced with ResourceExhausted by admission control.
   size_t rejected_overload = 0;
   /// Requests currently queued or executing on the pool.
   size_t inflight = 0;
   size_t max_inflight = 0;
+  /// Epoll event-loop threads owning the sessions (fixed at Start()).
+  size_t io_threads = 0;
 };
 
 /// Host capability snapshot reported by the STATS verb: the probed cache
@@ -150,9 +177,13 @@ Result<std::vector<sql::QueryResult>> DecodeBatchResponse(
     const std::string& line);
 Result<ServerStats> DecodeStatsResponse(const std::string& line);
 
-/// Line framing over a socket, shared by server sessions and the client.
-/// SendAll writes the whole buffer (EINTR-retrying, MSG_NOSIGNAL so a
-/// vanished peer is an error, not SIGPIPE); false when the peer is gone.
+/// Line framing over a socket, shared by the blocking client (and any
+/// blocking caller; the epoll server has its own non-blocking flush
+/// path). SendAll writes the whole buffer: EINTR retries, MSG_NOSIGNAL so
+/// a vanished peer is an error rather than a process-killing SIGPIPE, and
+/// EAGAIN/EWOULDBLOCK — a blocking socket's SO_SNDTIMEO expiring, or a
+/// non-blocking fd passed in by mistake — returns false instead of
+/// spinning, so a dead peer can never wedge the writer.
 bool SendAll(int fd, const std::string& data);
 
 /// Reads the next '\n'-terminated line (newline stripped) into `line`,

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstdlib>
 #include <limits>
+#include <mutex>
 #include <numeric>
 #include <sstream>
 #include <utility>
@@ -800,6 +801,39 @@ size_t AccumulateRows(const VecContext& ctx, WideGroups& groups,
   return 0;
 }
 
+/// Shared cancellation state of one execution: the per-shard poll point
+/// of cooperative cancellation. Shards call Admit() before doing work —
+/// the first shard to observe a fired token records its status (under a
+/// mutex, so TSan-clean) and flips the relaxed fast-path flag; every
+/// later shard then skips its body without re-polling the clock. A null
+/// token makes Admit() a single relaxed load.
+struct CancelScope {
+  const util::CancelToken* token = nullptr;
+  std::atomic<bool> fired{false};
+  std::mutex mu;
+  Status status = Status::OK();
+
+  bool Admit() {
+    if (token == nullptr) return true;
+    if (fired.load(std::memory_order_relaxed)) return false;
+    Status now = token->Check();
+    if (now.ok()) return true;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      if (status.ok()) status = std::move(now);
+    }
+    fired.store(true, std::memory_order_relaxed);
+    return false;
+  }
+
+  /// The recorded failure, once every shard has retired (no concurrent
+  /// Admit racing the read).
+  Status TakeStatus() {
+    std::lock_guard<std::mutex> lock(mu);
+    return status;
+  }
+};
+
 /// Single-table GROUP BY scan. Sequential execution (pool-less or small
 /// table) chunks rows only to bound the selection buffer — accumulation
 /// stays in global row order into `out`, exactly like the reference's
@@ -810,7 +844,7 @@ template <typename GroupsT>
 void ScanSingleTable(const VecContext& ctx, const BoundQuery& q,
                      util::ThreadPool* pool, size_t kShardRows,
                      size_t group_reserve, GroupsT& out,
-                     ExecutorStats& stats) {
+                     ExecutorStats& stats, CancelScope& cancel) {
   const data::Table& t0 = *q.tables[0].table;
   const size_t num_rows = t0.num_rows();
   const double* weights = t0.weights().data();
@@ -825,11 +859,13 @@ void ScanSingleTable(const VecContext& ctx, const BoundQuery& q,
     }
     std::vector<ExecutorStats> shard_stats(num_shards);
     pool->ParallelFor(0, num_shards, [&](size_t s) {
+      if (!cancel.Admit()) return;
       const size_t lo = s * kShardRows;
       const size_t hi = std::min(num_rows, lo + kShardRows);
       std::vector<uint32_t> sel;
       VecScratch scratch;
       ExecutorStats& local = shard_stats[s];
+      local.shards_executed += 1;
       BuildSelection(ctx, 0, lo, hi, sel, local.filter_kernel_rows);
       local.rows_passed += sel.size();
       local.gather_kernel_rows += AccumulateRows(
@@ -842,7 +878,9 @@ void ScanSingleTable(const VecContext& ctx, const BoundQuery& q,
     VecScratch scratch;
     sel.reserve(std::min(num_rows, kShardRows));
     for (size_t lo = 0; lo < num_rows; lo += kShardRows) {
+      if (!cancel.Admit()) return;
       const size_t hi = std::min(num_rows, lo + kShardRows);
+      stats.shards_executed += 1;
       BuildSelection(ctx, 0, lo, hi, sel, stats.filter_kernel_rows);
       stats.rows_passed += sel.size();
       stats.gather_kernel_rows +=
@@ -968,7 +1006,8 @@ struct WideJoinKey {
 template <typename JoinT, typename GroupsT>
 void JoinTables(const VecContext& ctx, const BoundQuery& q,
                 const JoinT& join, util::ThreadPool* pool, size_t kShardRows,
-                size_t group_reserve, GroupsT& out, ExecutorStats& stats) {
+                size_t group_reserve, GroupsT& out, ExecutorStats& stats,
+                CancelScope& cancel) {
   const data::Table& t0 = *q.tables[0].table;
   const data::Table& t1 = *q.tables[1].table;
   const double* w0 = t0.weights().data();
@@ -983,11 +1022,13 @@ void JoinTables(const VecContext& ctx, const BoundQuery& q,
     std::vector<typename JoinT::Map> shard_maps(num_shards);
     std::vector<ExecutorStats> shard_stats(num_shards);
     pool->ParallelFor(0, num_shards, [&](size_t s) {
+      if (!cancel.Admit()) return;
       const size_t lo = s * kShardRows;
       const size_t hi = std::min(build_rows, lo + kShardRows);
       std::vector<uint32_t> sel;
       std::vector<uint64_t> keybuf;
       ExecutorStats& local = shard_stats[s];
+      local.shards_executed += 1;
       BuildSelection(ctx, 0, lo, hi, sel, local.filter_kernel_rows);
       local.rows_passed += sel.size();
       local.join_build_rows += sel.size();
@@ -1005,7 +1046,9 @@ void JoinTables(const VecContext& ctx, const BoundQuery& q,
     std::vector<uint32_t> sel;
     std::vector<uint64_t> keybuf;
     for (size_t lo = 0; lo < build_rows; lo += kShardRows) {
+      if (!cancel.Admit()) return;
       const size_t hi = std::min(build_rows, lo + kShardRows);
+      stats.shards_executed += 1;
       BuildSelection(ctx, 0, lo, hi, sel, stats.filter_kernel_rows);
       stats.rows_passed += sel.size();
       stats.join_build_rows += sel.size();
@@ -1049,7 +1092,9 @@ void JoinTables(const VecContext& ctx, const BoundQuery& q,
     }
     std::vector<ExecutorStats> shard_stats(num_shards);
     pool->ParallelFor(0, num_shards, [&](size_t s) {
+      if (!cancel.Admit()) return;
       const size_t lo = s * kShardRows;
+      shard_stats[s].shards_executed += 1;
       probe_range(shard_groups[s], lo, std::min(probe_rows, lo + kShardRows),
                   shard_stats[s]);
     });
@@ -1057,6 +1102,8 @@ void JoinTables(const VecContext& ctx, const BoundQuery& q,
     for (const ExecutorStats& s : shard_stats) stats += s;
   } else {
     for (size_t lo = 0; lo < probe_rows; lo += kShardRows) {
+      if (!cancel.Admit()) return;
+      stats.shards_executed += 1;
       probe_range(out, lo, std::min(probe_rows, lo + kShardRows), stats);
     }
   }
@@ -1121,7 +1168,7 @@ QueryResult MaterializeGroups(const GroupsT& groups, const BoundQuery& q) {
 
 QueryResult ExecuteVectorized(const BoundQuery& q, const simd::Kernels& k,
                               util::ThreadPool* pool, size_t kShardRows,
-                              ExecutorStats& stats) {
+                              ExecutorStats& stats, CancelScope& cancel) {
   VecContext ctx;
   ctx.kernels = &k;
   ctx.stride = 1 + 2 * q.agg_items.size();
@@ -1177,11 +1224,13 @@ QueryResult ExecuteVectorized(const BoundQuery& q, const simd::Kernels& k,
   if (q.tables.size() == 1) {
     if (ctx.group_packed) {
       PackedGroups groups(ctx, group_reserve);
-      ScanSingleTable(ctx, q, pool, kShardRows, group_reserve, groups, stats);
+      ScanSingleTable(ctx, q, pool, kShardRows, group_reserve, groups, stats,
+                      cancel);
       return MaterializeGroups(groups, q);
     }
     WideGroups groups(ctx, group_reserve);
-    ScanSingleTable(ctx, q, pool, kShardRows, group_reserve, groups, stats);
+    ScanSingleTable(ctx, q, pool, kShardRows, group_reserve, groups, stats,
+                    cancel);
     return MaterializeGroups(groups, q);
   }
 
@@ -1208,11 +1257,12 @@ QueryResult ExecuteVectorized(const BoundQuery& q, const simd::Kernels& k,
     if (ctx.group_packed) {
       PackedGroups groups(ctx, group_reserve);
       JoinTables(ctx, q, join, pool, kShardRows, group_reserve, groups,
-                 stats);
+                 stats, cancel);
       return MaterializeGroups(groups, q);
     }
     WideGroups groups(ctx, group_reserve);
-    JoinTables(ctx, q, join, pool, kShardRows, group_reserve, groups, stats);
+    JoinTables(ctx, q, join, pool, kShardRows, group_reserve, groups, stats,
+               cancel);
     return MaterializeGroups(groups, q);
   };
   if (jcodec.packable()) {
@@ -1300,14 +1350,26 @@ void Executor::RegisterTable(const std::string& name,
 
 Result<QueryResult> Executor::Query(const std::string& sql,
                                     util::ThreadPool* pool,
-                                    size_t shard_rows) const {
+                                    size_t shard_rows,
+                                    const util::CancelToken* cancel) const {
   THEMIS_ASSIGN_OR_RETURN(SelectStatement stmt, Parse(sql));
-  return Execute(stmt, pool, shard_rows);
+  return Execute(stmt, pool, shard_rows, cancel);
 }
 
 Result<QueryResult> Executor::Execute(const SelectStatement& stmt,
                                       util::ThreadPool* pool,
-                                      size_t shard_rows) const {
+                                      size_t shard_rows,
+                                      const util::CancelToken* cancel) const {
+  // Entry poll: an already-expired deadline (or a disconnected client)
+  // unwinds before any shard runs, so small unsharded queries still honor
+  // cancellation deterministically.
+  {
+    Status admit = util::CheckCancel(cancel);
+    if (!admit.ok()) {
+      counters_->queries_cancelled.fetch_add(1, std::memory_order_relaxed);
+      return admit;
+    }
+  }
   THEMIS_ASSIGN_OR_RETURN(BoundQuery q, Bind(stmt, catalog_));
   const size_t kShardRows =
       ResolvedShardRowsFor(q, shard_rows, env_shard_rows_);
@@ -1332,8 +1394,10 @@ Result<QueryResult> Executor::Execute(const SelectStatement& stmt,
     }
   }
   ExecutorStats local;
+  CancelScope scope;
+  scope.token = cancel;
   QueryResult result = ExecuteVectorized(q, *kernels_, pool, kShardRows,
-                                         local);
+                                         local, scope);
   local.groups_emitted = result.rows.size();
   counters_->rows_scanned.fetch_add(local.rows_scanned,
                                     std::memory_order_relaxed);
@@ -1349,6 +1413,14 @@ Result<QueryResult> Executor::Execute(const SelectStatement& stmt,
                                           std::memory_order_relaxed);
   counters_->gather_kernel_rows.fetch_add(local.gather_kernel_rows,
                                           std::memory_order_relaxed);
+  counters_->shards_executed.fetch_add(local.shards_executed,
+                                       std::memory_order_relaxed);
+  if (scope.fired.load(std::memory_order_relaxed)) {
+    // Partial aggregates from the shards that did run are discarded — a
+    // cancelled query answers with its status, never an incomplete table.
+    counters_->queries_cancelled.fetch_add(1, std::memory_order_relaxed);
+    return scope.TakeStatus();
+  }
   return result;
 }
 
@@ -1377,6 +1449,10 @@ ExecutorStats Executor::stats() const {
       counters_->filter_kernel_rows.load(std::memory_order_relaxed);
   s.gather_kernel_rows =
       counters_->gather_kernel_rows.load(std::memory_order_relaxed);
+  s.shards_executed =
+      counters_->shards_executed.load(std::memory_order_relaxed);
+  s.queries_cancelled =
+      counters_->queries_cancelled.load(std::memory_order_relaxed);
   return s;
 }
 

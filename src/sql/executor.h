@@ -12,6 +12,7 @@
 #include "data/table.h"
 #include "simd/simd.h"
 #include "sql/ast.h"
+#include "util/cancel.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -95,6 +96,14 @@ struct ExecutorStats {
   /// Selected rows batched through the gather/pack kernels (group-key
   /// packing, join-key build, probe-code gather).
   uint64_t gather_kernel_rows = 0;
+  /// Shards (pooled) / chunks (sequential) whose scan, join-build, or
+  /// join-probe body actually ran. A cancelled query executes fewer
+  /// shards than its layout calls for — the observable the cancellation
+  /// tests assert on.
+  uint64_t shards_executed = 0;
+  /// Executions that unwound early with kCancelled / kDeadlineExceeded
+  /// instead of finishing the plan.
+  uint64_t queries_cancelled = 0;
 
   ExecutorStats& operator+=(const ExecutorStats& other) {
     if (simd_backend.empty()) simd_backend = other.simd_backend;
@@ -105,6 +114,8 @@ struct ExecutorStats {
     join_probe_rows += other.join_probe_rows;
     filter_kernel_rows += other.filter_kernel_rows;
     gather_kernel_rows += other.gather_kernel_rows;
+    shards_executed += other.shards_executed;
+    queries_cancelled += other.queries_cancelled;
     return *this;
   }
 };
@@ -143,7 +154,8 @@ class Executor {
   /// Parses and executes `sql`.
   Result<QueryResult> Query(const std::string& sql,
                             util::ThreadPool* pool = nullptr,
-                            size_t shard_rows = 0) const;
+                            size_t shard_rows = 0,
+                            const util::CancelToken* cancel = nullptr) const;
 
   /// Executes a parsed statement. With a pool, large single-table scans,
   /// the build side of large hash joins, and hash-join probes are sharded
@@ -153,15 +165,25 @@ class Executor {
   /// order, so the result is bitwise identical for every pool size
   /// (including a 1-thread pool); only the pool-less call takes the
   /// unsharded path, whose float summation order differs.
+  ///
+  /// `cancel` (optional) is polled once on entry and once per shard/chunk
+  /// in the scan, join-build, and join-probe loops: a fired token makes
+  /// the remaining shards no-ops and the call returns the token's
+  /// kCancelled / kDeadlineExceeded status instead of a partial answer.
+  /// Completed answers are unaffected — a token that never fires leaves
+  /// the execution (and its bitwise result) identical to passing nullptr.
   Result<QueryResult> Execute(const SelectStatement& stmt,
                               util::ThreadPool* pool = nullptr,
-                              size_t shard_rows = 0) const;
+                              size_t shard_rows = 0,
+                              const util::CancelToken* cancel = nullptr) const;
 
   /// The retained row-at-a-time reference implementation (the
   /// pre-vectorization executor, kept verbatim): label-string group and
   /// join keys in ordered maps, per-row temporaries. Differential tests
   /// and bench_executor check the vectorized path is bitwise identical to
-  /// — and measure its speedup over — this path. Does not update stats().
+  /// — and measure its speedup over — this path. Does not update stats()
+  /// and does not poll any cancel token (it is the oracle, never the
+  /// serving path).
   Result<QueryResult> ExecuteReference(const SelectStatement& stmt,
                                        util::ThreadPool* pool = nullptr,
                                        size_t shard_rows = 0) const;
@@ -180,6 +202,8 @@ class Executor {
     std::atomic<uint64_t> join_probe_rows{0};
     std::atomic<uint64_t> filter_kernel_rows{0};
     std::atomic<uint64_t> gather_kernel_rows{0};
+    std::atomic<uint64_t> shards_executed{0};
+    std::atomic<uint64_t> queries_cancelled{0};
   };
 
   std::unordered_map<std::string, const data::Table*> catalog_;

@@ -1,0 +1,74 @@
+#ifndef THEMIS_UTIL_CANCEL_H_
+#define THEMIS_UTIL_CANCEL_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "util/status.h"
+
+namespace themis {
+namespace util {
+
+/// Cooperative cancellation handle for a single request. The serving layer
+/// constructs one per admitted request (optionally with an absolute
+/// deadline); the executor polls `Check()` once per shard/chunk in its hot
+/// loops and unwinds with kCancelled / kDeadlineExceeded when it fires.
+///
+/// Thread-safety: `Cancel()` and `Check()` may race freely (the flag is a
+/// single atomic). The deadline is immutable after construction, so readers
+/// never synchronize on it.
+class CancelToken {
+ public:
+  /// A token with no deadline; fires only via Cancel().
+  CancelToken() = default;
+
+  /// A token that also expires `deadline_ms` milliseconds from now.
+  /// `deadline_ms == 0` means no deadline.
+  explicit CancelToken(uint64_t deadline_ms) {
+    if (deadline_ms > 0) {
+      has_deadline_ = true;
+      deadline_ = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(deadline_ms);
+    }
+  }
+
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Marks the token cancelled (e.g. the client disconnected). Idempotent.
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// OK while the request should keep running. Explicit cancellation wins
+  /// over deadline expiry so a disconnected client reports kCancelled even
+  /// when its deadline has also lapsed.
+  Status Check() const {
+    if (cancelled_.load(std::memory_order_relaxed)) {
+      return Status::Cancelled("request cancelled");
+    }
+    if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
+      return Status::DeadlineExceeded("request deadline exceeded");
+    }
+    return Status::OK();
+  }
+
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_{};
+};
+
+/// Null-safe poll: the executor threads a `const CancelToken*` that is
+/// nullptr for in-process callers with no deadline.
+inline Status CheckCancel(const CancelToken* token) {
+  return token == nullptr ? Status::OK() : token->Check();
+}
+
+}  // namespace util
+}  // namespace themis
+
+#endif  // THEMIS_UTIL_CANCEL_H_

@@ -1,0 +1,44 @@
+#include "util/eventfd.h"
+
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+
+namespace themis {
+namespace util {
+
+EventFd::EventFd() {
+  fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+}
+
+EventFd::~EventFd() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void EventFd::Signal() {
+  if (fd_ < 0) return;
+  const uint64_t one = 1;
+  for (;;) {
+    ssize_t n = ::write(fd_, &one, sizeof(one));
+    if (n >= 0) return;
+    if (errno == EINTR) continue;
+    // EAGAIN: counter is at max — a wakeup is already pending.
+    return;
+  }
+}
+
+void EventFd::Drain() {
+  if (fd_ < 0) return;
+  uint64_t value = 0;
+  for (;;) {
+    ssize_t n = ::read(fd_, &value, sizeof(value));
+    if (n >= 0) return;
+    if (errno == EINTR) continue;
+    return;  // EAGAIN: already drained.
+  }
+}
+
+}  // namespace util
+}  // namespace themis

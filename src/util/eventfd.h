@@ -1,0 +1,40 @@
+#ifndef THEMIS_UTIL_EVENTFD_H_
+#define THEMIS_UTIL_EVENTFD_H_
+
+namespace themis {
+namespace util {
+
+/// RAII wrapper over a non-blocking Linux eventfd, used by the epoll
+/// serving loop as a cross-thread wakeup: pool threads `Signal()` when a
+/// response becomes flushable, the owning I/O thread `Drain()`s the counter
+/// when the epoll wait reports the fd readable.
+class EventFd {
+ public:
+  /// Creates the eventfd (EFD_NONBLOCK | EFD_CLOEXEC). `valid()` reports
+  /// failure instead of throwing.
+  EventFd();
+  ~EventFd();
+
+  EventFd(const EventFd&) = delete;
+  EventFd& operator=(const EventFd&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Adds 1 to the counter, waking any epoll wait watching the fd.
+  /// Safe from any thread; EINTR is retried, EAGAIN (counter saturated)
+  /// is ignored — the pending wakeup already guarantees delivery.
+  void Signal();
+
+  /// Resets the counter to zero. Called by the owning thread once the
+  /// wakeup has been observed.
+  void Drain();
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace util
+}  // namespace themis
+
+#endif  // THEMIS_UTIL_EVENTFD_H_

@@ -28,6 +28,10 @@ const char* StatusCodeName(StatusCode code) {
       return "IoError";
     case StatusCode::kResourceExhausted:
       return "ResourceExhausted";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
 }
@@ -40,6 +44,7 @@ StatusCode StatusCodeFromName(const std::string& name) {
       StatusCode::kNotConverged, StatusCode::kParseError,
       StatusCode::kInternal,     StatusCode::kUnimplemented,
       StatusCode::kIoError,      StatusCode::kResourceExhausted,
+      StatusCode::kDeadlineExceeded, StatusCode::kCancelled,
   };
   for (StatusCode code : kCodes) {
     if (name == StatusCodeName(code)) return code;

@@ -23,6 +23,8 @@ enum class StatusCode {
   kUnimplemented,
   kIoError,
   kResourceExhausted,
+  kDeadlineExceeded,
+  kCancelled,
 };
 
 /// Returns a human-readable name for a status code ("InvalidArgument", ...).
@@ -75,6 +77,12 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -8,6 +8,8 @@
 // control, and graceful drain-on-shutdown.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <future>
 #include <memory>
 #include <string>
@@ -435,6 +437,114 @@ TEST_F(ServerTest, GracefulShutdownDrainsInflightRequests) {
   ExpectBitwiseEqual(*decoded, *expected, "drained");
 }
 
+/// Deadline determinism: with one pool thread and one I/O thread, a
+/// hook-stalled query whose 1 ms budget lapses while it waits answers
+/// kDeadlineExceeded, while the unstalled query pipelined behind it on
+/// the same session still succeeds — and the responses arrive in request
+/// order. No sleeps on the pass path; the only timed wait is the one
+/// that guarantees the deadline has lapsed.
+TEST_F(ServerTest, DeadlineExpiredRequestAnswersDeadlineExceeded) {
+  auto db = MakeDb(FastOptions(1));  // serial pool: task order is FIFO
+  std::promise<void> release;
+  std::shared_future<void> released = release.get_future().share();
+  auto first = std::make_shared<std::atomic<bool>>(true);
+  QueryServer::Options options;
+  options.io_threads = 1;
+  // One-shot latch: only the first admitted request (the deadline one,
+  // by pool FIFO order) stalls; everything behind it runs normally.
+  options.request_hook = [released, first] {
+    if (first->exchange(false)) released.wait();
+  };
+  QueryServer server(&db->catalog(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto client = Client::Connect(server.port());
+  ASSERT_TRUE(client.ok());
+  const std::string stalled = "SELECT date, COUNT(*) FROM flights GROUP BY date";
+  const std::string quick = "SELECT kind, COUNT(*) FROM shops GROUP BY kind";
+  ASSERT_TRUE(
+      client->Send("{\"sql\": \"" + stalled + "\", \"deadline_ms\": 1}").ok());
+  ASSERT_TRUE(client->Send("{\"sql\": \"" + quick + "\"}").ok());
+  while (server.counters().inflight < 1) std::this_thread::yield();
+  // The stalled request is parked in the hook; outlive its 1 ms budget,
+  // then let it run into the expired token.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  release.set_value();
+
+  auto response1 = client->Receive();
+  ASSERT_TRUE(response1.ok()) << response1.status().ToString();
+  auto decoded1 = DecodeResultResponse(*response1);
+  EXPECT_EQ(decoded1.status().code(), StatusCode::kDeadlineExceeded)
+      << *response1;
+  EXPECT_NE(response1->find("\"DeadlineExceeded\""), std::string::npos)
+      << *response1;
+
+  // FIFO held: the second response is the second request's, and its
+  // missing deadline_ms (with no server default) means no budget at all.
+  auto response2 = client->Receive();
+  ASSERT_TRUE(response2.ok());
+  auto decoded2 = DecodeResultResponse(*response2);
+  ASSERT_TRUE(decoded2.ok()) << *response2;
+  auto expected = db->Query(quick);
+  ASSERT_TRUE(expected.ok());
+  ExpectBitwiseEqual(*decoded2, *expected, quick);
+
+  auto stats = client->Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->server.served_deadline_exceeded, 1u);
+  EXPECT_EQ(stats->server.served_error, 1u);
+  EXPECT_EQ(stats->server.served_ok, 1u);
+  EXPECT_EQ(stats->server.served_cancelled, 0u);
+  server.Stop();
+}
+
+/// A client that disconnects mid-query fires the request's cancel token:
+/// the abandoned work unwinds as kCancelled (served_cancelled counts it)
+/// instead of running to completion. The EOF-processed handshake is
+/// deterministic: with one I/O thread, two full STATS round trips after
+/// the close guarantee the loop has handled the holder's EPOLLRDHUP.
+TEST_F(ServerTest, DisconnectMidQueryCancelsExecution) {
+  auto db = MakeDb(FastOptions(1));
+  std::promise<void> release;
+  std::shared_future<void> released = release.get_future().share();
+  auto first = std::make_shared<std::atomic<bool>>(true);
+  QueryServer::Options options;
+  options.io_threads = 1;
+  options.request_hook = [released, first] {
+    if (first->exchange(false)) released.wait();
+  };
+  QueryServer server(&db->catalog(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  {
+    auto holder = Client::Connect(server.port());
+    ASSERT_TRUE(holder.ok());
+    ASSERT_TRUE(
+        holder->Send("{\"sql\": \"SELECT COUNT(*) FROM flights\"}").ok());
+    while (server.counters().inflight < 1) std::this_thread::yield();
+    // ~holder closes the socket with the request still executing.
+  }
+  auto observer = Client::Connect(server.port());
+  ASSERT_TRUE(observer.ok());
+  ASSERT_TRUE(observer->Stats().ok());
+  ASSERT_TRUE(observer->Stats().ok());  // EOF definitely processed now
+  release.set_value();
+
+  for (;;) {
+    auto stats = observer->Stats();
+    ASSERT_TRUE(stats.ok());
+    ASSERT_EQ(stats->server.served_ok, 0u);  // never ran to completion
+    if (stats->server.served_cancelled >= 1) {
+      EXPECT_EQ(stats->server.served_cancelled, 1u);
+      EXPECT_EQ(stats->server.served_error, 1u);
+      EXPECT_EQ(stats->server.served_deadline_exceeded, 0u);
+      break;
+    }
+    std::this_thread::yield();
+  }
+  server.Stop();
+}
+
 /// JSON round-trip fidelity: escapes, unicode, and 17-digit doubles.
 TEST(WireTest, JsonRoundTrip) {
   const std::string text =
@@ -492,6 +602,75 @@ TEST(WireTest, RequestParsing) {
   EXPECT_FALSE(ParseRequest("{\"sql\": \"a\", \"verb\": \"put\"}").ok());
   EXPECT_EQ(ParseRequest("not json").status().code(),
             StatusCode::kInvalidArgument);
+}
+
+/// deadline_ms over the wire: missing and zero both mean "no per-request
+/// deadline", absurd values clamp instead of failing, malformed values
+/// are the client's mistake, and EncodeRequest/ParseRequest round-trip.
+TEST(WireTest, DeadlineRoundTrip) {
+  // Missing -> 0 (server default applies).
+  auto missing = ParseRequest("{\"sql\": \"SELECT 1\"}");
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(missing->deadline_ms, 0u);
+
+  // Explicit zero is the same as missing.
+  auto zero = ParseRequest("{\"sql\": \"SELECT 1\", \"deadline_ms\": 0}");
+  ASSERT_TRUE(zero.ok());
+  EXPECT_EQ(zero->deadline_ms, 0u);
+
+  auto plain = ParseRequest("{\"sql\": \"SELECT 1\", \"deadline_ms\": 250}");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain->deadline_ms, 250u);
+
+  // Fractional milliseconds truncate; batches carry deadlines too.
+  auto fractional =
+      ParseRequest("{\"batch\": [\"a\"], \"deadline_ms\": 12.9}");
+  ASSERT_TRUE(fractional.ok());
+  EXPECT_EQ(fractional->deadline_ms, 12u);
+
+  // Absurdly large budgets clamp to the one-year ceiling, keeping the
+  // absolute-deadline arithmetic far from time_point overflow.
+  auto absurd =
+      ParseRequest("{\"sql\": \"SELECT 1\", \"deadline_ms\": 1e30}");
+  ASSERT_TRUE(absurd.ok());
+  EXPECT_EQ(absurd->deadline_ms, kMaxDeadlineMs);
+
+  // Negative, NaN-ish, and non-number values are InvalidArgument.
+  EXPECT_EQ(
+      ParseRequest("{\"sql\": \"a\", \"deadline_ms\": -1}").status().code(),
+      StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      ParseRequest("{\"sql\": \"a\", \"deadline_ms\": \"5\"}").status().code(),
+      StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      ParseRequest("{\"sql\": \"a\", \"deadline_ms\": null}").status().code(),
+      StatusCode::kInvalidArgument);
+
+  // EncodeRequest is ParseRequest's inverse: a deadline survives the
+  // round trip, and 0 is omitted from the wire form entirely.
+  WireRequest request;
+  request.verb = WireRequest::Verb::kQuery;
+  request.sql = "SELECT COUNT(*) FROM flights";
+  request.relation = "flights";
+  request.mode = AnswerMode::kBnOnly;
+  request.deadline_ms = 750;
+  auto round = ParseRequest(EncodeRequest(request));
+  ASSERT_TRUE(round.ok());
+  EXPECT_EQ(round->sql, request.sql);
+  EXPECT_EQ(round->relation, request.relation);
+  EXPECT_EQ(round->mode, request.mode);
+  EXPECT_EQ(round->deadline_ms, 750u);
+  request.deadline_ms = 0;
+  EXPECT_EQ(EncodeRequest(request).find("deadline_ms"), std::string::npos);
+
+  // The new status codes cross the wire by name and decode back.
+  for (const Status& status :
+       {Status::DeadlineExceeded("too slow"), Status::Cancelled("gone")}) {
+    const std::string line = EncodeErrorResponse(status);
+    auto decoded = DecodeResultResponse(line);
+    EXPECT_EQ(decoded.status().code(), status.code()) << line;
+    EXPECT_EQ(decoded.status().message(), status.message());
+  }
 }
 
 }  // namespace

@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
+#include <thread>
 
 #include "sql/executor.h"
 #include "sql/lexer.h"
@@ -303,6 +305,73 @@ TEST(ExecutorShardingTest, ShardedScanMatchesSequentialAcrossPoolSizes) {
       }
     }
   }
+}
+
+/// Cooperative cancellation in the sharded scan: an un-fired token leaves
+/// the answer bitwise identical and counts every shard; a fired token
+/// unwinds with kCancelled / kDeadlineExceeded before scanning (never a
+/// partial aggregate), shards_executed stays short of the total, and
+/// queries_cancelled counts each unwound query. Explicit cancellation
+/// wins over an expired deadline.
+TEST(ExecutorShardingTest, CancelledQueryUnwindsWithoutPartialAggregates) {
+  auto schema = std::make_shared<data::Schema>();
+  schema->AddAttribute("g", {"a", "b", "c", "d"});
+  schema->AddAttribute("v", {"1", "2", "3"});
+  data::Table table(schema);
+  for (size_t r = 0; r < 20000; ++r) {
+    table.AppendRow({static_cast<data::ValueCode>(r % 4),
+                     static_cast<data::ValueCode>((r / 7) % 3)});
+    table.set_weight(r, static_cast<double>(r % 5) + 0.5);
+  }
+  Executor executor;
+  executor.RegisterTable("t", &table);
+  const std::string sql = "SELECT g, COUNT(*), SUM(v) FROM t GROUP BY g";
+  util::ThreadPool pool(4);
+  constexpr size_t kShardRows = 1000;  // 20000 rows -> 20 shards
+
+  auto expected = executor.Query(sql, &pool, kShardRows);
+  ASSERT_TRUE(expected.ok());
+  const uint64_t baseline_shards = executor.stats().shards_executed;
+  EXPECT_EQ(baseline_shards, 20u);
+
+  // An un-fired token is invisible: bitwise-identical answer, every
+  // shard executed, nothing counted as cancelled.
+  util::CancelToken idle;
+  auto with_token = executor.Query(sql, &pool, kShardRows, &idle);
+  ASSERT_TRUE(with_token.ok());
+  ASSERT_EQ(with_token->rows.size(), expected->rows.size());
+  for (size_t i = 0; i < expected->rows.size(); ++i) {
+    EXPECT_EQ(with_token->rows[i].group, expected->rows[i].group);
+    EXPECT_EQ(with_token->rows[i].values, expected->rows[i].values);
+  }
+  EXPECT_EQ(executor.stats().shards_executed, 2 * baseline_shards);
+  EXPECT_EQ(executor.stats().queries_cancelled, 0u);
+
+  // Fired before entry: kCancelled, zero further shards executed — far
+  // fewer than the 20 a completed query scans — and no partial result.
+  util::CancelToken fired;
+  fired.Cancel();
+  auto cancelled = executor.Query(sql, &pool, kShardRows, &fired);
+  EXPECT_EQ(cancelled.status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(executor.stats().shards_executed, 2 * baseline_shards);
+  EXPECT_EQ(executor.stats().queries_cancelled, 1u);
+
+  // An already-lapsed deadline unwinds with kDeadlineExceeded.
+  util::CancelToken expired(1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  auto late = executor.Query(sql, &pool, kShardRows, &expired);
+  EXPECT_EQ(late.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(executor.stats().queries_cancelled, 2u);
+
+  // A disconnected client whose deadline also lapsed reports kCancelled:
+  // explicit cancellation wins.
+  expired.Cancel();
+  auto both = executor.Query(sql, &pool, kShardRows, &expired);
+  EXPECT_EQ(both.status().code(), StatusCode::kCancelled);
+
+  // The sequential (pool-less) chunk loop polls the same token.
+  auto sequential = executor.Query(sql, nullptr, kShardRows, &fired);
+  EXPECT_EQ(sequential.status().code(), StatusCode::kCancelled);
 }
 
 /// A hash join whose probe side exceeds 2x the shard size: the build side

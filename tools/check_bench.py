@@ -6,11 +6,16 @@ Usage:
 
 Both files are snapshots written by `bench_executor --json` or
 `bench_serving --json`. Only the metrics in each file's "gate" object are
-compared — those are speedup ratios (higher is better), chosen over
-wall-clock numbers precisely so the gate survives runner speed changes.
-A gate metric that dropped more than `tolerance` (default 20%) below the
-baseline fails the check; everything else — including new metrics absent
-from the baseline — is reported but passes.
+compared. Metrics are higher-is-better ratios (speedups, q/s) unless the
+key ends in `_ms`, which marks a lower-is-better latency: those fail when
+they rise more than `--ms-tolerance` (default 300%) above the baseline.
+The latency headroom is deliberately generous — absolute milliseconds
+vary across runners far more than ratios do, and the gate exists to catch
+order-of-magnitude regressions (a lost epoll wakeup, a serialization
+stall), not scheduler noise. A higher-is-better metric that dropped more
+than `tolerance` (default 20%) below the baseline fails the check;
+everything else — including new metrics absent from the baseline — is
+reported but passes.
 
 Exit code 0 when every shared gate metric is within tolerance, 1 on any
 regression, 2 on malformed input.
@@ -47,6 +52,10 @@ def main():
     parser.add_argument("--tolerance", type=float, default=0.20,
                         help="allowed fractional drop below the baseline "
                              "(default 0.20 = 20%%)")
+    parser.add_argument("--ms-tolerance", type=float, default=3.0,
+                        help="allowed fractional rise above the baseline "
+                             "for *_ms latency metrics (default 3.0 = "
+                             "300%%)")
     args = parser.parse_args()
 
     base_name, baseline = load_gate(args.baseline)
@@ -67,6 +76,16 @@ def main():
                             f"missing from current run")
             continue
         base, cur = float(baseline[metric]), float(current[metric])
+        if metric.endswith("_ms"):
+            ceiling = base * (1.0 + args.ms_tolerance)
+            status = "OK  " if cur <= ceiling else "FAIL"
+            print(f"  {status} {metric}: baseline {base:.3f}, "
+                  f"current {cur:.3f} (ceiling {ceiling:.3f})")
+            if cur > ceiling:
+                failures.append(f"{metric}: {cur:.3f} > {ceiling:.3f} "
+                                f"({args.ms_tolerance:.0%} above baseline "
+                                f"{base:.3f})")
+            continue
         floor = base * (1.0 - args.tolerance)
         status = "OK  " if cur >= floor else "FAIL"
         print(f"  {status} {metric}: baseline {base:.3f}, current {cur:.3f} "
