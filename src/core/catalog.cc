@@ -281,6 +281,57 @@ Result<sql::QueryResult> Catalog::QueryOn(const std::string& relation,
   return entry->evaluator->Query(sql, mode, cancel);
 }
 
+std::vector<Result<sql::QueryResult>> Catalog::QueryMany(
+    std::span<const QueryItem> items) const {
+  // Per-item route + plan with per-item fault isolation: one bad request
+  // records its error in its own slot and its batch-mates still run.
+  std::vector<Result<sql::QueryResult>> results(
+      items.size(), Result<sql::QueryResult>(Status::Internal("not run")));
+  std::vector<const HybridEvaluator*> evaluators(items.size(), nullptr);
+  std::vector<QueryPlanPtr> plans(items.size());
+  for (size_t i = 0; i < items.size(); ++i) {
+    const QueryItem& item = items[i];
+    std::string route = item.relation;
+    if (route.empty()) {
+      auto from = RouteFor(item.sql);
+      if (!from.ok()) {
+        results[i] = from.status();
+        continue;
+      }
+      route = std::move(*from);
+    }
+    auto entry = FindBuilt(route);
+    if (!entry.ok()) {
+      results[i] = entry.status();
+      continue;
+    }
+    auto plan = (*entry)->evaluator->Plan(item.sql);
+    if (!plan.ok()) {
+      results[i] = plan.status();
+      continue;
+    }
+    evaluators[i] = (*entry)->evaluator.get();
+    plans[i] = std::move(*plan);
+  }
+  // Whole plans are pool tasks, exactly as in QueryBatch; duplicate items
+  // inside one micro-batch coalesce through the evaluator's single-flight
+  // layer like any other concurrent duplicates.
+  pool_->ParallelFor(0, items.size(), [&](size_t i) {
+    if (plans[i] == nullptr) return;  // planning already failed
+    results[i] =
+        evaluators[i]->ExecutePlan(*plans[i], items[i].mode, items[i].cancel);
+  });
+  return results;
+}
+
+void Catalog::SetCoalescingEnabled(bool enabled) const {
+  for (const auto& [name, relation] : relations_) {
+    if (relation.evaluator != nullptr) {
+      relation.evaluator->set_coalescing_enabled(enabled);
+    }
+  }
+}
+
 Result<std::vector<sql::QueryResult>> Catalog::QueryBatch(
     std::span<const std::string> sqls, AnswerMode mode,
     const util::CancelToken* cancel) const {

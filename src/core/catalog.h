@@ -172,6 +172,34 @@ class Catalog {
       AnswerMode mode = AnswerMode::kHybrid,
       const util::CancelToken* cancel = nullptr) const;
 
+  /// One request of a QueryMany micro-batch — the server-side analogue of
+  /// a QueryBatch entry, with per-item routing, mode, and cancellation.
+  struct QueryItem {
+    std::string sql;
+    /// Explicitly pinned relation (Catalog::QueryOn semantics); empty
+    /// routes by the FROM table.
+    std::string relation;
+    AnswerMode mode = AnswerMode::kHybrid;
+    const util::CancelToken* cancel = nullptr;
+  };
+
+  /// Executes a micro-batch of independent requests with per-item fault
+  /// isolation: unlike QueryBatch (one client's batch — all-or-nothing),
+  /// each item carries its own route/plan/execution outcome, so one
+  /// malformed query or expired deadline never fails its batch-mates.
+  /// Plans run as one ParallelFor over the shared pool; each answer is
+  /// bitwise identical to the same request through Query/QueryOn. How the
+  /// serving layer submits the N>1 requests of one epoll drain pass as a
+  /// single pool task.
+  std::vector<Result<sql::QueryResult>> QueryMany(
+      std::span<const QueryItem> items) const;
+
+  /// Forwards set_coalescing_enabled to every built relation's evaluator —
+  /// the run-time toggle for single-flight query coalescing (answers are
+  /// bitwise identical either way; the serving bench measures the
+  /// uncoalesced baseline through this).
+  void SetCoalescingEnabled(bool enabled) const;
+
   /// Point-query convenience against a named relation: COUNT(*) WHERE
   /// attr1=v1 AND ... by attribute name.
   Result<double> PointQuery(

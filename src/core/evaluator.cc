@@ -60,6 +60,7 @@ HybridEvaluator::HybridEvaluator(const ThemisModel* model,
                                        : sql::ShardRowsEnvOverride();
   result_memo_enabled_ = options.enable_result_memo;
   result_memo_cost_aware_ = options.result_memo_bytes > 0;
+  single_flight_supported_ = options.enable_single_flight;
   result_memo_ =
       LruCache<std::string, std::shared_ptr<const sql::QueryResult>>(
           result_memo_cost_aware_ ? options.result_memo_bytes
@@ -277,17 +278,36 @@ Result<sql::QueryResult> HybridEvaluator::ExecutePlan(
     }
     if (hit != nullptr) return *hit;
   }
-  auto result = ExecutePlanUncached(plan, mode, cancel);
-  if (memoizable && result.ok()) {
-    // Two threads racing the same cold plan both compute and publish the
-    // same deterministic answer; the second Put overwrites in place.
-    auto shared = std::make_shared<const sql::QueryResult>(*result);
-    const size_t cost =
-        result_memo_cost_aware_ ? ApproxResultBytes(*shared) : 1;
-    std::lock_guard<std::mutex> lock(memo_mu_);
-    result_memo_.Put(key, std::move(shared), cost);
+  // Compute-and-publish for one uncached execution. Runs under `exec` —
+  // the caller's own token on the direct path, the flight's collective
+  // token under single-flight — and fills the memo on success so the
+  // value outlives the flight.
+  const auto compute =
+      [this, &plan, mode,
+       &key](const util::CancelToken* exec) -> Result<sql::QueryResult> {
+    if (uncached_execute_hook_) uncached_execute_hook_();
+    auto result = ExecutePlanUncached(plan, mode, exec);
+    if (!key.empty() && result.ok()) {
+      // Two executions racing the same cold plan both compute and publish
+      // the same deterministic answer; the second Put overwrites in place.
+      auto shared = std::make_shared<const sql::QueryResult>(*result);
+      const size_t cost =
+          result_memo_cost_aware_ ? ApproxResultBytes(*shared) : 1;
+      std::lock_guard<std::mutex> lock(memo_mu_);
+      result_memo_.Put(key, std::move(shared), cost);
+    }
+    return result;
+  };
+  // Single-flight closes the window the memo cannot: a thundering herd of
+  // identical requests arriving before the first completes. The herd's
+  // first request leads one execution, the rest attach as followers and
+  // share the value; followers whose own deadline fires detach without
+  // cancelling the leader, and a cancelled leader's execution survives as
+  // long as a follower still wants it (see util/single_flight.h).
+  if (memoizable && coalescing_enabled()) {
+    return flights_.Run(key, cancel, compute);
   }
-  return result;
+  return compute(cancel);
 }
 
 sql::ExecutorStats HybridEvaluator::executor_stats() const {
@@ -299,15 +319,21 @@ sql::ExecutorStats HybridEvaluator::executor_stats() const {
 }
 
 ResultMemoStats HybridEvaluator::result_memo_stats() const {
-  std::lock_guard<std::mutex> lock(memo_mu_);
   ResultMemoStats stats;
-  stats.hits = memo_hits_;
-  stats.misses = memo_misses_;
-  stats.entries = result_memo_.size();
-  stats.evictions = result_memo_.evictions();
-  stats.rejections = result_memo_.rejections();
-  stats.cost = result_memo_.total_cost();
-  stats.capacity = result_memo_.capacity();
+  {
+    std::lock_guard<std::mutex> lock(memo_mu_);
+    stats.hits = memo_hits_;
+    stats.misses = memo_misses_;
+    stats.entries = result_memo_.size();
+    stats.evictions = result_memo_.evictions();
+    stats.rejections = result_memo_.rejections();
+    stats.cost = result_memo_.total_cost();
+    stats.capacity = result_memo_.capacity();
+  }
+  const util::SingleFlightStats flights = flights_.stats();
+  stats.coalesced_flights = flights.flights;
+  stats.coalesced_hits = flights.followers;
+  stats.coalesced_detached = flights.detached;
   return stats;
 }
 

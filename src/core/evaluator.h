@@ -1,6 +1,8 @@
 #ifndef THEMIS_CORE_EVALUATOR_H_
 #define THEMIS_CORE_EVALUATOR_H_
 
+#include <atomic>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -17,6 +19,7 @@
 #include "sql/executor.h"
 #include "util/cancel.h"
 #include "util/lru_cache.h"
+#include "util/single_flight.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -45,6 +48,13 @@ struct ResultMemoStats {
   /// The active bound in the same units as `cost` (0 = unbounded).
   /// Changes when the catalog rebalances budgets after DropRelation.
   size_t capacity = 0;
+  /// Single-flight coalescing companions (see util/single_flight.h):
+  /// distinct in-flight executions led, requests that attached to an
+  /// already-running execution instead of re-executing, and followers
+  /// that detached early because their own deadline/cancel fired.
+  size_t coalesced_flights = 0;
+  size_t coalesced_hits = 0;
+  size_t coalesced_detached = 0;
 
   double HitRate() const {
     const size_t total = hits + misses;
@@ -166,6 +176,28 @@ class HybridEvaluator {
   /// the evaluator on rebuild).
   void ClearResultMemo() const;
 
+  /// Run-time toggle for single-flight coalescing (effective only when
+  /// ThemisOptions::enable_single_flight was set at build). Const-qualified
+  /// like ClearResultMemo so serving/bench code reaching the evaluator
+  /// through the catalog's const surface can flip it between runs; answers
+  /// are bitwise identical either way.
+  void set_coalescing_enabled(bool enabled) const {
+    coalescing_enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool coalescing_enabled() const {
+    return single_flight_supported_ &&
+           coalescing_enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Test-only: runs at the start of every *uncached* plan execution on
+  /// the executing (leader) thread, after the single-flight entry has been
+  /// published — lets tests park a leader mid-flight so followers attach
+  /// deterministically. Const-qualified for the same catalog-surface
+  /// reason as set_coalescing_enabled; set it before serving traffic.
+  void set_uncached_execute_hook(std::function<void()> hook) const {
+    uncached_execute_hook_ = std::move(hook);
+  }
+
   /// Rebounds the byte-budgeted caches in place — the inference cache to
   /// `inference_cache_bytes`, the result memo to `result_memo_bytes` —
   /// keeping warm entries when growing, evicting LRU-first when
@@ -211,6 +243,12 @@ class HybridEvaluator {
   size_t shard_rows_;  // ThemisOptions::shard_rows, resolved at build
   bool result_memo_enabled_;
   bool result_memo_cost_aware_;  // true when options.result_memo_bytes > 0
+  /// ThemisOptions::enable_single_flight at build; the atomic is the
+  /// run-time toggle layered on top (see set_coalescing_enabled).
+  bool single_flight_supported_;
+  mutable std::atomic<bool> coalescing_enabled_{true};
+  mutable util::SingleFlight<Result<sql::QueryResult>> flights_;
+  mutable std::function<void()> uncached_execute_hook_;
   mutable std::mutex memo_mu_;
   mutable LruCache<std::string, std::shared_ptr<const sql::QueryResult>>
       result_memo_;

@@ -93,6 +93,18 @@ struct ThemisOptions {
   /// legitimately reorder float sums.
   size_t shard_rows = 0;
 
+  /// Single-flight query coalescing: concurrent executions of the same
+  /// (plan fingerprint, mode) attach to the first one's in-flight result
+  /// instead of re-executing — the companion of the result memo for the
+  /// window *before* the first completion fills it. Answers are bitwise
+  /// identical with coalescing on or off; followers that hit their own
+  /// deadline detach without cancelling the leader, and a cancelled
+  /// leader's execution survives while followers still want it. Only
+  /// memoizable plans coalesce. Can also be toggled at run time via
+  /// HybridEvaluator::set_coalescing_enabled (the bench uses that to
+  /// measure the uncoalesced baseline).
+  bool enable_single_flight = true;
+
   /// Serving admission bound: how many wire requests a server::QueryServer
   /// fronting this catalog may have in flight (queued or executing on the
   /// pool) before it rejects new ones with ResourceExhausted. 0 disables

@@ -58,6 +58,16 @@ struct QueryServer::PendingResponse {
   std::atomic<bool> done{false};
 };
 
+/// One admitted request between its drain pass and its pool dispatch:
+/// the parsed request, the FIFO slot it answers into (shared with the
+/// owning I/O thread), and the session it came from. Only the owning I/O
+/// thread touches the ready list; dispatched copies move into pool tasks.
+struct QueryServer::ReadyRequest {
+  WireRequest request;
+  std::shared_ptr<PendingResponse> slot;
+  uint64_t session_id = 0;
+};
+
 /// One client connection. Only its owning I/O thread touches it.
 struct QueryServer::Session {
   int fd = -1;
@@ -88,6 +98,10 @@ struct QueryServer::IoThread {
   bool shutdown = false;
 
   std::unordered_map<uint64_t, std::unique_ptr<Session>> sessions;
+
+  /// Requests admitted during the current drain pass, dispatched together
+  /// at the end of the loop iteration (DispatchReady). Loop-thread-private.
+  std::vector<ReadyRequest> ready;
 
   ~IoThread() {
     if (epoll_fd >= 0) ::close(epoll_fd);
@@ -224,6 +238,7 @@ void QueryServer::IoLoop(size_t index) {
   bool shutdown = false;
   std::chrono::steady_clock::time_point flush_deadline{};
   for (;;) {
+    if (options_.loop_hook) options_.loop_hook();
     // Once shutdown is requested the loop polls: the remaining wakeups
     // (task completions, final EPOLLOUTs) still arrive through epoll, but
     // the flush grace needs a clock check even when nothing fires.
@@ -250,6 +265,10 @@ void QueryServer::IoLoop(size_t index) {
         HandleReadable(io, tag);
       }
     }
+    // One drain pass is over: everything admitted above dispatches now —
+    // a lone request as one Submit (no added latency), N>1 as micro-batch
+    // tasks. Nothing ever waits for a later iteration.
+    DispatchReady(io);
     DrainMailbox(io, &shutdown);
     if (shutdown) {
       if (flush_deadline == std::chrono::steady_clock::time_point{}) {
@@ -540,33 +559,79 @@ void QueryServer::HandleLine(IoThread& io, Session& session,
       std::min(deadline_ms, kMaxDeadlineMs));
   session.fifo.push_back(slot);
 
+  // Dispatch is deferred to the end of this drain pass (DispatchReady):
+  // the ready list is what lets N requests that woke the loop together
+  // leave as one pool task instead of N.
+  io.ready.push_back(
+      ReadyRequest{std::move(*request), std::move(slot), session.id});
+}
+
+void QueryServer::DispatchReady(IoThread& io) {
+  if (io.ready.empty()) return;
+  std::vector<ReadyRequest> ready;
+  ready.swap(io.ready);
+  const size_t io_index = io.index;
+  // The adaptive policy in full: a lone request — the common case on
+  // unique traffic — takes the classic one-Submit path untouched, so
+  // coalescing can never add latency when there is nothing to coalesce.
+  // Only when the backlog already arrived together (N>1 parsed out of one
+  // wake-up) do query requests leave as micro-batches.
+  if (!options_.enable_micro_batch || ready.size() == 1) {
+    for (ReadyRequest& request : ready) {
+      SubmitSingle(io_index, std::move(request));
+    }
+    return;
+  }
+  // Client-sent batches (the kBatch verb) keep their dedicated
+  // all-or-nothing path; only kQuery requests merge.
+  std::vector<ReadyRequest> batchable;
+  batchable.reserve(ready.size());
+  for (ReadyRequest& request : ready) {
+    if (request.request.verb == WireRequest::Verb::kQuery) {
+      batchable.push_back(std::move(request));
+    } else {
+      SubmitSingle(io_index, std::move(request));
+    }
+  }
+  const size_t max_batch =
+      options_.micro_batch_max > 0 ? options_.micro_batch_max
+                                   : batchable.size();
+  size_t begin = 0;
+  while (begin < batchable.size()) {
+    const size_t n = std::min(max_batch, batchable.size() - begin);
+    if (n == 1) {
+      SubmitSingle(io_index, std::move(batchable[begin]));
+      ++begin;
+      continue;
+    }
+    std::vector<ReadyRequest> batch(
+        std::make_move_iterator(batchable.begin() + begin),
+        std::make_move_iterator(batchable.begin() + begin + n));
+    begin += n;
+    SubmitBatch(io_index, std::move(batch));
+  }
+}
+
+void QueryServer::SubmitSingle(size_t io_index, ReadyRequest ready) {
   {
     std::lock_guard<std::mutex> drain(drain_mu_);
     ++tasks_active_;
   }
-  const size_t io_index = io.index;
-  const uint64_t session_id = session.id;
-  catalog_->pool()->Submit([this, io_index, session_id, slot,
-                            request = std::move(*request)]() mutable {
+  catalog_->pool()->Submit([this, io_index,
+                            ready = std::move(ready)]() mutable {
     std::string response;
     try {
       if (options_.request_hook) options_.request_hook();
-      response = ExecuteRequest(request, slot->cancel.get());
+      response = ExecuteRequest(ready.request, ready.slot->cancel.get());
     } catch (...) {
       served_error_.fetch_add(1, std::memory_order_relaxed);
       response = EncodeErrorResponse(
           Status::Internal("request task threw an exception"));
     }
     inflight_.fetch_sub(1, std::memory_order_acq_rel);
-    slot->line = std::move(response);
-    slot->done.store(true, std::memory_order_release);
-    // Post the completion back to the owning I/O thread for the flush.
-    IoThread& owner = *io_[io_index];
-    {
-      std::lock_guard<std::mutex> owner_lock(owner.mu);
-      owner.completed.push_back(session_id);
-    }
-    owner.wake.Signal();
+    ready.slot->line = std::move(response);
+    ready.slot->done.store(true, std::memory_order_release);
+    PostCompletions(io_index, {ready.session_id});
     // Very last action: release the drain count. After this the server
     // may be torn down, so nothing below may touch `this`.
     {
@@ -575,6 +640,73 @@ void QueryServer::HandleLine(IoThread& io, Session& session,
       drain_cv_.notify_all();
     }
   });
+}
+
+void QueryServer::SubmitBatch(size_t io_index,
+                              std::vector<ReadyRequest> batch) {
+  {
+    std::lock_guard<std::mutex> drain(drain_mu_);
+    ++tasks_active_;
+  }
+  batches_formed_.fetch_add(1, std::memory_order_relaxed);
+  batched_requests_.fetch_add(batch.size(), std::memory_order_relaxed);
+  catalog_->pool()->Submit([this, io_index,
+                            batch = std::move(batch)]() mutable {
+    std::vector<Result<sql::QueryResult>> results;
+    try {
+      if (options_.request_hook) options_.request_hook();
+      std::vector<core::Catalog::QueryItem> items;
+      items.reserve(batch.size());
+      for (const ReadyRequest& ready : batch) {
+        items.push_back(core::Catalog::QueryItem{
+            ready.request.sql, ready.request.relation, ready.request.mode,
+            ready.slot->cancel.get()});
+      }
+      results = catalog_->QueryMany(items);
+    } catch (...) {
+      results.clear();
+    }
+    // Per-logical-request accounting: every request in the batch settles
+    // its own admission slot and served_* tallies, exactly as if it had
+    // run as its own task — batching changes the task count, never the
+    // observable per-request bookkeeping.
+    std::vector<uint64_t> sessions;
+    sessions.reserve(batch.size());
+    for (size_t i = 0; i < batch.size(); ++i) {
+      std::string response =
+          i < results.size()
+              ? FinalizeOutcome(results[i])
+              : FinalizeOutcome(Result<sql::QueryResult>(
+                    Status::Internal("request task threw an exception")));
+      inflight_.fetch_sub(1, std::memory_order_acq_rel);
+      batch[i].slot->line = std::move(response);
+      batch[i].slot->done.store(true, std::memory_order_release);
+      sessions.push_back(batch[i].session_id);
+    }
+    PostCompletions(io_index, sessions);
+    // Very last action, as in SubmitSingle: nothing below may touch
+    // `this` once the drain count drops.
+    {
+      std::lock_guard<std::mutex> drain(drain_mu_);
+      --tasks_active_;
+      drain_cv_.notify_all();
+    }
+  });
+}
+
+void QueryServer::PostCompletions(size_t io_index,
+                                  const std::vector<uint64_t>& session_ids) {
+  IoThread& owner = *io_[io_index];
+  {
+    std::lock_guard<std::mutex> owner_lock(owner.mu);
+    for (size_t i = 0; i < session_ids.size(); ++i) {
+      // A batch often carries several requests of one session; one flush
+      // per session is enough.
+      if (i > 0 && session_ids[i] == session_ids[i - 1]) continue;
+      owner.completed.push_back(session_ids[i]);
+    }
+  }
+  owner.wake.Signal();
 }
 
 namespace {
@@ -590,20 +722,36 @@ Status AsWireStatus(const Status& status) {
 
 }  // namespace
 
+std::string QueryServer::FinalizeOutcome(
+    const Result<sql::QueryResult>& result) {
+  if (result.ok()) {
+    served_ok_.fetch_add(1, std::memory_order_relaxed);
+    return EncodeResultResponse(*result);
+  }
+  const Status& status = result.status();
+  served_error_.fetch_add(1, std::memory_order_relaxed);
+  if (status.code() == StatusCode::kDeadlineExceeded) {
+    served_deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+  } else if (status.code() == StatusCode::kCancelled) {
+    served_cancelled_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return EncodeErrorResponse(AsWireStatus(status));
+}
+
 std::string QueryServer::ExecuteRequest(const WireRequest& request,
                                         const util::CancelToken* cancel) {
-  const auto fail = [this](const Status& status) {
-    served_error_.fetch_add(1, std::memory_order_relaxed);
-    if (status.code() == StatusCode::kDeadlineExceeded) {
-      served_deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
-    } else if (status.code() == StatusCode::kCancelled) {
-      served_cancelled_.fetch_add(1, std::memory_order_relaxed);
-    }
-    return EncodeErrorResponse(AsWireStatus(status));
-  };
   if (request.verb == WireRequest::Verb::kBatch) {
     auto results = catalog_->QueryBatch(request.batch, request.mode, cancel);
-    if (!results.ok()) return fail(results.status());
+    if (!results.ok()) {
+      served_error_.fetch_add(1, std::memory_order_relaxed);
+      const Status& status = results.status();
+      if (status.code() == StatusCode::kDeadlineExceeded) {
+        served_deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+      } else if (status.code() == StatusCode::kCancelled) {
+        served_cancelled_.fetch_add(1, std::memory_order_relaxed);
+      }
+      return EncodeErrorResponse(AsWireStatus(status));
+    }
     served_ok_.fetch_add(1, std::memory_order_relaxed);
     return EncodeBatchResponse(*results);
   }
@@ -611,9 +759,7 @@ std::string QueryServer::ExecuteRequest(const WireRequest& request,
                     ? catalog_->Query(request.sql, request.mode, cancel)
                     : catalog_->QueryOn(request.relation, request.sql,
                                         request.mode, cancel);
-  if (!result.ok()) return fail(result.status());
-  served_ok_.fetch_add(1, std::memory_order_relaxed);
-  return EncodeResultResponse(*result);
+  return FinalizeOutcome(result);
 }
 
 std::string QueryServer::ExecuteStats() {
@@ -653,6 +799,10 @@ ServerCounters QueryServer::counters() const {
       served_cancelled_.load(std::memory_order_relaxed);
   counters.rejected_overload =
       rejected_overload_.load(std::memory_order_relaxed);
+  counters.batches_formed =
+      batches_formed_.load(std::memory_order_relaxed);
+  counters.batched_requests =
+      batched_requests_.load(std::memory_order_relaxed);
   counters.inflight = inflight_.load(std::memory_order_acquire);
   counters.max_inflight = max_inflight_;
   counters.io_threads = num_io_threads_;

@@ -84,11 +84,31 @@ class QueryServer {
     /// the machine to the executor pool is the point.
     size_t io_threads = 0;
 
-    /// Test-only: runs inside every admitted request's pool task before
-    /// the query executes. Lets tests hold slots open deterministically
-    /// (admission control, drain-on-shutdown, deadline expiry) without
-    /// timing races.
+    /// Adaptive micro-batching: when one epoll drain pass parses N>1
+    /// ready query requests (same wake-up, possibly across sessions),
+    /// submit them as ONE pool task through Catalog::QueryMany instead of
+    /// N Submits — amortizing pool handoff and letting duplicates inside
+    /// the batch coalesce. The policy never delays a lone request waiting
+    /// for peers: batching only triggers when the backlog already arrived
+    /// together, so unique-traffic latency is untouched.
+    bool enable_micro_batch = true;
+
+    /// Upper bound on one micro-batch; a drain pass with more ready
+    /// requests splits into several batch tasks so admission latency
+    /// stays bounded.
+    size_t micro_batch_max = 64;
+
+    /// Test-only: runs inside every admitted pool task (single request or
+    /// micro-batch) before the query executes. Lets tests hold slots open
+    /// deterministically (admission control, drain-on-shutdown, deadline
+    /// expiry) without timing races.
     std::function<void()> request_hook;
+
+    /// Test-only: runs at the top of every I/O event-loop iteration,
+    /// before epoll_wait. Lets tests park the loop while several sessions
+    /// send, so the next drain pass deterministically sees all of them at
+    /// once (cross-session micro-batch formation).
+    std::function<void()> loop_hook;
   };
 
   explicit QueryServer(const core::Catalog* catalog);
@@ -125,6 +145,7 @@ class QueryServer {
   struct PendingResponse;  // one FIFO slot: cancel token + response line
   struct Session;          // one connection, owned by one I/O thread
   struct IoThread;         // epoll fd + wakeup + mailbox + sessions
+  struct ReadyRequest;     // one admitted request awaiting dispatch
 
   void IoLoop(size_t index);
   /// Accepts until EAGAIN (listen fd is edge-triggered on thread 0) and
@@ -145,15 +166,33 @@ class QueryServer {
   void FlushSession(IoThread& io, uint64_t session_id, bool stopping);
   void CloseSession(IoThread& io, uint64_t session_id);
 
-  /// Admission control + dispatch for one parsed line on the owning I/O
-  /// thread: inline answers (stats, parse errors, overload rejections)
-  /// enter the FIFO already resolved; admitted requests get a cancel
-  /// token and a pool task that posts back through the mailbox.
+  /// Admission control for one parsed line on the owning I/O thread:
+  /// inline answers (stats, parse errors, overload rejections) enter the
+  /// FIFO already resolved; admitted requests get a cancel token and join
+  /// the drain pass's ready list for DispatchReady.
   void HandleLine(IoThread& io, Session& session, const std::string& line);
+
+  /// End of one drain pass: submits the ready list to the pool. A lone
+  /// request (or any non-coalescable verb) takes the classic one-Submit
+  /// path; N>1 ready query requests become micro-batch tasks over
+  /// Catalog::QueryMany, bounded by Options::micro_batch_max.
+  void DispatchReady(IoThread& io);
+  void SubmitSingle(size_t io_index, ReadyRequest ready);
+  void SubmitBatch(size_t io_index, std::vector<ReadyRequest> batch);
 
   /// Executes one admitted request on the calling (pool) thread.
   std::string ExecuteRequest(const WireRequest& request,
                              const util::CancelToken* cancel);
+
+  /// Per-logical-request bookkeeping shared by the single and micro-batch
+  /// paths: bumps served_ok / served_error (+ deadline/cancel tallies) and
+  /// encodes the response line.
+  std::string FinalizeOutcome(const Result<sql::QueryResult>& result);
+
+  /// Posts completed session ids back to an I/O thread and releases the
+  /// per-request admission slots.
+  void PostCompletions(size_t io_index,
+                       const std::vector<uint64_t>& session_ids);
 
   /// STATS verb: server counters + per-relation catalog stats, inline.
   std::string ExecuteStats();
@@ -192,6 +231,10 @@ class QueryServer {
   std::atomic<size_t> served_cancelled_{0};
   std::atomic<size_t> rejected_overload_{0};
   std::atomic<size_t> inflight_{0};
+  /// Micro-batch formation: batch tasks submitted (each covering >= 2
+  /// logical requests) and the logical requests they carried.
+  std::atomic<size_t> batches_formed_{0};
+  std::atomic<size_t> batched_requests_{0};
 };
 
 }  // namespace themis::server

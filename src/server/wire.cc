@@ -385,6 +385,8 @@ JsonValue CountersToJson(const ServerCounters& counters) {
   set("served_deadline_exceeded", counters.served_deadline_exceeded);
   set("served_cancelled", counters.served_cancelled);
   set("rejected_overload", counters.rejected_overload);
+  set("batches_formed", counters.batches_formed);
+  set("batched_requests", counters.batched_requests);
   set("inflight", counters.inflight);
   set("max_inflight", counters.max_inflight);
   set("io_threads", counters.io_threads);
@@ -465,10 +467,21 @@ JsonValue RelationStatsToJson(const core::RelationStats& stats) {
                                  inference.entries, inference.cost,
                                  inference.capacity));
   const core::ResultMemoStats& memo = stats.result_memo;
-  object.Set("result_memo",
-             CacheCountersToJson(memo.hits, memo.misses, memo.evictions,
-                                 memo.rejections, memo.entries, memo.cost,
-                                 memo.capacity));
+  JsonValue memo_json =
+      CacheCountersToJson(memo.hits, memo.misses, memo.evictions,
+                          memo.rejections, memo.entries, memo.cost,
+                          memo.capacity);
+  // The memo's single-flight companions: executions led, requests that
+  // attached to an in-flight execution, early-detached followers.
+  memo_json.Set("coalesced_flights",
+                JsonValue::Number(
+                    static_cast<double>(memo.coalesced_flights)));
+  memo_json.Set("coalesced_hits",
+                JsonValue::Number(static_cast<double>(memo.coalesced_hits)));
+  memo_json.Set("coalesced_detached",
+                JsonValue::Number(
+                    static_cast<double>(memo.coalesced_detached)));
+  object.Set("result_memo", std::move(memo_json));
   const sql::ExecutorStats& executor = stats.executor;
   JsonValue exec = JsonValue::Object();
   auto set_counter = [&exec](const char* key, uint64_t v) {
@@ -513,6 +526,11 @@ core::RelationStats RelationStatsFromJson(const JsonValue& json) {
     stats.result_memo.entries = CounterFrom(*memo, "entries");
     stats.result_memo.cost = CounterFrom(*memo, "cost");
     stats.result_memo.capacity = CounterFrom(*memo, "capacity");
+    stats.result_memo.coalesced_flights =
+        CounterFrom(*memo, "coalesced_flights");
+    stats.result_memo.coalesced_hits = CounterFrom(*memo, "coalesced_hits");
+    stats.result_memo.coalesced_detached =
+        CounterFrom(*memo, "coalesced_detached");
   }
   if (const JsonValue* executor = json.Find("executor")) {
     stats.executor.rows_scanned = CounterFrom(*executor, "rows_scanned");
@@ -884,6 +902,9 @@ Result<ServerStats> DecodeStatsResponse(const std::string& line) {
     stats.server.served_cancelled = CounterFrom(*server, "served_cancelled");
     stats.server.rejected_overload =
         CounterFrom(*server, "rejected_overload");
+    stats.server.batches_formed = CounterFrom(*server, "batches_formed");
+    stats.server.batched_requests =
+        CounterFrom(*server, "batched_requests");
     stats.server.inflight = CounterFrom(*server, "inflight");
     stats.server.max_inflight = CounterFrom(*server, "max_inflight");
     stats.server.io_threads = CounterFrom(*server, "io_threads");

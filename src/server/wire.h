@@ -131,6 +131,11 @@ struct ServerCounters {
   size_t served_cancelled = 0;
   /// Requests bounced with ResourceExhausted by admission control.
   size_t rejected_overload = 0;
+  /// Adaptive micro-batching: pool tasks that carried >= 2 logical
+  /// requests from one epoll drain pass, and the logical requests they
+  /// carried (each still settles its own served_* / admission slot).
+  size_t batches_formed = 0;
+  size_t batched_requests = 0;
   /// Requests currently queued or executing on the pool.
   size_t inflight = 0;
   size_t max_inflight = 0;

@@ -4,16 +4,33 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <limits>
 
 #include "util/status.h"
 
 namespace themis {
 namespace util {
 
+/// Deadline sentinel: "no deadline", in steady-clock nanoseconds.
+inline constexpr int64_t kNoDeadlineNs = std::numeric_limits<int64_t>::max();
+
+/// The steady clock as an int64 nanosecond count — the representation
+/// CancelToken and FlightToken share so deadlines compose with atomic
+/// max() arithmetic.
+inline int64_t SteadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 /// Cooperative cancellation handle for a single request. The serving layer
 /// constructs one per admitted request (optionally with an absolute
 /// deadline); the executor polls `Check()` once per shard/chunk in its hot
 /// loops and unwinds with kCancelled / kDeadlineExceeded when it fires.
+///
+/// `Check()` is virtual so the single-flight layer can substitute a
+/// FlightToken whose verdict is derived from a whole group of attached
+/// requests (see util/single_flight.h) without the executor loops knowing.
 ///
 /// Thread-safety: `Cancel()` and `Check()` may race freely (the flag is a
 /// single atomic). The deadline is immutable after construction, so readers
@@ -27,11 +44,12 @@ class CancelToken {
   /// `deadline_ms == 0` means no deadline.
   explicit CancelToken(uint64_t deadline_ms) {
     if (deadline_ms > 0) {
-      has_deadline_ = true;
-      deadline_ = std::chrono::steady_clock::now() +
-                  std::chrono::milliseconds(deadline_ms);
+      deadline_ns_ = SteadyNowNs() +
+                     static_cast<int64_t>(deadline_ms) * 1'000'000;
     }
   }
+
+  virtual ~CancelToken() = default;
 
   CancelToken(const CancelToken&) = delete;
   CancelToken& operator=(const CancelToken&) = delete;
@@ -42,11 +60,11 @@ class CancelToken {
   /// OK while the request should keep running. Explicit cancellation wins
   /// over deadline expiry so a disconnected client reports kCancelled even
   /// when its deadline has also lapsed.
-  Status Check() const {
+  virtual Status Check() const {
     if (cancelled_.load(std::memory_order_relaxed)) {
       return Status::Cancelled("request cancelled");
     }
-    if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
+    if (deadline_ns_ != kNoDeadlineNs && SteadyNowNs() >= deadline_ns_) {
       return Status::DeadlineExceeded("request deadline exceeded");
     }
     return Status::OK();
@@ -56,10 +74,13 @@ class CancelToken {
     return cancelled_.load(std::memory_order_relaxed);
   }
 
+  /// Absolute deadline in steady-clock nanoseconds; kNoDeadlineNs when the
+  /// token has none. Immutable after construction.
+  int64_t deadline_ns() const { return deadline_ns_; }
+
  private:
   std::atomic<bool> cancelled_{false};
-  bool has_deadline_ = false;
-  std::chrono::steady_clock::time_point deadline_{};
+  int64_t deadline_ns_ = kNoDeadlineNs;
 };
 
 /// Null-safe poll: the executor threads a `const CancelToken*` that is

@@ -545,6 +545,236 @@ TEST_F(ServerTest, DisconnectMidQueryCancelsExecution) {
   server.Stop();
 }
 
+/// Micro-batching determinism: with the single I/O loop parked by a
+/// one-shot loop_hook while one session pipelines four queries, the
+/// first drain pass after release parses all four and submits them as
+/// ONE batch task (batches_formed == 1, batched_requests == 4) — and
+/// the responses come back in request order, bitwise identical to the
+/// per-request in-process answers.
+TEST_F(ServerTest, PipelinedBurstFormsOneMicroBatch) {
+  auto db = MakeDb(FastOptions(2));
+  std::promise<void> release;
+  std::shared_future<void> released = release.get_future().share();
+  auto first = std::make_shared<std::atomic<bool>>(true);
+  QueryServer::Options options;
+  options.io_threads = 1;
+  options.loop_hook = [released, first] {
+    if (first->exchange(false)) released.wait();
+  };
+  QueryServer server(&db->catalog(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // The loop is parked before its first epoll_wait: the connection sits
+  // in the kernel backlog and all four lines buffer on the socket, so
+  // the drain pass after release sees every request at once.
+  auto client = Client::Connect(server.port());
+  ASSERT_TRUE(client.ok());
+  const std::vector<std::string> sqls = {
+      "SELECT date, COUNT(*) FROM flights GROUP BY date",
+      "SELECT o_st, d_st, COUNT(*) FROM flights GROUP BY o_st, d_st",
+      "SELECT kind, COUNT(*) FROM shops GROUP BY kind",
+      "SELECT COUNT(*) FROM flights WHERE o_st = 'FL' AND d_st = 'FL'",
+  };
+  for (const std::string& sql : sqls) {
+    ASSERT_TRUE(client->Send("{\"sql\": \"" + sql + "\"}").ok());
+  }
+  release.set_value();
+
+  for (const std::string& sql : sqls) {
+    auto response = client->Receive();
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    auto decoded = DecodeResultResponse(*response);
+    ASSERT_TRUE(decoded.ok()) << *response;
+    auto expected = db->Query(sql);
+    ASSERT_TRUE(expected.ok());
+    ExpectBitwiseEqual(*decoded, *expected, sql);
+  }
+  const ServerCounters counters = server.counters();
+  EXPECT_EQ(counters.batches_formed, 1u);
+  EXPECT_EQ(counters.batched_requests, 4u);
+  EXPECT_EQ(counters.served_ok, 4u);
+  server.Stop();
+}
+
+/// Requests from two *different* sessions parsed in the same drain pass
+/// also coalesce into one micro-batch: batching is per drain pass, not
+/// per connection. Both answers stay bitwise identical to the
+/// per-request in-process baseline.
+TEST_F(ServerTest, CrossSessionDrainFormsOneMicroBatch) {
+  auto db = MakeDb(FastOptions(2));
+  std::promise<void> release;
+  std::shared_future<void> released = release.get_future().share();
+  auto first = std::make_shared<std::atomic<bool>>(true);
+  QueryServer::Options options;
+  options.io_threads = 1;
+  options.loop_hook = [released, first] {
+    if (first->exchange(false)) released.wait();
+  };
+  QueryServer server(&db->catalog(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Both connections queue in the backlog while the loop is parked; the
+  // release's accept burst adopts both, and their already-buffered
+  // requests become readable in the same epoll wakeup.
+  auto a = Client::Connect(server.port());
+  ASSERT_TRUE(a.ok());
+  auto b = Client::Connect(server.port());
+  ASSERT_TRUE(b.ok());
+  const std::string sql_a = "SELECT date, COUNT(*) FROM flights GROUP BY date";
+  const std::string sql_b = "SELECT kind, COUNT(*) FROM shops GROUP BY kind";
+  ASSERT_TRUE(a->Send("{\"sql\": \"" + sql_a + "\"}").ok());
+  ASSERT_TRUE(b->Send("{\"sql\": \"" + sql_b + "\"}").ok());
+  release.set_value();
+
+  auto response_a = a->Receive();
+  ASSERT_TRUE(response_a.ok()) << response_a.status().ToString();
+  auto decoded_a = DecodeResultResponse(*response_a);
+  ASSERT_TRUE(decoded_a.ok()) << *response_a;
+  auto response_b = b->Receive();
+  ASSERT_TRUE(response_b.ok()) << response_b.status().ToString();
+  auto decoded_b = DecodeResultResponse(*response_b);
+  ASSERT_TRUE(decoded_b.ok()) << *response_b;
+  auto expected_a = db->Query(sql_a);
+  ASSERT_TRUE(expected_a.ok());
+  ExpectBitwiseEqual(*decoded_a, *expected_a, sql_a);
+  auto expected_b = db->Query(sql_b);
+  ASSERT_TRUE(expected_b.ok());
+  ExpectBitwiseEqual(*decoded_b, *expected_b, sql_b);
+
+  const ServerCounters counters = server.counters();
+  EXPECT_EQ(counters.batches_formed, 1u);
+  EXPECT_EQ(counters.batched_requests, 2u);
+  EXPECT_EQ(counters.served_ok, 2u);
+  server.Stop();
+}
+
+/// Single-flight over the wire: two sessions issue the same query while
+/// the first execution is parked mid-flight; the second attaches to the
+/// in-flight leader (coalesced_hits) instead of re-executing. Both
+/// sessions get bitwise identical OK answers, STATS counts BOTH logical
+/// requests in served_ok, and the relation's memo stats expose the
+/// coalescing.
+TEST_F(ServerTest, DuplicateQueriesAcrossSessionsCoalesce) {
+  auto db = MakeDb(FastOptions(4));
+  const core::HybridEvaluator* flights = db->catalog().evaluator("flights");
+  ASSERT_NE(flights, nullptr);
+  std::promise<void> release;
+  std::shared_future<void> released = release.get_future().share();
+  auto first = std::make_shared<std::atomic<bool>>(true);
+  flights->set_uncached_execute_hook([released, first] {
+    if (first->exchange(false)) released.wait();
+  });
+  QueryServer server(&db->catalog());
+  ASSERT_TRUE(server.Start().ok());
+
+  const std::string sql =
+      "SELECT o_st, d_st, COUNT(*) FROM flights GROUP BY o_st, d_st";
+  auto leader = Client::Connect(server.port());
+  ASSERT_TRUE(leader.ok());
+  ASSERT_TRUE(leader->Send("{\"sql\": \"" + sql + "\"}").ok());
+  // The hook fires after the flight is registered: once coalesced_flights
+  // ticks, the leader is parked and any duplicate must attach.
+  while (flights->result_memo_stats().coalesced_flights < 1) {
+    std::this_thread::yield();
+  }
+  auto follower = Client::Connect(server.port());
+  ASSERT_TRUE(follower.ok());
+  ASSERT_TRUE(follower->Send("{\"sql\": \"" + sql + "\"}").ok());
+  while (flights->result_memo_stats().coalesced_hits < 1) {
+    std::this_thread::yield();
+  }
+  release.set_value();
+
+  auto leader_response = leader->Receive();
+  ASSERT_TRUE(leader_response.ok()) << leader_response.status().ToString();
+  auto decoded_leader = DecodeResultResponse(*leader_response);
+  ASSERT_TRUE(decoded_leader.ok()) << *leader_response;
+  auto follower_response = follower->Receive();
+  ASSERT_TRUE(follower_response.ok()) << follower_response.status().ToString();
+  auto decoded_follower = DecodeResultResponse(*follower_response);
+  ASSERT_TRUE(decoded_follower.ok()) << *follower_response;
+  auto expected = db->Query(sql);
+  ASSERT_TRUE(expected.ok());
+  ExpectBitwiseEqual(*decoded_leader, *expected, "leader");
+  ExpectBitwiseEqual(*decoded_follower, *expected, "follower");
+
+  auto stats = leader->Stats();
+  ASSERT_TRUE(stats.ok());
+  // A coalesced follower is still one logical request in the serving
+  // counters — nothing about dedup hides work from STATS.
+  EXPECT_EQ(stats->server.served_ok, 2u);
+  EXPECT_EQ(stats->server.served_error, 0u);
+  const core::ResultMemoStats& memo =
+      stats->relations.at("flights").result_memo;
+  EXPECT_EQ(memo.coalesced_flights, 1u);
+  EXPECT_EQ(memo.coalesced_hits, 1u);
+  EXPECT_EQ(memo.coalesced_detached, 0u);
+  flights->set_uncached_execute_hook(nullptr);
+  server.Stop();
+}
+
+/// STATS accounting across a follower's deadline expiry: the follower
+/// detaches and answers kDeadlineExceeded (served_deadline_exceeded +
+/// served_error, per logical request) while the leader — released later
+/// — still answers OK (served_ok). The flight survives the expiry.
+TEST_F(ServerTest, CoalescedFollowerDeadlineCountsPerLogicalRequest) {
+  auto db = MakeDb(FastOptions(4));
+  const core::HybridEvaluator* flights = db->catalog().evaluator("flights");
+  ASSERT_NE(flights, nullptr);
+  std::promise<void> release;
+  std::shared_future<void> released = release.get_future().share();
+  auto first = std::make_shared<std::atomic<bool>>(true);
+  flights->set_uncached_execute_hook([released, first] {
+    if (first->exchange(false)) released.wait();
+  });
+  QueryServer server(&db->catalog());
+  ASSERT_TRUE(server.Start().ok());
+
+  const std::string sql =
+      "SELECT o_st, d_st, COUNT(*) FROM flights GROUP BY o_st, d_st";
+  auto leader = Client::Connect(server.port());
+  ASSERT_TRUE(leader.ok());
+  ASSERT_TRUE(leader->Send("{\"sql\": \"" + sql + "\"}").ok());
+  while (flights->result_memo_stats().coalesced_flights < 1) {
+    std::this_thread::yield();
+  }
+  // A generous-but-finite budget: long enough to attach over localhost,
+  // short enough that it lapses while the leader stays parked.
+  auto follower = Client::Connect(server.port());
+  ASSERT_TRUE(follower.ok());
+  ASSERT_TRUE(
+      follower->Send("{\"sql\": \"" + sql + "\", \"deadline_ms\": 40}").ok());
+  auto follower_response = follower->Receive();
+  ASSERT_TRUE(follower_response.ok())
+      << follower_response.status().ToString();
+  auto decoded_follower = DecodeResultResponse(*follower_response);
+  EXPECT_EQ(decoded_follower.status().code(), StatusCode::kDeadlineExceeded)
+      << *follower_response;
+  {
+    const core::ResultMemoStats memo = flights->result_memo_stats();
+    EXPECT_EQ(memo.coalesced_hits, 1u);
+    EXPECT_EQ(memo.coalesced_detached, 1u);
+  }
+  release.set_value();
+
+  auto leader_response = leader->Receive();
+  ASSERT_TRUE(leader_response.ok()) << leader_response.status().ToString();
+  auto decoded_leader = DecodeResultResponse(*leader_response);
+  ASSERT_TRUE(decoded_leader.ok()) << *leader_response;
+  auto expected = db->Query(sql);
+  ASSERT_TRUE(expected.ok());
+  ExpectBitwiseEqual(*decoded_leader, *expected, "leader");
+
+  auto stats = leader->Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->server.served_ok, 1u);
+  EXPECT_EQ(stats->server.served_deadline_exceeded, 1u);
+  EXPECT_EQ(stats->server.served_error, 1u);
+  EXPECT_EQ(stats->server.served_cancelled, 0u);
+  flights->set_uncached_execute_hook(nullptr);
+  server.Stop();
+}
+
 /// JSON round-trip fidelity: escapes, unicode, and 17-digit doubles.
 TEST(WireTest, JsonRoundTrip) {
   const std::string text =

@@ -17,6 +17,12 @@ than `tolerance` (default 20%) below the baseline fails the check;
 everything else — including new metrics absent from the baseline — is
 reported but passes.
 
+Latency gates additionally require a trustworthy measurement: a snapshot
+whose gate contains `*_ms` metrics must carry a top-level "rounds" of at
+least 2 (single-round percentiles are dominated by cold-start noise and
+make both a useless baseline and a flaky current run). Such snapshots are
+rejected as malformed (exit 2) rather than compared.
+
 Exit code 0 when every shared gate metric is within tolerance, 1 on any
 regression, 2 on malformed input.
 """
@@ -42,6 +48,13 @@ def load_gate(path):
         print(f"check_bench: non-numeric gate metrics in {path}: {bad}",
               file=sys.stderr)
         sys.exit(2)
+    if any(k.endswith("_ms") for k in gate):
+        rounds = snapshot.get("rounds")
+        if not isinstance(rounds, (int, float)) or rounds < 2:
+            print(f"check_bench: {path} gates latency (*_ms) on "
+                  f"rounds={rounds!r}; single-round percentiles are noise "
+                  f"— re-measure with rounds >= 2", file=sys.stderr)
+            sys.exit(2)
     return snapshot.get("bench", "?"), gate
 
 
