@@ -6,7 +6,7 @@
 // counts 1 / 4.
 //
 //   ./bench_serving [rounds] [--strict] [--smoke] [--json PATH]
-//                   [--connections N]
+//                   [--connections N] [--metrics-out PATH]
 //
 // Timing is informational by default (wall-clock gates flake on noisy
 // shared runners); --strict turns the concurrency bar — 4 clients on the
@@ -14,10 +14,14 @@
 // into the exit code. --json writes a machine-readable snapshot whose
 // "gate" object holds the ratios tools/check_bench.py compares.
 //
-// --smoke runs the CI smoke sequence instead: start a server, issue a
-// point query, a GROUP BY, a STATS probe, and a deterministic overload
-// rejection (admission slot held open by a request hook), then shut down
-// gracefully. Exit code 0 only if every step behaves.
+// --smoke runs the CI smoke sequence instead: start a server with
+// tracing armed, issue a point query, a GROUP BY, a STATS probe, and a
+// deterministic overload rejection (admission slot held open by a
+// request hook), scrape METRICS and check the request-latency histogram
+// count equals served_ok + served_error, then shut down gracefully.
+// Exit code 0 only if every step behaves. --metrics-out PATH writes the
+// scraped Prometheus exposition to PATH (also honored by --connections
+// mode) so CI can validate it with tools/check_metrics.py.
 //
 // --connections N switches to the open-loop mode that the epoll serving
 // core exists for: N idle connections stay parked (costing the server no
@@ -51,6 +55,7 @@
 #include "common.h"
 
 #include "core/themis_db.h"
+#include "obs/histogram.h"
 #include "server/client.h"
 #include "server/query_server.h"
 #include "util/logging.h"
@@ -58,6 +63,36 @@
 
 namespace themis::bench {
 namespace {
+
+/// Value of a plain `name value` sample line in a Prometheus text
+/// exposition (counters and histogram _count/_sum lines; not labeled
+/// samples). CHECK-fails if the sample is absent.
+double MetricValue(const std::string& text, const std::string& name) {
+  size_t pos = 0;
+  while (pos < text.size()) {
+    const size_t end = text.find('\n', pos);
+    const std::string line =
+        text.substr(pos, end == std::string::npos ? end : end - pos);
+    if (line.size() > name.size() + 1 && line.compare(0, name.size(), name) == 0 &&
+        line[name.size()] == ' ') {
+      return std::strtod(line.c_str() + name.size() + 1, nullptr);
+    }
+    if (end == std::string::npos) break;
+    pos = end + 1;
+  }
+  THEMIS_CHECK(false) << "metric sample not found: " << name;
+  return 0;
+}
+
+/// Writes the METRICS exposition to `path` (no-op when empty) so CI can
+/// hand it to tools/check_metrics.py.
+void WriteMetricsOut(const std::string& path, const std::string& text) {
+  if (path.empty()) return;
+  std::ofstream out(path);
+  THEMIS_CHECK(out.good()) << path;
+  out << text;
+  std::printf("  wrote %s\n", path.c_str());
+}
 
 /// Mixed per-relation workload: point lookups plus every 1D and 2D
 /// GROUP BY over the schema, all FROM `table`.
@@ -280,7 +315,8 @@ double PercentileMs(const std::vector<double>& sorted_ms, double q) {
 /// Every served answer is bitwise-checked, and so is a sample of the
 /// idle fleet after the storm — an idle epoll session must answer
 /// exactly like a fresh one.
-int OpenLoop(size_t connections, size_t rounds, const std::string& json_path) {
+int OpenLoop(size_t connections, size_t rounds, const std::string& json_path,
+             const std::string& metrics_out) {
   constexpr size_t kActiveClients = 64;
   PrintHeader("Serving open-loop bench",
               "idle-connection fleet + active clients on the epoll core");
@@ -386,6 +422,37 @@ int OpenLoop(size_t connections, size_t rounds, const std::string& json_path) {
   }
   std::printf("  idle sessions answer after the storm: bitwise ok\n");
 
+  // Server-side view of the same storm: the always-on request-latency
+  // histogram must have recorded exactly one sample per served request
+  // (the METRICS count identity), and its percentiles sit alongside the
+  // client-observed ones — the gap between the two is wire + client
+  // overhead.
+  double server_p50_ms = 0;
+  double server_p99_ms = 0;
+  {
+    auto scraper = server::Client::Connect(server.port());
+    THEMIS_CHECK(scraper.ok());
+    auto stats = scraper->Stats();
+    THEMIS_CHECK(stats.ok()) << stats.status().ToString();
+    auto text = scraper->Metrics();
+    THEMIS_CHECK(text.ok()) << text.status().ToString();
+    const double hist_count =
+        MetricValue(*text, "themis_request_latency_seconds_count");
+    const double served = static_cast<double>(stats->server.served_ok +
+                                              stats->server.served_error);
+    THEMIS_CHECK(hist_count == served)
+        << "histogram count " << hist_count << " != served " << served;
+    const obs::Histogram::Snapshot snap =
+        server.metrics().request_latency.TakeSnapshot();
+    server_p50_ms = static_cast<double>(snap.Quantile(0.50)) / 1e6;
+    server_p99_ms = static_cast<double>(snap.Quantile(0.99)) / 1e6;
+    std::printf(
+        "  server-side histogram: p50 %.3f ms, p99 %.3f ms "
+        "(count %.0f == served_ok + served_error)\n",
+        server_p50_ms, server_p99_ms, hist_count);
+    WriteMetricsOut(metrics_out, *text);
+  }
+
   if (!json_path.empty()) {
     server::JsonValue root = server::JsonValue::Object();
     root.Set("bench", server::JsonValue::String("serving_open_loop"));
@@ -406,6 +473,12 @@ int OpenLoop(size_t connections, size_t rounds, const std::string& json_path) {
     gate.Set("open_loop_qps", server::JsonValue::Number(qps));
     gate.Set("open_loop_p50_ms", server::JsonValue::Number(p50_ms));
     gate.Set("open_loop_p99_ms", server::JsonValue::Number(p99_ms));
+    // Informational, deliberately outside the gate: server-side
+    // percentiles come from the METRICS histogram (bucket upper bounds,
+    // not exact order statistics), so they are not comparable across a
+    // bucket-layout change the way the client-observed gates are.
+    root.Set("server_p50_ms", server::JsonValue::Number(server_p50_ms));
+    root.Set("server_p99_ms", server::JsonValue::Number(server_p99_ms));
     root.Set("gate", std::move(gate));
     std::ofstream out(json_path);
     THEMIS_CHECK(out.good()) << json_path;
@@ -670,8 +743,9 @@ int Dupes(size_t rounds, bool smoke, const std::string& json_path) {
 }
 
 /// The CI smoke: point + GROUP BY + STATS + deterministic overload +
-/// graceful shutdown against a one-relation server.
-int Smoke() {
+/// METRICS (with the histogram-count identity checked) + graceful
+/// shutdown against a one-relation server with tracing fully armed.
+int Smoke(const std::string& metrics_out) {
   PrintHeader("Serving smoke", "start, query, stats, overload, shutdown");
   BenchScale scale;
   DatasetSetup flights = MakeFlights(scale);
@@ -693,6 +767,11 @@ int Smoke() {
   server::QueryServer::Options server_options;
   server_options.max_inflight = 1;
   server_options.request_hook = [released] { released.wait(); };
+  // Trace every request so the smoke exercises the whole observability
+  // path: spans recorded per stage, stage histograms populated, and the
+  // slow-query log filled — all of which METRICS and STATS then expose.
+  server_options.trace_sample_n = 1;
+  server_options.slow_query_log_k = 8;
   server::QueryServer server(&db.catalog(), server_options);
   THEMIS_CHECK_OK(server.Start());
   std::printf("  server up on 127.0.0.1:%u (max_inflight=1)\n",
@@ -742,6 +821,26 @@ int Smoke() {
   THEMIS_CHECK(stats->server.rejected_overload == 1);
   THEMIS_CHECK(stats->relations.at("flights").built);
   std::printf("  STATS: served_ok=2 rejected_overload=1 flights built\n");
+  THEMIS_CHECK(stats->slow_queries.size() == 2) << stats->slow_queries.size();
+  std::printf("  slow-query log: 2 traced requests captured\n");
+
+  // METRICS over the wire, with the serving invariant checked here too:
+  // the always-on request-latency histogram records exactly one sample
+  // per served request, so its count must equal served_ok + served_error
+  // (overload rejections and inline verbs are excluded on both sides).
+  auto metrics_text = observer->Metrics();
+  THEMIS_CHECK(metrics_text.ok()) << metrics_text.status().ToString();
+  const double hist_count =
+      MetricValue(*metrics_text, "themis_request_latency_seconds_count");
+  const double served = static_cast<double>(stats->server.served_ok +
+                                            stats->server.served_error);
+  THEMIS_CHECK(hist_count == served)
+      << "histogram count " << hist_count << " != served " << served;
+  std::printf(
+      "  METRICS: request-latency histogram count %.0f == "
+      "served_ok + served_error\n",
+      hist_count);
+  WriteMetricsOut(metrics_out, *metrics_text);
 
   server.Stop();
   THEMIS_CHECK(!server.running());
@@ -759,6 +858,7 @@ int main(int argc, char** argv) {
   bool smoke = false;
   bool dupes = false;
   std::string json_path;
+  std::string metrics_out;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--strict") == 0) {
       strict = true;
@@ -768,6 +868,8 @@ int main(int argc, char** argv) {
       dupes = true;
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      metrics_out = argv[++i];
     } else if (std::strcmp(argv[i], "--connections") == 0 && i + 1 < argc) {
       connections = static_cast<size_t>(std::strtoul(argv[++i], nullptr, 10));
     } else {
@@ -783,8 +885,8 @@ int main(int argc, char** argv) {
     // refuses single-round *_ms measurements — so even the CI smoke runs
     // two rounds.
     return themis::bench::OpenLoop(connections, smoke ? 2 : rounds,
-                                   json_path);
+                                   json_path, metrics_out);
   }
-  return smoke ? themis::bench::Smoke()
+  return smoke ? themis::bench::Smoke(metrics_out)
                : themis::bench::Run(rounds, strict, json_path);
 }

@@ -23,6 +23,8 @@
 #include "aggregate/aggregate_io.h"
 #include "core/themis_db.h"
 #include "data/csv.h"
+#include "obs/trace.h"
+#include "server/client.h"
 #include "server/query_server.h"
 #include "util/cpu_topology.h"
 #include "workload/flights.h"
@@ -175,15 +177,65 @@ int Main(int argc, const char** argv) {
         "serving on 127.0.0.1:%u — line-delimited JSON, e.g.\n"
         "  {\"sql\": \"SELECT ... FROM sample ...\"}\n"
         "  {\"verb\": \"stats\"}\n"
-        "'quit' on stdin stops with a drain; EOF (backgrounded/daemonized,"
-        " stdin < /dev/null) serves until the process is terminated\n",
+        "  {\"verb\": \"metrics\"}\n"
+        "'metrics' on stdin prints the Prometheus exposition, 'slowlog'"
+        " the worst traced requests; 'quit' stops with a drain; EOF"
+        " (backgrounded/daemonized, stdin < /dev/null) serves until the"
+        " process is terminated\n",
         server.port());
+    // The operator commands go through a real loopback client, so what
+    // they print is exactly what a scraper would see on the wire.
+    const auto self_client = [&server]() {
+      return server::Client::Connect(server.port());
+    };
     std::string line;
     bool quit_requested = false;
     while (std::getline(std::cin, line)) {
       if (line == "quit" || line == "exit") {
         quit_requested = true;
         break;
+      }
+      if (line == "metrics") {
+        auto client = self_client();
+        auto text = client.ok() ? client->Metrics()
+                                : Result<std::string>(client.status());
+        if (text.ok()) {
+          std::fputs(text->c_str(), stdout);
+        } else {
+          std::fprintf(stderr, "metrics failed: %s\n",
+                       text.status().ToString().c_str());
+        }
+        continue;
+      }
+      if (line == "slowlog") {
+        auto client = self_client();
+        auto stats = client.ok() ? client->Stats()
+                                 : Result<server::ServerStats>(client.status());
+        if (!stats.ok()) {
+          std::fprintf(stderr, "stats failed: %s\n",
+                       stats.status().ToString().c_str());
+          continue;
+        }
+        if (stats->slow_queries.empty()) {
+          std::printf("slow-query log is empty (enable tracing with "
+                      "trace_sample_n / slow_query_ms)\n");
+          continue;
+        }
+        for (const obs::SlowQueryEntry& entry : stats->slow_queries) {
+          std::printf("%.3f ms  [%s]  relation=%s  fingerprint=%s\n  %s\n",
+                      entry.total_ns / 1e6, entry.status.c_str(),
+                      entry.relation.c_str(), entry.fingerprint.c_str(),
+                      entry.sql.c_str());
+          for (size_t i = 0; i < obs::kNumStages; ++i) {
+            const obs::StageSpan& span = entry.stages[i];
+            if (span.count == 0) continue;
+            std::printf("    %-18s %9.3f ms  (x%llu)\n",
+                        obs::StageName(static_cast<obs::Stage>(i)),
+                        span.total_ns / 1e6,
+                        static_cast<unsigned long long>(span.count));
+          }
+        }
+        continue;
       }
     }
     if (!quit_requested) {

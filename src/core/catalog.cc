@@ -267,18 +267,19 @@ Result<std::string> Catalog::RouteFor(const std::string& sql) const {
 
 Result<sql::QueryResult> Catalog::Query(const std::string& sql,
                                         AnswerMode mode,
-                                        const util::CancelToken* cancel) const {
+                                        const util::CancelToken* cancel,
+                                        obs::TraceContext* trace) const {
   THEMIS_ASSIGN_OR_RETURN(std::string from, RouteFor(sql));
-  return QueryOn(from, sql, mode, cancel);
+  return QueryOn(from, sql, mode, cancel, trace);
 }
 
 Result<sql::QueryResult> Catalog::QueryOn(const std::string& relation,
                                           const std::string& sql,
                                           AnswerMode mode,
-                                          const util::CancelToken* cancel)
-    const {
+                                          const util::CancelToken* cancel,
+                                          obs::TraceContext* trace) const {
   THEMIS_ASSIGN_OR_RETURN(const Relation* entry, FindBuilt(relation));
-  return entry->evaluator->Query(sql, mode, cancel);
+  return entry->evaluator->Query(sql, mode, cancel, trace);
 }
 
 std::vector<Result<sql::QueryResult>> Catalog::QueryMany(
@@ -318,8 +319,8 @@ std::vector<Result<sql::QueryResult>> Catalog::QueryMany(
   // layer like any other concurrent duplicates.
   pool_->ParallelFor(0, items.size(), [&](size_t i) {
     if (plans[i] == nullptr) return;  // planning already failed
-    results[i] =
-        evaluators[i]->ExecutePlan(*plans[i], items[i].mode, items[i].cancel);
+    results[i] = evaluators[i]->ExecutePlan(*plans[i], items[i].mode,
+                                            items[i].cancel, items[i].trace);
   });
   return results;
 }
@@ -334,7 +335,7 @@ void Catalog::SetCoalescingEnabled(bool enabled) const {
 
 Result<std::vector<sql::QueryResult>> Catalog::QueryBatch(
     std::span<const std::string> sqls, AnswerMode mode,
-    const util::CancelToken* cancel) const {
+    const util::CancelToken* cancel, obs::TraceContext* trace) const {
   // Route + plan everything first: repeated texts share one plan through
   // each relation's plan cache, and routing errors, malformed SQL, or an
   // unbuilt relation fail before any execution starts.
@@ -354,7 +355,7 @@ Result<std::vector<sql::QueryResult>> Catalog::QueryBatch(
   std::vector<Result<sql::QueryResult>> results(
       plans.size(), Result<sql::QueryResult>(Status::Internal("not run")));
   pool_->ParallelFor(0, plans.size(), [&](size_t i) {
-    results[i] = evaluators[i]->ExecutePlan(*plans[i], mode, cancel);
+    results[i] = evaluators[i]->ExecutePlan(*plans[i], mode, cancel, trace);
   });
   std::vector<sql::QueryResult> out;
   out.reserve(plans.size());

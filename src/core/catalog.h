@@ -149,17 +149,22 @@ class Catalog {
   /// kDeadlineExceeded / kCancelled instead of finishing the plan. A
   /// token that never fires leaves the answer bitwise identical to
   /// passing nullptr.
+  ///
+  /// `trace` (optional) is the per-request obs::TraceContext — spans for
+  /// plan lookup, single-flight wait, execution, and executor shard loops
+  /// record into it; null (the default) costs one pointer check per site.
   Result<sql::QueryResult> Query(const std::string& sql,
                                  AnswerMode mode = AnswerMode::kHybrid,
-                                 const util::CancelToken* cancel =
-                                     nullptr) const;
+                                 const util::CancelToken* cancel = nullptr,
+                                 obs::TraceContext* trace = nullptr) const;
 
   /// Answers SQL against an explicitly named relation (bypasses
   /// FROM-routing; required when relations share a SQL table name).
   Result<sql::QueryResult> QueryOn(
       const std::string& relation, const std::string& sql,
       AnswerMode mode = AnswerMode::kHybrid,
-      const util::CancelToken* cancel = nullptr) const;
+      const util::CancelToken* cancel = nullptr,
+      obs::TraceContext* trace = nullptr) const;
 
   /// Batched answering across relations: routes and plans every query
   /// first (malformed SQL or an unknown relation fails before any work
@@ -170,7 +175,8 @@ class Catalog {
   Result<std::vector<sql::QueryResult>> QueryBatch(
       std::span<const std::string> sqls,
       AnswerMode mode = AnswerMode::kHybrid,
-      const util::CancelToken* cancel = nullptr) const;
+      const util::CancelToken* cancel = nullptr,
+      obs::TraceContext* trace = nullptr) const;
 
   /// One request of a QueryMany micro-batch — the server-side analogue of
   /// a QueryBatch entry, with per-item routing, mode, and cancellation.
@@ -181,6 +187,9 @@ class Catalog {
     std::string relation;
     AnswerMode mode = AnswerMode::kHybrid;
     const util::CancelToken* cancel = nullptr;
+    /// Per-item trace (nullable, like `cancel`): each micro-batch member
+    /// keeps its own span record even though they share one pool task.
+    obs::TraceContext* trace = nullptr;
   };
 
   /// Executes a micro-batch of independent requests with per-item fault

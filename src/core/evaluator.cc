@@ -130,8 +130,8 @@ Result<double> HybridEvaluator::PointEstimate(
 }
 
 Result<sql::QueryResult> HybridEvaluator::BnGroupBy(
-    const sql::SelectStatement& stmt,
-    const util::CancelToken* cancel) const {
+    const sql::SelectStatement& stmt, const util::CancelToken* cancel,
+    obs::TraceContext* trace) const {
   if (bn_executors_.empty()) {
     return Status::FailedPrecondition("model has no BN samples");
   }
@@ -145,7 +145,8 @@ Result<sql::QueryResult> HybridEvaluator::BnGroupBy(
   std::vector<Result<sql::QueryResult>> results(
       k_total, Result<sql::QueryResult>(Status::Internal("not executed")));
   pool_->ParallelFor(0, k_total, [&](size_t k) {
-    results[k] = bn_executors_[k].Execute(stmt, pool_, shard_rows_, cancel);
+    results[k] =
+        bn_executors_[k].Execute(stmt, pool_, shard_rows_, cancel, trace);
   });
 
   std::map<std::vector<std::string>, std::pair<std::vector<double>, size_t>>
@@ -184,13 +185,14 @@ Result<QueryPlanPtr> HybridEvaluator::Plan(const std::string& sql) const {
 }
 
 Result<sql::QueryResult> HybridEvaluator::ExecutePlanUncached(
-    const QueryPlan& plan, AnswerMode mode,
-    const util::CancelToken* cancel) const {
+    const QueryPlan& plan, AnswerMode mode, const util::CancelToken* cancel,
+    obs::TraceContext* trace) const {
   const bool has_bn =
       model_->network() != nullptr && !bn_executors_.empty();
   if (plan.kind == PlanKind::kPassthrough || mode == AnswerMode::kSampleOnly ||
       !has_bn) {
-    return sample_executor_.Execute(plan.stmt, pool_, shard_rows_, cancel);
+    return sample_executor_.Execute(plan.stmt, pool_, shard_rows_, cancel,
+                                    trace);
   }
 
   if (plan.kind == PlanKind::kPoint) {
@@ -209,14 +211,15 @@ Result<sql::QueryResult> HybridEvaluator::ExecutePlanUncached(
   }
 
   if (mode == AnswerMode::kBnOnly) {
-    return BnGroupBy(plan.stmt, cancel);
+    return BnGroupBy(plan.stmt, cancel, trace);
   }
 
   // Hybrid: sample answer unioned with BN-only groups (Sec 4.3).
   THEMIS_ASSIGN_OR_RETURN(sql::QueryResult sample_result,
                           sample_executor_.Execute(plan.stmt, pool_,
-                                                   shard_rows_, cancel));
-  auto bn_result = BnGroupBy(plan.stmt, cancel);
+                                                   shard_rows_, cancel,
+                                                   trace));
+  auto bn_result = BnGroupBy(plan.stmt, cancel, trace);
   if (!bn_result.ok()) {
     // A BN failure normally degrades to the sample answer — but a fired
     // cancel token must surface, not be swallowed as a degraded answer.
@@ -244,13 +247,14 @@ Result<sql::QueryResult> HybridEvaluator::ExecutePlanUncached(
 }
 
 Result<sql::QueryResult> HybridEvaluator::ExecutePlan(
-    const QueryPlan& plan, AnswerMode mode,
-    const util::CancelToken* cancel) const {
+    const QueryPlan& plan, AnswerMode mode, const util::CancelToken* cancel,
+    obs::TraceContext* trace) const {
   // Entry poll, before the memo: a request whose deadline has already
   // lapsed answers kDeadlineExceeded even when the plan is memoized —
   // deadline semantics must not depend on cache temperature, or the
   // deterministic deadline tests (and clients' retry logic) would flap.
   THEMIS_RETURN_IF_ERROR(util::CheckCancel(cancel));
+  if (trace != nullptr) trace->SetPlanInfo(relation_, plan.fingerprint);
   // The result memo covers every execution that actually scans — GROUP
   // BY, passthrough, and point plans forced onto the sample executor by
   // kSampleOnly / a BN-less model. Point plans answered through the
@@ -263,6 +267,7 @@ Result<sql::QueryResult> HybridEvaluator::ExecutePlan(
                           !plan.fingerprint.empty();
   std::string key;
   if (memoizable) {
+    obs::ScopedSpan memo_span(trace, obs::Stage::kPlanLookup);
     key = plan.fingerprint;
     key.push_back('\x1f');
     key.push_back(static_cast<char>('0' + static_cast<int>(mode)));
@@ -282,11 +287,18 @@ Result<sql::QueryResult> HybridEvaluator::ExecutePlan(
   // the caller's own token on the direct path, the flight's collective
   // token under single-flight — and fills the memo on success so the
   // value outlives the flight.
+  // `executed` flips on whichever request actually ran the compute — a
+  // follower that parked on another request's flight never sets it, so
+  // its trace gets the whole Run() duration as single-flight wait and
+  // (correctly) no execute span at all.
+  bool executed = false;
   const auto compute =
-      [this, &plan, mode,
-       &key](const util::CancelToken* exec) -> Result<sql::QueryResult> {
+      [this, &plan, mode, &key, trace,
+       &executed](const util::CancelToken* exec) -> Result<sql::QueryResult> {
+    executed = true;
+    obs::ScopedSpan execute_span(trace, obs::Stage::kExecute);
     if (uncached_execute_hook_) uncached_execute_hook_();
-    auto result = ExecutePlanUncached(plan, mode, exec);
+    auto result = ExecutePlanUncached(plan, mode, exec, trace);
     if (!key.empty() && result.ok()) {
       // Two executions racing the same cold plan both compute and publish
       // the same deterministic answer; the second Put overwrites in place.
@@ -305,7 +317,14 @@ Result<sql::QueryResult> HybridEvaluator::ExecutePlan(
   // cancelling the leader, and a cancelled leader's execution survives as
   // long as a follower still wants it (see util/single_flight.h).
   if (memoizable && coalescing_enabled()) {
-    return flights_.Run(key, cancel, compute);
+    if (trace == nullptr) return flights_.Run(key, cancel, compute);
+    const int64_t run_begin_ns = util::SteadyNowNs();
+    auto result = flights_.Run(key, cancel, compute);
+    if (!executed) {
+      trace->RecordSpan(obs::Stage::kSingleFlightWait, run_begin_ns,
+                        util::SteadyNowNs());
+    }
+    return result;
   }
   return compute(cancel);
 }
@@ -354,27 +373,34 @@ void HybridEvaluator::ClearResultMemo() const {
 }
 
 Result<sql::QueryResult> HybridEvaluator::Query(
-    const std::string& sql, AnswerMode mode,
-    const util::CancelToken* cancel) const {
-  THEMIS_ASSIGN_OR_RETURN(QueryPlanPtr plan, planner_->Plan(sql));
-  return ExecutePlan(*plan, mode, cancel);
+    const std::string& sql, AnswerMode mode, const util::CancelToken* cancel,
+    obs::TraceContext* trace) const {
+  QueryPlanPtr plan;
+  {
+    obs::ScopedSpan plan_span(trace, obs::Stage::kPlanLookup);
+    THEMIS_ASSIGN_OR_RETURN(plan, planner_->Plan(sql));
+  }
+  return ExecutePlan(*plan, mode, cancel, trace);
 }
 
 Result<std::vector<sql::QueryResult>> HybridEvaluator::QueryBatch(
     std::span<const std::string> sqls, AnswerMode mode,
-    const util::CancelToken* cancel) const {
+    const util::CancelToken* cancel, obs::TraceContext* trace) const {
   std::vector<QueryPlanPtr> plans;
   plans.reserve(sqls.size());
-  for (const std::string& sql : sqls) {
-    THEMIS_ASSIGN_OR_RETURN(QueryPlanPtr plan, planner_->Plan(sql));
-    plans.push_back(std::move(plan));
+  {
+    obs::ScopedSpan plan_span(trace, obs::Stage::kPlanLookup);
+    for (const std::string& sql : sqls) {
+      THEMIS_ASSIGN_OR_RETURN(QueryPlanPtr plan, planner_->Plan(sql));
+      plans.push_back(std::move(plan));
+    }
   }
   // Whole plans are pool tasks: distinct queries run concurrently, and
   // each GROUP BY plan's K-executor fan-out nests on the same pool.
   std::vector<Result<sql::QueryResult>> results(
       plans.size(), Result<sql::QueryResult>(Status::Internal("not run")));
   pool_->ParallelFor(0, plans.size(), [&](size_t i) {
-    results[i] = ExecutePlan(*plans[i], mode, cancel);
+    results[i] = ExecutePlan(*plans[i], mode, cancel, trace);
   });
   std::vector<sql::QueryResult> out;
   out.reserve(plans.size());

@@ -15,6 +15,7 @@
 #include "bn/inference_engine.h"
 #include "core/model.h"
 #include "core/query_plan.h"
+#include "obs/trace.h"
 #include "sql/ast.h"
 #include "sql/executor.h"
 #include "util/cancel.h"
@@ -125,11 +126,14 @@ class HybridEvaluator {
 
   /// Executes a SQL query (point, group-by, join) under the given mode:
   /// Plan + ExecutePlan. `cancel` (optional) is the serving layer's
-  /// cooperative cancellation handle — see ExecutePlan.
+  /// cooperative cancellation handle — see ExecutePlan. `trace`
+  /// (optional) records per-stage spans (plan lookup, execution,
+  /// single-flight wait, executor shard loops); null costs one pointer
+  /// check per site and changes nothing else.
   Result<sql::QueryResult> Query(const std::string& sql,
                                  AnswerMode mode = AnswerMode::kHybrid,
-                                 const util::CancelToken* cancel =
-                                     nullptr) const;
+                                 const util::CancelToken* cancel = nullptr,
+                                 obs::TraceContext* trace = nullptr) const;
 
   /// Plans `sql` through the shared plan cache.
   Result<QueryPlanPtr> Plan(const std::string& sql) const;
@@ -143,9 +147,15 @@ class HybridEvaluator {
   /// deadline answers kDeadlineExceeded even for a memoized plan) and
   /// once per shard inside the executors; a fired token unwinds with
   /// kCancelled / kDeadlineExceeded and is never memoized.
+  /// `trace` additionally distinguishes the coalesced-follower case: a
+  /// request that attached to another request's in-flight execution
+  /// records the whole wait as an obs::Stage::kSingleFlightWait span and
+  /// no kExecute span at all (only the leader executed).
   Result<sql::QueryResult> ExecutePlan(const QueryPlan& plan,
                                        AnswerMode mode,
                                        const util::CancelToken* cancel =
+                                           nullptr,
+                                       obs::TraceContext* trace =
                                            nullptr) const;
 
   /// Batched answering: plans every query first (repeated texts share one
@@ -155,7 +165,8 @@ class HybridEvaluator {
   /// sequential Query() loop. One `cancel` token covers the whole batch.
   Result<std::vector<sql::QueryResult>> QueryBatch(
       std::span<const std::string> sqls, AnswerMode mode,
-      const util::CancelToken* cancel = nullptr) const;
+      const util::CancelToken* cancel = nullptr,
+      obs::TraceContext* trace = nullptr) const;
 
   /// The memoizing inference engine; null when the model has no BN.
   const bn::InferenceEngine* inference_engine() const {
@@ -220,12 +231,13 @@ class HybridEvaluator {
   /// groups present in all K and averaging their values. The merge walks
   /// executors in index order, so the answer is pool-size independent.
   Result<sql::QueryResult> BnGroupBy(const sql::SelectStatement& stmt,
-                                     const util::CancelToken* cancel) const;
+                                     const util::CancelToken* cancel,
+                                     obs::TraceContext* trace) const;
 
   /// Executes the plan without consulting the result memo.
   Result<sql::QueryResult> ExecutePlanUncached(
       const QueryPlan& plan, AnswerMode mode,
-      const util::CancelToken* cancel) const;
+      const util::CancelToken* cancel, obs::TraceContext* trace) const;
 
   /// Group-weight index per attribute set, built lazily under the lock.
   const std::unordered_map<data::TupleKey, double, data::TupleKeyHash>&

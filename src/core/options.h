@@ -118,6 +118,24 @@ struct ThemisOptions {
   /// deadline.
   uint64_t default_deadline_ms = 0;
 
+  /// Request-trace sampling: trace every Nth served request (per-stage
+  /// span timings feeding the METRICS stage histograms and the slow-query
+  /// log). 0 disables sampling; the always-on end-to-end request-latency
+  /// histogram is unaffected. Untraced requests pay a single null-pointer
+  /// check per recording site.
+  size_t trace_sample_n = 0;
+
+  /// Slow-query threshold in milliseconds: any request whose end-to-end
+  /// latency can exceed this is traced regardless of `trace_sample_n`
+  /// (i.e. a positive threshold traces every request, and only those at
+  /// or over the threshold enter the slow-query log). 0 disables the
+  /// threshold; sampled traces then enter the log unconditionally.
+  uint64_t slow_query_ms = 0;
+
+  /// Capacity K of the bounded slow-query log (the K worst traces by
+  /// end-to-end latency, surfaced via STATS). 0 disables the log.
+  size_t slow_query_log_k = 32;
+
   uint64_t seed = 42;
 };
 

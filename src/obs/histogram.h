@@ -1,0 +1,92 @@
+#ifndef THEMIS_OBS_HISTOGRAM_H_
+#define THEMIS_OBS_HISTOGRAM_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace themis::obs {
+
+/// Lock-cheap log-bucketed (HDR-style) latency histogram.
+///
+/// Bucketing is log-linear over non-negative integer values (nanoseconds
+/// in the serving path): values below 64 get exact unit buckets, and every
+/// power-of-two range above that is split into 32 equal sub-buckets, so
+/// the recorded→reported relative error is bounded by 1/32 (~3.1%) at any
+/// magnitude up to int64 range. The bucket index is pure integer math
+/// (count-leading-zeros plus a shift) — no floats, no log() — so the same
+/// value always lands in the same bucket on every platform.
+///
+/// Concurrency: Record() touches only relaxed atomics in one of a small
+/// fixed set of cache-line-padded shards (picked per thread), so writer
+/// threads almost never contend. Snapshot() merges the shards with plain
+/// integer adds; because every per-bucket counter is an integer, merging
+/// is exact and order-invariant — merging shard A into B gives bitwise
+/// the same snapshot as B into A (proven by unit test).
+class Histogram {
+ public:
+  /// Values 0..63 exact, then 32 sub-buckets per power of two up to the
+  /// full int64 range: 64 + (62 - 5) * 32 buckets.
+  static constexpr size_t kSubBuckets = 32;
+  static constexpr size_t kNumBuckets = 64 + 57 * kSubBuckets;
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  /// Bucket index for a value; negative values clamp to bucket 0.
+  static size_t BucketIndex(int64_t value);
+
+  /// Inclusive upper bound of a bucket — the value Quantile() reports for
+  /// samples that landed in it (>= every value the bucket can hold, so
+  /// quantiles never under-report).
+  static int64_t BucketUpperBound(size_t index);
+
+  /// Records one sample. Wait-free except for the max update (a bounded
+  /// CAS loop that only retries while the max is actually moving).
+  void Record(int64_t value);
+
+  /// A merged, immutable view. All integer state, so two snapshots can be
+  /// combined exactly with Merge() in any order.
+  struct Snapshot {
+    uint64_t count = 0;
+    int64_t sum = 0;
+    int64_t max = 0;
+    std::vector<uint64_t> buckets;  // kNumBuckets wide once populated
+
+    /// Quantile in the recorded unit, q in [0, 1]. Reports the upper
+    /// bound of the bucket holding the q-th sample (q=1 reports max
+    /// exactly). Returns 0 on an empty snapshot.
+    int64_t Quantile(double q) const;
+
+    double Mean() const {
+      return count == 0 ? 0.0
+                        : static_cast<double>(sum) / static_cast<double>(count);
+    }
+
+    /// Exact integer merge; commutative and associative.
+    void Merge(const Snapshot& other);
+  };
+
+  Snapshot TakeSnapshot() const;
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> count{0};
+    std::atomic<int64_t> sum{0};
+    std::atomic<int64_t> max{0};
+    std::array<std::atomic<uint64_t>, kNumBuckets> buckets{};
+  };
+
+  static constexpr size_t kShards = 4;
+
+  Shard& ShardForThisThread();
+
+  std::array<Shard, kShards> shards_;
+};
+
+}  // namespace themis::obs
+
+#endif  // THEMIS_OBS_HISTOGRAM_H_

@@ -1,0 +1,110 @@
+#include "obs/metrics.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace themis::obs::prom {
+namespace {
+
+/// Prometheus label values escape backslash, double-quote, and newline.
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+void AppendLabels(std::string* out, const Labels& labels) {
+  if (labels.empty()) return;
+  *out += '{';
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) *out += ',';
+    *out += labels[i].first;
+    *out += "=\"";
+    *out += EscapeLabelValue(labels[i].second);
+    *out += '"';
+  }
+  *out += '}';
+}
+
+std::string FormatNumber(double value) {
+  char buf[64];
+  // %.17g round-trips any double; trailing precision is harmless to
+  // Prometheus parsers and keeps counts exact up to 2^53.
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+}  // namespace
+
+void AppendHeader(std::string* out, const std::string& name,
+                  const std::string& help, const std::string& type) {
+  *out += "# HELP " + name + " " + help + "\n";
+  *out += "# TYPE " + name + " " + type + "\n";
+}
+
+void AppendSample(std::string* out, const std::string& name,
+                  const Labels& labels, double value) {
+  *out += name;
+  AppendLabels(out, labels);
+  *out += ' ';
+  *out += FormatNumber(value);
+  *out += '\n';
+}
+
+const std::vector<double>& DefaultLatencyBucketsSeconds() {
+  static const std::vector<double> kBuckets = {
+      1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3,
+      1e-2, 2.5e-2, 5e-2, 0.1,  0.25,   0.5,  1.0,  2.5,    5.0,
+      10.0};
+  return kBuckets;
+}
+
+void AppendHistogramNs(std::string* out, const std::string& name,
+                       const Labels& labels, const Histogram::Snapshot& snap) {
+  const std::vector<double>& ladder = DefaultLatencyBucketsSeconds();
+  std::vector<uint64_t> per_le(ladder.size() + 1, 0);  // last = +Inf
+  for (size_t i = 0; i < snap.buckets.size(); ++i) {
+    if (snap.buckets[i] == 0) continue;
+    const double upper_s =
+        static_cast<double>(Histogram::BucketUpperBound(i)) * 1e-9;
+    size_t slot = ladder.size();
+    for (size_t j = 0; j < ladder.size(); ++j) {
+      if (upper_s <= ladder[j]) {
+        slot = j;
+        break;
+      }
+    }
+    per_le[slot] += snap.buckets[i];
+  }
+  uint64_t cumulative = 0;
+  for (size_t j = 0; j < ladder.size(); ++j) {
+    cumulative += per_le[j];
+    Labels with_le = labels;
+    with_le.emplace_back("le", FormatNumber(ladder[j]));
+    AppendSample(out, name + "_bucket", with_le,
+                 static_cast<double>(cumulative));
+  }
+  Labels inf = labels;
+  inf.emplace_back("le", "+Inf");
+  AppendSample(out, name + "_bucket", inf, static_cast<double>(snap.count));
+  AppendSample(out, name + "_sum", labels,
+               static_cast<double>(snap.sum) * 1e-9);
+  AppendSample(out, name + "_count", labels, static_cast<double>(snap.count));
+}
+
+}  // namespace themis::obs::prom

@@ -1,0 +1,60 @@
+#ifndef THEMIS_OBS_METRICS_H_
+#define THEMIS_OBS_METRICS_H_
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/histogram.h"
+#include "obs/trace.h"
+
+namespace themis::obs {
+
+/// The server-owned aggregate the serving path records into: one
+/// always-on end-to-end request-latency histogram, one histogram per
+/// trace stage (fed only by traced requests), and the bounded slow-query
+/// log. Lives for the server's lifetime; all members are internally
+/// thread-safe.
+struct ServingMetrics {
+  explicit ServingMetrics(size_t slow_log_capacity)
+      : slow_log(slow_log_capacity) {}
+
+  Histogram request_latency;  // ns; recorded once per served request
+  std::array<Histogram, kNumStages> stage_latency;  // ns; traced requests
+  SlowQueryLog slow_log;
+};
+
+/// Prometheus text-format (0.0.4) builders. Each Append* emits the
+/// `# HELP` / `# TYPE` header the first time a family name is used in
+/// `out` is the caller's responsibility — callers group all samples of a
+/// family together and call AppendHeader once before them.
+namespace prom {
+
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+void AppendHeader(std::string* out, const std::string& name,
+                  const std::string& help, const std::string& type);
+
+void AppendSample(std::string* out, const std::string& name,
+                  const Labels& labels, double value);
+
+/// Emits one histogram family member (`name_bucket{...,le=...}` lines in
+/// cumulative form plus `name_sum` / `name_count`) from a nanosecond
+/// snapshot, converted to seconds over the default serving bucket ladder.
+/// The fine log-linear bins are collapsed onto the ladder by assigning
+/// each bin to the smallest `le` that covers its upper bound, so the
+/// exposed buckets are conservative (never under-count a latency) and
+/// monotone by construction.
+void AppendHistogramNs(std::string* out, const std::string& name,
+                       const Labels& labels, const Histogram::Snapshot& snap);
+
+/// The ladder AppendHistogramNs exposes, in seconds (without +Inf).
+const std::vector<double>& DefaultLatencyBucketsSeconds();
+
+}  // namespace prom
+
+}  // namespace themis::obs
+
+#endif  // THEMIS_OBS_METRICS_H_

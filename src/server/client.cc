@@ -127,4 +127,12 @@ Result<ServerStats> Client::Stats() {
   return DecodeStatsResponse(response);
 }
 
+Result<std::string> Client::Metrics() {
+  WireRequest request;
+  request.verb = WireRequest::Verb::kMetrics;
+  THEMIS_ASSIGN_OR_RETURN(std::string response,
+                          RoundTrip(EncodeRequest(request)));
+  return DecodeMetricsResponse(response);
+}
+
 }  // namespace themis::server

@@ -62,6 +62,10 @@ class Client {
   /// The STATS verb: live server counters + per-relation cache counters.
   Result<ServerStats> Stats();
 
+  /// The METRICS verb: the server's Prometheus text exposition, verbatim
+  /// (ready to write to a scrape endpoint or a file).
+  Result<std::string> Metrics();
+
   /// Sends one raw line verbatim and returns the raw response line —
   /// how the tests probe the server's handling of malformed input.
   Result<std::string> RoundTrip(const std::string& line);

@@ -22,6 +22,7 @@
 #include "sql/executor.h"
 #include "util/cpu_topology.h"
 #include "util/eventfd.h"
+#include "util/logging.h"
 #include "util/string_util.h"
 
 namespace themis::server {
@@ -56,6 +57,15 @@ struct QueryServer::PendingResponse {
   std::shared_ptr<util::CancelToken> cancel;
   std::string line;
   std::atomic<bool> done{false};
+  /// Monotonic stamp of the request line's arrival on the I/O thread —
+  /// the base of the always-on end-to-end latency histogram.
+  int64_t received_ns = 0;
+  /// Monotonic stamp of the admission decision; with the pool task's
+  /// start it bounds the kQueueWait span.
+  int64_t admitted_ns = 0;
+  /// Non-null when this request is traced (sampled or slow-query mode);
+  /// owned here so the trace lives exactly as long as the request.
+  std::unique_ptr<obs::TraceContext> trace;
 };
 
 /// One admitted request between its drain pass and its pool dispatch:
@@ -116,6 +126,15 @@ QueryServer::QueryServer(const core::Catalog* catalog, Options options)
   max_inflight_ = options_.max_inflight > 0
                       ? options_.max_inflight
                       : catalog_->options().max_inflight;
+  trace_sample_n_ = options_.trace_sample_n > 0
+                        ? options_.trace_sample_n
+                        : catalog_->options().trace_sample_n;
+  slow_query_ms_ = options_.slow_query_ms > 0 ? options_.slow_query_ms
+                                              : catalog_->options().slow_query_ms;
+  const size_t slow_log_k = options_.slow_query_log_k > 0
+                                ? options_.slow_query_log_k
+                                : catalog_->options().slow_query_log_k;
+  metrics_ = std::make_unique<obs::ServingMetrics>(slow_log_k);
 }
 
 QueryServer::~QueryServer() { Stop(); }
@@ -196,6 +215,10 @@ Status QueryServer::Start() {
   for (size_t i = 0; i < num_io_threads_; ++i) {
     io_[i]->thread = std::thread([this, i] { IoLoop(i); });
   }
+  THEMIS_LOG(Info) << "query server listening on 127.0.0.1:" << port_
+                   << " (" << num_io_threads_ << " io threads, max_inflight "
+                   << max_inflight_ << ", trace_sample_n " << trace_sample_n_
+                   << ", slow_query_ms " << slow_query_ms_ << ")";
   return Status::OK();
 }
 
@@ -230,6 +253,13 @@ void QueryServer::Stop() {
     listen_fd_ = -1;
   }
   running_.store(false, std::memory_order_release);
+  THEMIS_LOG(Info) << "query server stopped (served_ok "
+                   << served_ok_.load(std::memory_order_relaxed)
+                   << ", served_error "
+                   << served_error_.load(std::memory_order_relaxed)
+                   << ", rejected_overload "
+                   << rejected_overload_.load(std::memory_order_relaxed)
+                   << ")";
 }
 
 void QueryServer::IoLoop(size_t index) {
@@ -511,7 +541,14 @@ void QueryServer::HandleLine(IoThread& io, Session& session,
     session.fifo.push_back(std::move(slot));
   };
 
+  // One clock read per request line: the base of the always-on end-to-end
+  // latency histogram. When any tracing is possible it also anchors the
+  // kParse span; with tracing fully off no further clocks are read here.
+  const int64_t received_ns = util::SteadyNowNs();
+  const bool trace_possible = trace_sample_n_ > 0 || slow_query_ms_ > 0;
+
   auto request = ParseRequest(line);
+  const int64_t parse_end_ns = trace_possible ? util::SteadyNowNs() : 0;
   if (!request.ok()) {
     // Answered inline, never admitted: served_ok/served_error count only
     // admitted requests, so admitted == served_ok + served_error +
@@ -519,10 +556,15 @@ void QueryServer::HandleLine(IoThread& io, Session& session,
     push_inline(EncodeErrorResponse(request.status()));
     return;
   }
-  // STATS bypasses admission control and the pool: it answers inline from
-  // counters, so overload stays observable while it is happening.
+  // STATS and METRICS bypass admission control and the pool: they answer
+  // inline from counters, so overload stays observable while it is
+  // happening.
   if (request->verb == WireRequest::Verb::kStats) {
     push_inline(ExecuteStats());
+    return;
+  }
+  if (request->verb == WireRequest::Verb::kMetrics) {
+    push_inline(EncodeMetricsResponse(MetricsText()));
     return;
   }
   // Admission control: claim an in-flight slot or bounce. The slot covers
@@ -557,6 +599,29 @@ void QueryServer::HandleLine(IoThread& io, Session& session,
   auto slot = std::make_shared<PendingResponse>();
   slot->cancel = std::make_shared<util::CancelToken>(
       std::min(deadline_ms, kMaxDeadlineMs));
+  slot->received_ns = received_ns;
+
+  // Sampling decision, after admission so rejected requests never burn a
+  // sampling slot: every Nth admitted request when trace_sample_n is set,
+  // every request when a slow-query threshold is armed (the trace is the
+  // only way to know after the fact that a request was slow).
+  if (trace_possible) {
+    const uint64_t seq = request_seq_.fetch_add(1, std::memory_order_relaxed);
+    const bool sampled =
+        trace_sample_n_ > 0 && seq % trace_sample_n_ == 0;
+    if (sampled || slow_query_ms_ > 0) {
+      slot->trace = std::make_unique<obs::TraceContext>(received_ns);
+      slot->trace->RecordSpan(obs::Stage::kParse, received_ns, parse_end_ns);
+      slot->trace->RecordSpan(obs::Stage::kAdmission, parse_end_ns,
+                              util::SteadyNowNs());
+      slot->trace->SetSql(request->verb == WireRequest::Verb::kBatch
+                              ? "<batch of " +
+                                    std::to_string(request->batch.size()) +
+                                    ">"
+                              : request->sql);
+    }
+    slot->admitted_ns = util::SteadyNowNs();
+  }
   session.fifo.push_back(slot);
 
   // Dispatch is deferred to the end of this drain pass (DispatchReady):
@@ -619,16 +684,24 @@ void QueryServer::SubmitSingle(size_t io_index, ReadyRequest ready) {
   }
   catalog_->pool()->Submit([this, io_index,
                             ready = std::move(ready)]() mutable {
+    obs::TraceContext* trace = ready.slot->trace.get();
+    if (trace != nullptr) {
+      trace->RecordSpan(obs::Stage::kQueueWait, ready.slot->admitted_ns,
+                        util::SteadyNowNs());
+    }
     std::string response;
     try {
       if (options_.request_hook) options_.request_hook();
-      response = ExecuteRequest(ready.request, ready.slot->cancel.get());
+      response =
+          ExecuteRequest(ready.request, ready.slot->cancel.get(), trace);
     } catch (...) {
       served_error_.fetch_add(1, std::memory_order_relaxed);
+      if (trace != nullptr) trace->SetStatus("Internal");
       response = EncodeErrorResponse(
           Status::Internal("request task threw an exception"));
     }
     inflight_.fetch_sub(1, std::memory_order_acq_rel);
+    RecordRequestDone(*ready.slot, util::SteadyNowNs());
     ready.slot->line = std::move(response);
     ready.slot->done.store(true, std::memory_order_release);
     PostCompletions(io_index, {ready.session_id});
@@ -652,6 +725,13 @@ void QueryServer::SubmitBatch(size_t io_index,
   batched_requests_.fetch_add(batch.size(), std::memory_order_relaxed);
   catalog_->pool()->Submit([this, io_index,
                             batch = std::move(batch)]() mutable {
+    const int64_t task_start_ns = util::SteadyNowNs();
+    for (const ReadyRequest& ready : batch) {
+      if (ready.slot->trace != nullptr) {
+        ready.slot->trace->RecordSpan(obs::Stage::kQueueWait,
+                                      ready.slot->admitted_ns, task_start_ns);
+      }
+    }
     std::vector<Result<sql::QueryResult>> results;
     try {
       if (options_.request_hook) options_.request_hook();
@@ -660,7 +740,7 @@ void QueryServer::SubmitBatch(size_t io_index,
       for (const ReadyRequest& ready : batch) {
         items.push_back(core::Catalog::QueryItem{
             ready.request.sql, ready.request.relation, ready.request.mode,
-            ready.slot->cancel.get()});
+            ready.slot->cancel.get(), ready.slot->trace.get()});
       }
       results = catalog_->QueryMany(items);
     } catch (...) {
@@ -673,12 +753,28 @@ void QueryServer::SubmitBatch(size_t io_index,
     std::vector<uint64_t> sessions;
     sessions.reserve(batch.size());
     for (size_t i = 0; i < batch.size(); ++i) {
-      std::string response =
-          i < results.size()
-              ? FinalizeOutcome(results[i])
-              : FinalizeOutcome(Result<sql::QueryResult>(
-                    Status::Internal("request task threw an exception")));
+      const Result<sql::QueryResult>* result =
+          i < results.size() ? &results[i] : nullptr;
+      obs::TraceContext* trace = batch[i].slot->trace.get();
+      std::string response;
+      {
+        obs::ScopedSpan span(trace, obs::Stage::kSerialize);
+        response = result != nullptr
+                       ? FinalizeOutcome(*result)
+                       : FinalizeOutcome(Result<sql::QueryResult>(
+                             Status::Internal(
+                                 "request task threw an exception")));
+      }
+      if (trace != nullptr) {
+        trace->SetStatus(result != nullptr && result->ok()
+                             ? "OK"
+                             : StatusCodeName(
+                                   result != nullptr
+                                       ? result->status().code()
+                                       : StatusCode::kInternal));
+      }
       inflight_.fetch_sub(1, std::memory_order_acq_rel);
+      RecordRequestDone(*batch[i].slot, util::SteadyNowNs());
       batch[i].slot->line = std::move(response);
       batch[i].slot->done.store(true, std::memory_order_release);
       sessions.push_back(batch[i].session_id);
@@ -739,9 +835,16 @@ std::string QueryServer::FinalizeOutcome(
 }
 
 std::string QueryServer::ExecuteRequest(const WireRequest& request,
-                                        const util::CancelToken* cancel) {
+                                        const util::CancelToken* cancel,
+                                        obs::TraceContext* trace) {
   if (request.verb == WireRequest::Verb::kBatch) {
-    auto results = catalog_->QueryBatch(request.batch, request.mode, cancel);
+    auto results =
+        catalog_->QueryBatch(request.batch, request.mode, cancel, trace);
+    if (trace != nullptr) {
+      trace->SetStatus(results.ok()
+                           ? "OK"
+                           : StatusCodeName(results.status().code()));
+    }
     if (!results.ok()) {
       served_error_.fetch_add(1, std::memory_order_relaxed);
       const Status& status = results.status();
@@ -753,13 +856,49 @@ std::string QueryServer::ExecuteRequest(const WireRequest& request,
       return EncodeErrorResponse(AsWireStatus(status));
     }
     served_ok_.fetch_add(1, std::memory_order_relaxed);
+    obs::ScopedSpan span(trace, obs::Stage::kSerialize);
     return EncodeBatchResponse(*results);
   }
-  auto result = request.relation.empty()
-                    ? catalog_->Query(request.sql, request.mode, cancel)
-                    : catalog_->QueryOn(request.relation, request.sql,
-                                        request.mode, cancel);
+  auto result =
+      request.relation.empty()
+          ? catalog_->Query(request.sql, request.mode, cancel, trace)
+          : catalog_->QueryOn(request.relation, request.sql, request.mode,
+                              cancel, trace);
+  if (trace != nullptr) {
+    trace->SetStatus(result.ok() ? "OK"
+                                 : StatusCodeName(result.status().code()));
+  }
+  obs::ScopedSpan span(trace, obs::Stage::kSerialize);
   return FinalizeOutcome(result);
+}
+
+void QueryServer::RecordRequestDone(PendingResponse& slot, int64_t end_ns) {
+  const int64_t total_ns = std::max<int64_t>(0, end_ns - slot.received_ns);
+  metrics_->request_latency.Record(total_ns);
+  obs::TraceContext* trace = slot.trace.get();
+  if (trace == nullptr) return;
+  for (size_t i = 0; i < obs::kNumStages; ++i) {
+    const auto stage = static_cast<obs::Stage>(i);
+    if (trace->StageCount(stage) == 0) continue;
+    metrics_->stage_latency[i].Record(trace->StageTotalNs(stage));
+  }
+  // With a slow-query threshold armed, only requests at or over it enter
+  // the log (and warn); pure sampling mode logs every sampled trace so
+  // the log always holds the worst of what was observed.
+  const bool slow =
+      slow_query_ms_ > 0 &&
+      total_ns >= static_cast<int64_t>(slow_query_ms_) * 1'000'000;
+  if (slow_query_ms_ > 0 && !slow) return;
+  if (metrics_->slow_log.capacity() == 0) return;
+  obs::SlowQueryEntry entry = trace->Finish(total_ns);
+  if (slow) {
+    THEMIS_LOG(Warning) << "slow query: " << total_ns / 1'000'000
+                        << " ms (threshold " << slow_query_ms_
+                        << " ms), relation '" << entry.relation
+                        << "', status " << entry.status << ", sql: "
+                        << entry.sql;
+  }
+  metrics_->slow_log.Offer(std::move(entry));
 }
 
 std::string QueryServer::ExecuteStats() {
@@ -767,7 +906,163 @@ std::string QueryServer::ExecuteStats() {
   stats.server = counters();
   stats.host = HostStatsNow();
   stats.relations = catalog_->Stats();
+  stats.slow_queries = metrics_->slow_log.Snapshot();
   return EncodeStatsResponse(stats);
+}
+
+std::string QueryServer::MetricsText() const {
+  using obs::prom::AppendHeader;
+  using obs::prom::AppendHistogramNs;
+  using obs::prom::AppendSample;
+  using obs::prom::Labels;
+
+  std::string out;
+  const ServerCounters c = counters();
+
+  const auto counter = [&out](const std::string& name, const char* help,
+                              double value) {
+    AppendHeader(&out, name, help, "counter");
+    AppendSample(&out, name, {}, value);
+  };
+  const auto gauge = [&out](const std::string& name, const char* help,
+                            double value) {
+    AppendHeader(&out, name, help, "gauge");
+    AppendSample(&out, name, {}, value);
+  };
+
+  AppendHeader(&out, "themis_requests_total",
+               "Admitted requests that completed, by outcome.", "counter");
+  AppendSample(&out, "themis_requests_total", {{"outcome", "ok"}},
+               static_cast<double>(c.served_ok));
+  AppendSample(&out, "themis_requests_total", {{"outcome", "error"}},
+               static_cast<double>(c.served_error));
+
+  counter("themis_requests_deadline_exceeded_total",
+          "Requests that unwound cooperatively past their deadline.",
+          static_cast<double>(c.served_deadline_exceeded));
+  counter("themis_requests_cancelled_total",
+          "Requests cancelled by client disconnect mid-query.",
+          static_cast<double>(c.served_cancelled));
+  counter("themis_requests_rejected_overload_total",
+          "Requests bounced by admission control.",
+          static_cast<double>(c.rejected_overload));
+  counter("themis_requests_admitted_total",
+          "Requests admitted past admission control.",
+          static_cast<double>(c.admitted));
+  counter("themis_connections_accepted_total", "Accepted TCP connections.",
+          static_cast<double>(c.accepted_connections));
+  counter("themis_micro_batches_formed_total",
+          "Pool tasks carrying >= 2 logical requests from one drain pass.",
+          static_cast<double>(c.batches_formed));
+  counter("themis_micro_batched_requests_total",
+          "Logical requests carried inside micro-batch tasks.",
+          static_cast<double>(c.batched_requests));
+
+  gauge("themis_inflight_requests",
+        "Requests currently queued or executing on the pool.",
+        static_cast<double>(c.inflight));
+  gauge("themis_active_connections",
+        "Sessions currently registered with an I/O thread.",
+        static_cast<double>(c.active_connections));
+  gauge("themis_max_inflight", "Admission-control in-flight bound.",
+        static_cast<double>(c.max_inflight));
+  gauge("themis_io_threads", "Epoll event-loop threads.",
+        static_cast<double>(c.io_threads));
+
+  AppendHeader(&out, "themis_request_latency_seconds",
+               "End-to-end request latency (arrival on the I/O thread to "
+               "response ready), all admitted requests.",
+               "histogram");
+  AppendHistogramNs(&out, "themis_request_latency_seconds", {},
+                    metrics_->request_latency.TakeSnapshot());
+
+  // The stage family only appears once a trace has recorded into it —
+  // a histogram TYPE header with zero bucket series is not a valid
+  // exposition, and with sampling off there is nothing to say.
+  bool stage_header_written = false;
+  for (size_t i = 0; i < obs::kNumStages; ++i) {
+    const obs::Histogram::Snapshot snap = metrics_->stage_latency[i].TakeSnapshot();
+    if (snap.count == 0) continue;
+    if (!stage_header_written) {
+      AppendHeader(&out, "themis_stage_latency_seconds",
+                   "Per-request total time in each serving stage (traced "
+                   "requests only).",
+                   "histogram");
+      stage_header_written = true;
+    }
+    AppendHistogramNs(&out, "themis_stage_latency_seconds",
+                      {{"stage", obs::StageName(static_cast<obs::Stage>(i))}},
+                      snap);
+  }
+
+  // Per-relation cache and executor counters, labeled by relation.
+  const std::map<std::string, core::RelationStats> relations =
+      catalog_->Stats();
+  const auto relation_family =
+      [&out, &relations](const std::string& name, const char* help,
+                         const char* type,
+                         const std::function<double(
+                             const core::RelationStats&)>& get) {
+        AppendHeader(&out, name, help, type);
+        for (const auto& [relation, stats] : relations) {
+          AppendSample(&out, name, {{"relation", relation}}, get(stats));
+        }
+      };
+  if (!relations.empty()) {
+    relation_family("themis_plan_cache_hits_total", "Plan cache hits.",
+                    "counter", [](const core::RelationStats& s) {
+                      return static_cast<double>(s.plan_cache_hits);
+                    });
+    relation_family("themis_plan_cache_misses_total", "Plan cache misses.",
+                    "counter", [](const core::RelationStats& s) {
+                      return static_cast<double>(s.plan_cache_misses);
+                    });
+    relation_family("themis_result_memo_hits_total", "Result memo hits.",
+                    "counter", [](const core::RelationStats& s) {
+                      return static_cast<double>(s.result_memo.hits);
+                    });
+    relation_family("themis_result_memo_misses_total",
+                    "Result memo misses.", "counter",
+                    [](const core::RelationStats& s) {
+                      return static_cast<double>(s.result_memo.misses);
+                    });
+    relation_family("themis_result_memo_entries", "Resident memo entries.",
+                    "gauge", [](const core::RelationStats& s) {
+                      return static_cast<double>(s.result_memo.entries);
+                    });
+    relation_family("themis_coalesced_flights_total",
+                    "Distinct single-flight executions led.", "counter",
+                    [](const core::RelationStats& s) {
+                      return static_cast<double>(
+                          s.result_memo.coalesced_flights);
+                    });
+    relation_family("themis_coalesced_hits_total",
+                    "Requests that attached to an in-flight execution.",
+                    "counter", [](const core::RelationStats& s) {
+                      return static_cast<double>(s.result_memo.coalesced_hits);
+                    });
+    relation_family("themis_inference_cache_hits_total",
+                    "BN inference cache hits.", "counter",
+                    [](const core::RelationStats& s) {
+                      return static_cast<double>(s.inference_cache.hits);
+                    });
+    relation_family("themis_inference_cache_misses_total",
+                    "BN inference cache misses.", "counter",
+                    [](const core::RelationStats& s) {
+                      return static_cast<double>(s.inference_cache.misses);
+                    });
+    relation_family("themis_executor_rows_scanned_total",
+                    "Rows fed through the filter pipeline.", "counter",
+                    [](const core::RelationStats& s) {
+                      return static_cast<double>(s.executor.rows_scanned);
+                    });
+    relation_family("themis_executor_shards_executed_total",
+                    "Scan/join shards whose body ran.", "counter",
+                    [](const core::RelationStats& s) {
+                      return static_cast<double>(s.executor.shards_executed);
+                    });
+  }
+  return out;
 }
 
 HostStats HostStatsNow() {

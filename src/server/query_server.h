@@ -11,6 +11,8 @@
 #include <vector>
 
 #include "core/catalog.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "server/wire.h"
 #include "util/cancel.h"
 #include "util/status.h"
@@ -98,6 +100,16 @@ class QueryServer {
     /// stays bounded.
     size_t micro_batch_max = 64;
 
+    /// Tracing overrides (each overrides its ThemisOptions counterpart
+    /// when positive, like max_inflight above — so tests can turn tracing
+    /// on without rebuilding the catalog). trace_sample_n traces every Nth
+    /// admitted request; slow_query_ms additionally traces *every* request
+    /// and logs the ones at or over the threshold; slow_query_log_k sizes
+    /// the bounded worst-K slow-query log.
+    size_t trace_sample_n = 0;
+    uint64_t slow_query_ms = 0;
+    size_t slow_query_log_k = 0;
+
     /// Test-only: runs inside every admitted pool task (single request or
     /// micro-batch) before the query executes. Lets tests hold slots open
     /// deterministically (admission control, drain-on-shutdown, deadline
@@ -141,6 +153,15 @@ class QueryServer {
   /// Live server counters (the server half of the STATS verb).
   ServerCounters counters() const;
 
+  /// The server-owned latency histograms and slow-query log — how the
+  /// serving bench reads the server-side percentiles in-process.
+  const obs::ServingMetrics& metrics() const { return *metrics_; }
+
+  /// Renders the full Prometheus text exposition (the METRICS verb's
+  /// payload): server counters, request/stage latency histograms, and the
+  /// per-relation cache counters.
+  std::string MetricsText() const;
+
  private:
   struct PendingResponse;  // one FIFO slot: cancel token + response line
   struct Session;          // one connection, owned by one I/O thread
@@ -182,7 +203,14 @@ class QueryServer {
 
   /// Executes one admitted request on the calling (pool) thread.
   std::string ExecuteRequest(const WireRequest& request,
-                             const util::CancelToken* cancel);
+                             const util::CancelToken* cancel,
+                             obs::TraceContext* trace);
+
+  /// Always-on per-request accounting at completion time: records the
+  /// end-to-end latency histogram, and for traced requests flushes the
+  /// per-stage totals into the stage histograms and offers the trace to
+  /// the slow-query log.
+  void RecordRequestDone(PendingResponse& slot, int64_t end_ns);
 
   /// Per-logical-request bookkeeping shared by the single and micro-batch
   /// paths: bumps served_ok / served_error (+ deadline/cancel tallies) and
@@ -203,6 +231,13 @@ class QueryServer {
   size_t num_io_threads_ = 0;
   /// ThemisOptions::default_deadline_ms, latched at Start().
   uint64_t default_deadline_ms_ = 0;
+  /// Resolved tracing config (Options override or ThemisOptions).
+  size_t trace_sample_n_ = 0;
+  uint64_t slow_query_ms_ = 0;
+  /// Heap-held so the (deleted-copy) histograms don't constrain the class.
+  std::unique_ptr<obs::ServingMetrics> metrics_;
+  /// Admitted query/batch requests, for the every-Nth sampling decision.
+  std::atomic<uint64_t> request_seq_{0};
 
   int listen_fd_ = -1;
   uint16_t port_ = 0;
@@ -222,6 +257,14 @@ class QueryServer {
   std::condition_variable drain_cv_;
   size_t tasks_active_ = 0;
 
+  /// Counter ordering policy (audited with the STATS/METRICS-vs-traffic
+  /// race test): monotonic counters use relaxed increments — they carry
+  /// no cross-thread data, and a scrape is a point-in-time sample, not a
+  /// consistent cut. `inflight_` is the exception (acq_rel: its CAS is
+  /// the admission gate), as is each slot's `done` flag (release/acquire:
+  /// it publishes the response buffer and the histogram/served_* updates
+  /// made before it, which is what makes the METRICS count identity
+  /// exact once a client has its answer).
   std::atomic<size_t> accepted_connections_{0};
   std::atomic<size_t> open_sessions_{0};
   std::atomic<size_t> admitted_{0};

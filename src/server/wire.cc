@@ -552,6 +552,63 @@ core::RelationStats RelationStatsFromJson(const JsonValue& json) {
   return stats;
 }
 
+// --- Slow-query log <-> JSON ------------------------------------------
+
+JsonValue SlowQueryEntryToJson(const obs::SlowQueryEntry& entry) {
+  JsonValue object = JsonValue::Object();
+  object.Set("sql", JsonValue::String(entry.sql));
+  object.Set("relation", JsonValue::String(entry.relation));
+  object.Set("fingerprint", JsonValue::String(entry.fingerprint));
+  object.Set("status", JsonValue::String(entry.status));
+  object.Set("total_ns",
+             JsonValue::Number(static_cast<double>(entry.total_ns)));
+  JsonValue stages = JsonValue::Object();
+  for (size_t i = 0; i < obs::kNumStages; ++i) {
+    const obs::StageSpan& span = entry.stages[i];
+    if (span.count == 0) continue;  // stages that never ran stay off the wire
+    JsonValue stage = JsonValue::Object();
+    stage.Set("count", JsonValue::Number(static_cast<double>(span.count)));
+    stage.Set("total_ns",
+              JsonValue::Number(static_cast<double>(span.total_ns)));
+    stage.Set("begin_rel_ns", JsonValue::Number(static_cast<double>(
+                                  span.first_begin_rel_ns)));
+    stage.Set("end_rel_ns",
+              JsonValue::Number(static_cast<double>(span.last_end_rel_ns)));
+    stages.Set(obs::StageName(static_cast<obs::Stage>(i)), std::move(stage));
+  }
+  object.Set("stages", std::move(stages));
+  return object;
+}
+
+obs::SlowQueryEntry SlowQueryEntryFromJson(const JsonValue& json) {
+  obs::SlowQueryEntry entry;
+  entry.sql = StringFrom(json, "sql");
+  entry.relation = StringFrom(json, "relation");
+  entry.fingerprint = StringFrom(json, "fingerprint");
+  entry.status = StringFrom(json, "status");
+  entry.total_ns = static_cast<int64_t>(CounterFrom(json, "total_ns"));
+  if (const JsonValue* stages = json.Find("stages")) {
+    for (size_t i = 0; i < obs::kNumStages; ++i) {
+      const JsonValue* stage =
+          stages->Find(obs::StageName(static_cast<obs::Stage>(i)));
+      if (stage == nullptr) continue;
+      obs::StageSpan& span = entry.stages[i];
+      span.count = CounterFrom(*stage, "count");
+      span.total_ns = static_cast<int64_t>(CounterFrom(*stage, "total_ns"));
+      const JsonValue* begin = stage->Find("begin_rel_ns");
+      const JsonValue* end = stage->Find("end_rel_ns");
+      if (begin != nullptr && begin->is_number()) {
+        span.first_begin_rel_ns =
+            static_cast<int64_t>(begin->number_value());
+      }
+      if (end != nullptr && end->is_number()) {
+        span.last_end_rel_ns = static_cast<int64_t>(end->number_value());
+      }
+    }
+  }
+  return entry;
+}
+
 /// Parses a response line and checks its "status" member: returns the
 /// parsed object for OK lines, the restored error Status otherwise.
 Result<JsonValue> ParseOkResponse(const std::string& line) {
@@ -675,9 +732,13 @@ Result<WireRequest> ParseRequest(const std::string& line) {
       request.verb = WireRequest::Verb::kStats;
       return request;
     }
+    if (name == "metrics") {
+      request.verb = WireRequest::Verb::kMetrics;
+      return request;
+    }
     if (name != "query") {
       return Status::InvalidArgument("unknown verb '" + verb->string_value() +
-                                     "' (expected query/stats)");
+                                     "' (expected query/stats/metrics)");
     }
   }
 
@@ -745,6 +806,9 @@ std::string EncodeRequest(const WireRequest& request) {
     case WireRequest::Verb::kStats:
       json.Set("verb", JsonValue::String("stats"));
       return json.Dump();
+    case WireRequest::Verb::kMetrics:
+      json.Set("verb", JsonValue::String("metrics"));
+      return json.Dump();
     case WireRequest::Verb::kQuery:
       json.Set("sql", JsonValue::String(request.sql));
       if (!request.relation.empty()) {
@@ -801,7 +865,19 @@ std::string EncodeStatsResponse(const ServerStats& stats) {
     relations.Set(name, RelationStatsToJson(relation_stats));
   }
   body.Set("relations", std::move(relations));
+  JsonValue slow = JsonValue::Array();
+  for (const obs::SlowQueryEntry& entry : stats.slow_queries) {
+    slow.Append(SlowQueryEntryToJson(entry));
+  }
+  body.Set("slow_queries", std::move(slow));
   response.Set("stats", std::move(body));
+  return response.Dump();
+}
+
+std::string EncodeMetricsResponse(const std::string& prometheus_text) {
+  JsonValue response = JsonValue::Object();
+  response.Set("status", JsonValue::String("OK"));
+  response.Set("metrics", JsonValue::String(prometheus_text));
   return response.Dump();
 }
 
@@ -917,7 +993,23 @@ Result<ServerStats> DecodeStatsResponse(const std::string& line) {
       stats.relations.emplace(name, RelationStatsFromJson(relation_json));
     }
   }
+  if (const JsonValue* slow = body->Find("slow_queries");
+      slow != nullptr && slow->is_array()) {
+    stats.slow_queries.reserve(slow->items().size());
+    for (const JsonValue& item : slow->items()) {
+      stats.slow_queries.push_back(SlowQueryEntryFromJson(item));
+    }
+  }
   return stats;
+}
+
+Result<std::string> DecodeMetricsResponse(const std::string& line) {
+  THEMIS_ASSIGN_OR_RETURN(JsonValue json, ParseOkResponse(line));
+  const JsonValue* metrics = json.Find("metrics");
+  if (metrics == nullptr || !metrics->is_string()) {
+    return Status::ParseError("response missing 'metrics'");
+  }
+  return metrics->string_value();
 }
 
 }  // namespace themis::server

@@ -8,6 +8,7 @@
 
 #include "core/catalog.h"
 #include "core/evaluator.h"
+#include "obs/trace.h"
 #include "sql/executor.h"
 #include "util/status.h"
 
@@ -84,15 +85,17 @@ inline constexpr uint64_t kMaxDeadlineMs = 365ull * 24 * 60 * 60 * 1000;
 ///   {"sql": "SELECT ...", "relation": "flights", "mode": "hybrid"}
 ///   {"batch": ["SELECT ...", "SELECT ..."], "mode": "sample"}
 ///   {"verb": "stats"}
+///   {"verb": "metrics"}
 ///
 /// `relation` (optional) bypasses FROM-routing via Catalog::QueryOn —
 /// required when relations share a SQL table name. `mode` defaults to
-/// hybrid. `verb` defaults to "query"; "stats" takes no other fields.
+/// hybrid. `verb` defaults to "query"; "stats" and "metrics" take no
+/// other fields ("metrics" answers the Prometheus text exposition).
 /// `deadline_ms` (optional, query/batch) is the request's execution
 /// budget in milliseconds from admission; 0 or absent defers to the
 /// server's ThemisOptions::default_deadline_ms.
 struct WireRequest {
-  enum class Verb { kQuery, kBatch, kStats };
+  enum class Verb { kQuery, kBatch, kStats, kMetrics };
   Verb verb = Verb::kQuery;
   std::string sql;                 // kQuery
   std::vector<std::string> batch;  // kBatch
@@ -164,6 +167,11 @@ struct ServerStats {
   ServerCounters server;
   HostStats host;
   std::map<std::string, core::RelationStats> relations;
+  /// The server's bounded slow-query log, slowest first: the K worst
+  /// traced requests with plan fingerprint, relation, and per-stage
+  /// breakdown (empty when tracing never ran). Durations ride the wire in
+  /// integer nanoseconds, so they round-trip exactly.
+  std::vector<obs::SlowQueryEntry> slow_queries;
 };
 
 /// Response encoders. Every response is a single-line JSON object whose
@@ -172,6 +180,9 @@ struct ServerStats {
 std::string EncodeResultResponse(const sql::QueryResult& result);
 std::string EncodeBatchResponse(const std::vector<sql::QueryResult>& results);
 std::string EncodeStatsResponse(const ServerStats& stats);
+/// The METRICS verb's answer: the Prometheus exposition text carried as
+/// one JSON string member ("metrics"), keeping the wire line-delimited.
+std::string EncodeMetricsResponse(const std::string& prometheus_text);
 std::string EncodeErrorResponse(const Status& status);
 
 /// Client-side decoders: the inverse of the encoders above, restoring the
@@ -181,6 +192,8 @@ Result<sql::QueryResult> DecodeResultResponse(const std::string& line);
 Result<std::vector<sql::QueryResult>> DecodeBatchResponse(
     const std::string& line);
 Result<ServerStats> DecodeStatsResponse(const std::string& line);
+/// Restores the raw Prometheus text from a METRICS response line.
+Result<std::string> DecodeMetricsResponse(const std::string& line);
 
 /// Line framing over a socket, shared by the blocking client (and any
 /// blocking caller; the epoll server has its own non-blocking flush

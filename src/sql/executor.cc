@@ -1351,15 +1351,17 @@ void Executor::RegisterTable(const std::string& name,
 Result<QueryResult> Executor::Query(const std::string& sql,
                                     util::ThreadPool* pool,
                                     size_t shard_rows,
-                                    const util::CancelToken* cancel) const {
+                                    const util::CancelToken* cancel,
+                                    obs::TraceContext* trace) const {
   THEMIS_ASSIGN_OR_RETURN(SelectStatement stmt, Parse(sql));
-  return Execute(stmt, pool, shard_rows, cancel);
+  return Execute(stmt, pool, shard_rows, cancel, trace);
 }
 
 Result<QueryResult> Executor::Execute(const SelectStatement& stmt,
                                       util::ThreadPool* pool,
                                       size_t shard_rows,
-                                      const util::CancelToken* cancel) const {
+                                      const util::CancelToken* cancel,
+                                      obs::TraceContext* trace) const {
   // Entry poll: an already-expired deadline (or a disconnected client)
   // unwinds before any shard runs, so small unsharded queries still honor
   // cancellation deterministically.
@@ -1382,6 +1384,7 @@ Result<QueryResult> Executor::Execute(const SelectStatement& stmt,
   for (const BoundTable& bt : q.tables) {
     if (bt.table->num_rows() >
         static_cast<size_t>(std::numeric_limits<int32_t>::max())) {
+      obs::ScopedSpan span(trace, obs::Stage::kExecutorScan);
       QueryResult wide = ExecuteRowAtATime(q, pool, kShardRows);
       uint64_t scanned = 0;
       for (const BoundTable& scanned_table : q.tables) {
@@ -1396,8 +1399,13 @@ Result<QueryResult> Executor::Execute(const SelectStatement& stmt,
   ExecutorStats local;
   CancelScope scope;
   scope.token = cancel;
-  QueryResult result = ExecuteVectorized(q, *kernels_, pool, kShardRows,
-                                         local, scope);
+  QueryResult result = [&] {
+    // The shard-loop span: everything from the first filter kernel to the
+    // sorted materialization, the executor's share of a request's
+    // end-to-end latency in METRICS' stage histograms.
+    obs::ScopedSpan span(trace, obs::Stage::kExecutorScan);
+    return ExecuteVectorized(q, *kernels_, pool, kShardRows, local, scope);
+  }();
   local.groups_emitted = result.rows.size();
   counters_->rows_scanned.fetch_add(local.rows_scanned,
                                     std::memory_order_relaxed);

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "data/table.h"
+#include "obs/trace.h"
 #include "simd/simd.h"
 #include "sql/ast.h"
 #include "util/cancel.h"
@@ -151,11 +152,14 @@ class Executor {
   /// Registers `table` under `name` (pointer must outlive the executor).
   void RegisterTable(const std::string& name, const data::Table* table);
 
-  /// Parses and executes `sql`.
+  /// Parses and executes `sql`. `trace` (optional, like `cancel`) records
+  /// the shard-loop portion of the execution as an obs::Stage::
+  /// kExecutorScan span; a null trace costs one pointer check.
   Result<QueryResult> Query(const std::string& sql,
                             util::ThreadPool* pool = nullptr,
                             size_t shard_rows = 0,
-                            const util::CancelToken* cancel = nullptr) const;
+                            const util::CancelToken* cancel = nullptr,
+                            obs::TraceContext* trace = nullptr) const;
 
   /// Executes a parsed statement. With a pool, large single-table scans,
   /// the build side of large hash joins, and hash-join probes are sharded
@@ -175,7 +179,8 @@ class Executor {
   Result<QueryResult> Execute(const SelectStatement& stmt,
                               util::ThreadPool* pool = nullptr,
                               size_t shard_rows = 0,
-                              const util::CancelToken* cancel = nullptr) const;
+                              const util::CancelToken* cancel = nullptr,
+                              obs::TraceContext* trace = nullptr) const;
 
   /// The retained row-at-a-time reference implementation (the
   /// pre-vectorization executor, kept verbatim): label-string group and

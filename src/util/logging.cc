@@ -1,11 +1,33 @@
 #include "util/logging.h"
 
+#include <sys/time.h>
+
 #include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
 
 namespace themis {
 
 namespace {
-std::atomic<LogLevel> g_log_level{LogLevel::kWarning};
+
+/// THEMIS_LOG_LEVEL, read once at first use (env-snapshot discipline like
+/// THEMIS_SIMD / THEMIS_SHARD_ROWS: changing the variable mid-process has
+/// no effect). Accepts error/warn(ing)/info/debug, case-sensitive lower
+/// like the other knobs; unset or unrecognized keeps the kWarning default.
+LogLevel LevelFromEnv() {
+  const char* env = std::getenv("THEMIS_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::kWarning;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(env, "warn") == 0 || std::strcmp(env, "warning") == 0) {
+    return LogLevel::kWarning;
+  }
+  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
+  return LogLevel::kWarning;
+}
+
+std::atomic<LogLevel> g_log_level{LevelFromEnv()};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -20,6 +42,23 @@ const char* LevelName(LogLevel level) {
   }
   return "?";
 }
+
+/// Wall-clock stamp with millisecond resolution ("2026-08-07 12:34:56.789"),
+/// local time — log lines correlate with the operator's clock, while all
+/// latency math stays on the monotonic clock.
+void AppendTimestamp(std::ostream& out) {
+  timeval tv{};
+  ::gettimeofday(&tv, nullptr);
+  std::tm tm{};
+  ::localtime_r(&tv.tv_sec, &tm);
+  char buf[40];
+  const size_t n = std::strftime(buf, sizeof(buf), "%Y-%m-%d %H:%M:%S", &tm);
+  char ms[8];
+  std::snprintf(ms, sizeof(ms), ".%03d", static_cast<int>(tv.tv_usec / 1000));
+  out.write(buf, static_cast<std::streamsize>(n));
+  out << ms;
+}
+
 }  // namespace
 
 LogLevel GetLogLevel() { return g_log_level.load(std::memory_order_relaxed); }
@@ -33,7 +72,9 @@ namespace internal {
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : enabled_(level >= GetLogLevel()) {
   if (enabled_) {
-    stream_ << "[" << LevelName(level) << " " << file << ":" << line << "] ";
+    stream_ << "[";
+    AppendTimestamp(stream_);
+    stream_ << " " << LevelName(level) << " " << file << ":" << line << "] ";
   }
 }
 
@@ -46,7 +87,9 @@ LogMessage::~LogMessage() {
 
 FatalLogMessage::FatalLogMessage(const char* file, int line,
                                  const char* expr) {
-  stream_ << "[FATAL " << file << ":" << line << "] Check failed: " << expr
+  stream_ << "[";
+  AppendTimestamp(stream_);
+  stream_ << " FATAL " << file << ":" << line << "] Check failed: " << expr
           << " ";
 }
 

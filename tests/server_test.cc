@@ -775,6 +775,257 @@ TEST_F(ServerTest, CoalescedFollowerDeadlineCountsPerLogicalRequest) {
   server.Stop();
 }
 
+/// Pulls "name value" (no labels) out of a Prometheus exposition; -1
+/// when absent.
+double MetricValue(const std::string& text, const std::string& name) {
+  const std::string needle = name + " ";
+  size_t pos = 0;
+  while ((pos = text.find(needle, pos)) != std::string::npos) {
+    if (pos == 0 || text[pos - 1] == '\n') {
+      return std::stod(text.substr(pos + needle.size()));
+    }
+    pos += needle.size();
+  }
+  return -1.0;
+}
+
+TEST_F(ServerTest, MetricsVerbExposesPrometheusTextWithCountIdentity) {
+  auto db = MakeDb(FastOptions(4));
+  QueryServer::Options options;
+  options.trace_sample_n = 1;  // trace everything: stage histograms fill
+  QueryServer server(&db->catalog(), options);
+  ASSERT_TRUE(server.Start().ok());
+  auto client = Client::Connect(server.port());
+  ASSERT_TRUE(client.ok());
+
+  for (const std::string& sql : MixedQueries()) {
+    auto result = client->Query(sql);
+    ASSERT_TRUE(result.ok()) << sql << ": " << result.status().ToString();
+  }
+  // One error outcome: a registered-but-unbuilt relation.
+  auto pending = client->Query("SELECT COUNT(*) FROM pending");
+  EXPECT_EQ(pending.status().code(), StatusCode::kFailedPrecondition);
+
+  auto text = client->Metrics();
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  EXPECT_NE(text->find("# TYPE themis_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(
+      text->find("# TYPE themis_request_latency_seconds histogram"),
+      std::string::npos);
+  // Traced requests populate the per-stage histograms.
+  EXPECT_NE(text->find("themis_stage_latency_seconds_bucket{stage=\"execute\""),
+            std::string::npos);
+  EXPECT_NE(
+      text->find(
+          "themis_stage_latency_seconds_bucket{stage=\"plan_lookup\""),
+      std::string::npos);
+  // Per-relation families carry the relation label.
+  EXPECT_NE(text->find("themis_plan_cache_misses_total{relation=\"flights\"}"),
+            std::string::npos);
+
+  // The acceptance invariant: the request-latency histogram records once
+  // per served request, so its count equals served_ok + served_error
+  // (METRICS and STATS answer inline and are excluded from both sides).
+  auto stats = client->Stats();
+  ASSERT_TRUE(stats.ok());
+  const double expected_count = static_cast<double>(
+      stats->server.served_ok + stats->server.served_error);
+  EXPECT_EQ(MetricValue(*text, "themis_request_latency_seconds_count"),
+            expected_count);
+  EXPECT_EQ(MetricValue(*text, "themis_requests_total{outcome=\"ok\"}"),
+            static_cast<double>(stats->server.served_ok));
+  EXPECT_EQ(MetricValue(*text, "themis_requests_total{outcome=\"error\"}"),
+            static_cast<double>(stats->server.served_error));
+  server.Stop();
+}
+
+TEST_F(ServerTest, TracingOnOffAnswersBitwiseIdentical) {
+  auto db = MakeDb(FastOptions(4));
+  std::vector<sql::QueryResult> traced_answers;
+  for (const bool traced : {false, true}) {
+    QueryServer::Options options;
+    options.trace_sample_n = traced ? 1 : 0;
+    QueryServer server(&db->catalog(), options);
+    ASSERT_TRUE(server.Start().ok());
+    auto client = Client::Connect(server.port());
+    ASSERT_TRUE(client.ok());
+    size_t i = 0;
+    for (const std::string& sql : MixedQueries()) {
+      auto result = client->Query(sql);
+      ASSERT_TRUE(result.ok()) << sql;
+      if (!traced) {
+        traced_answers.push_back(std::move(*result));
+      } else {
+        ExpectBitwiseEqual(*result, traced_answers[i], sql);
+      }
+      ++i;
+    }
+    server.Stop();
+  }
+}
+
+/// The deterministic trace test from the issue: with one I/O thread and
+/// every request traced, a parked leader and an attached follower must
+/// leave distinguishable traces — the leader records execution, the
+/// follower records a single-flight wait and NO execution — and the
+/// leader's spans must be well-ordered (parse -> admission -> queue wait
+/// -> plan lookup -> execute -> serialize).
+TEST_F(ServerTest, CoalescedFollowerTraceRecordsWaitAndNoExecution) {
+  auto db = MakeDb(FastOptions(4));
+  const core::HybridEvaluator* flights = db->catalog().evaluator("flights");
+  ASSERT_NE(flights, nullptr);
+  std::promise<void> release;
+  std::shared_future<void> released = release.get_future().share();
+  auto first = std::make_shared<std::atomic<bool>>(true);
+  flights->set_uncached_execute_hook([released, first] {
+    if (first->exchange(false)) released.wait();
+  });
+  QueryServer::Options options;
+  options.io_threads = 1;
+  options.trace_sample_n = 1;
+  QueryServer server(&db->catalog(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  const std::string sql =
+      "SELECT o_st, d_st, COUNT(*) FROM flights GROUP BY o_st, d_st";
+  auto leader = Client::Connect(server.port());
+  ASSERT_TRUE(leader.ok());
+  ASSERT_TRUE(leader->Send("{\"sql\": \"" + sql + "\"}").ok());
+  while (flights->result_memo_stats().coalesced_flights < 1) {
+    std::this_thread::yield();
+  }
+  auto follower = Client::Connect(server.port());
+  ASSERT_TRUE(follower.ok());
+  ASSERT_TRUE(follower->Send("{\"sql\": \"" + sql + "\"}").ok());
+  while (flights->result_memo_stats().coalesced_hits < 1) {
+    std::this_thread::yield();
+  }
+  release.set_value();
+  ASSERT_TRUE(leader->Receive().ok());
+  ASSERT_TRUE(follower->Receive().ok());
+
+  auto stats = leader->Stats();
+  ASSERT_TRUE(stats.ok());
+  ASSERT_EQ(stats->slow_queries.size(), 2u);
+
+  const auto stage = [](const obs::SlowQueryEntry& entry, obs::Stage s)
+      -> const obs::StageSpan& {
+    return entry.stages[static_cast<size_t>(s)];
+  };
+  // Classify the two entries by their execution span: exactly one of the
+  // two logical requests actually executed the plan.
+  const obs::SlowQueryEntry* leader_entry = nullptr;
+  const obs::SlowQueryEntry* follower_entry = nullptr;
+  for (const obs::SlowQueryEntry& entry : stats->slow_queries) {
+    EXPECT_EQ(entry.sql, sql);
+    EXPECT_EQ(entry.status, "OK");
+    if (stage(entry, obs::Stage::kExecute).count > 0) {
+      leader_entry = &entry;
+    } else {
+      follower_entry = &entry;
+    }
+  }
+  ASSERT_NE(leader_entry, nullptr);
+  ASSERT_NE(follower_entry, nullptr);
+
+  // The follower: parked in the single-flight wait, zero execution.
+  EXPECT_EQ(stage(*follower_entry, obs::Stage::kExecute).count, 0u);
+  EXPECT_EQ(stage(*follower_entry, obs::Stage::kExecutorScan).count, 0u);
+  EXPECT_GE(stage(*follower_entry, obs::Stage::kSingleFlightWait).count, 1u);
+  EXPECT_GT(stage(*follower_entry, obs::Stage::kSingleFlightWait).total_ns,
+            0);
+  // The leader: executed, never waited on anyone.
+  EXPECT_EQ(stage(*leader_entry, obs::Stage::kSingleFlightWait).count, 0u);
+  EXPECT_GT(stage(*leader_entry, obs::Stage::kExecute).total_ns, 0);
+  EXPECT_GE(stage(*leader_entry, obs::Stage::kExecutorScan).count, 1u);
+  EXPECT_EQ(leader_entry->relation, "flights");
+  EXPECT_FALSE(leader_entry->fingerprint.empty());
+
+  // Span ordering on the leader's trace, via the relative begin/end
+  // stamps: each stage begins no earlier than its predecessor's begin,
+  // and execution finishes before serialization begins.
+  const auto& parse = stage(*leader_entry, obs::Stage::kParse);
+  const auto& admission = stage(*leader_entry, obs::Stage::kAdmission);
+  const auto& queue = stage(*leader_entry, obs::Stage::kQueueWait);
+  const auto& plan = stage(*leader_entry, obs::Stage::kPlanLookup);
+  const auto& execute = stage(*leader_entry, obs::Stage::kExecute);
+  const auto& serialize = stage(*leader_entry, obs::Stage::kSerialize);
+  ASSERT_EQ(parse.count, 1u);
+  ASSERT_EQ(admission.count, 1u);
+  ASSERT_EQ(queue.count, 1u);
+  ASSERT_GE(plan.count, 1u);
+  ASSERT_EQ(serialize.count, 1u);
+  EXPECT_EQ(parse.first_begin_rel_ns, 0);
+  EXPECT_GE(admission.first_begin_rel_ns, parse.last_end_rel_ns);
+  EXPECT_GE(queue.first_begin_rel_ns, admission.last_end_rel_ns);
+  EXPECT_GE(plan.first_begin_rel_ns, queue.last_end_rel_ns);
+  EXPECT_GE(execute.first_begin_rel_ns, plan.first_begin_rel_ns);
+  EXPECT_GE(serialize.first_begin_rel_ns, execute.last_end_rel_ns);
+  EXPECT_GE(leader_entry->total_ns, execute.total_ns);
+
+  flights->set_uncached_execute_hook(nullptr);
+  server.Stop();
+}
+
+/// TSan lane: STATS and METRICS scrapes racing live traffic on every
+/// counter and histogram shard must be clean under the sanitizer.
+TEST_F(ServerTest, StatsAndMetricsRaceTrafficCleanly) {
+  auto db = MakeDb(FastOptions(4));
+  QueryServer::Options options;
+  options.trace_sample_n = 2;
+  QueryServer server(&db->catalog(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr int kQueryThreads = 3;
+  constexpr int kScrapeThreads = 2;
+  constexpr int kIterations = 25;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kQueryThreads; ++t) {
+    threads.emplace_back([&, t] {
+      auto client = Client::Connect(server.port());
+      if (!client.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      const std::vector<std::string> queries = MixedQueries();
+      for (int i = 0; i < kIterations; ++i) {
+        if (!client->Query(queries[(t + i) % queries.size()]).ok()) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (int t = 0; t < kScrapeThreads; ++t) {
+    threads.emplace_back([&] {
+      auto client = Client::Connect(server.port());
+      if (!client.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      for (int i = 0; i < kIterations; ++i) {
+        if (!client->Stats().ok()) failures.fetch_add(1);
+        if (!client->Metrics().ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  auto client = Client::Connect(server.port());
+  ASSERT_TRUE(client.ok());
+  auto text = client->Metrics();
+  ASSERT_TRUE(text.ok());
+  auto stats = client->Stats();
+  ASSERT_TRUE(stats.ok());
+  // The count identity holds after the dust settles, scrapes included.
+  EXPECT_EQ(MetricValue(*text, "themis_request_latency_seconds_count"),
+            static_cast<double>(stats->server.served_ok +
+                                stats->server.served_error));
+  server.Stop();
+}
+
 /// JSON round-trip fidelity: escapes, unicode, and 17-digit doubles.
 TEST(WireTest, JsonRoundTrip) {
   const std::string text =

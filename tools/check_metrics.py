@@ -1,0 +1,224 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text exposition written by the METRICS verb.
+
+Usage:
+    tools/check_metrics.py METRICS.txt [--expect-count N]
+
+Checks, in order:
+  1. The file parses as Prometheus text format 0.0.4: every non-comment
+     line is `name{labels} value` with a valid metric name and a finite
+     value; every `# TYPE` / `# HELP` names a valid family.
+  2. Every sample's family was declared with a `# TYPE` line before its
+     first sample (the exposition groups families).
+  3. Histogram families are well-formed per label set: cumulative
+     `_bucket` counts are monotone non-decreasing in `le`, a `+Inf`
+     bucket exists, and it equals the family's `_count` sample.
+  4. The required families for the serving path are present:
+     themis_requests_total, themis_request_latency_seconds.
+  5. With --expect-count N, themis_request_latency_seconds_count == N
+     (the serving invariant: one histogram record per served request,
+     so the count must equal served_ok + served_error).
+
+Exit 0 when every check passes, 1 on a validation failure, 2 on
+unreadable/malformed input.
+"""
+
+import argparse
+import math
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)\s*$"
+)
+LABEL_RE = re.compile(
+    r'\s*(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<val>(?:[^"\\]|\\.)*)"\s*(?:,|$)'
+)
+
+REQUIRED_FAMILIES = [
+    "themis_requests_total",
+    "themis_request_latency_seconds",
+]
+
+
+def parse_labels(text):
+    """Returns the label dict, or None on malformed label syntax."""
+    if text is None or text.strip() == "":
+        return {}
+    labels = {}
+    pos = 0
+    while pos < len(text):
+        m = LABEL_RE.match(text, pos)
+        if m is None:
+            return None
+        labels[m.group("key")] = m.group("val")
+        pos = m.end()
+    return labels
+
+
+def parse_value(text):
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+def base_family(name, types):
+    """The declared family a sample name belongs to (histogram samples use
+    the family name plus a _bucket/_sum/_count suffix)."""
+    if name in types:
+        return name
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix) and name[: -len(suffix)] in types:
+            return name[: -len(suffix)]
+    return None
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("path")
+    parser.add_argument(
+        "--expect-count",
+        type=int,
+        default=None,
+        help="required themis_request_latency_seconds_count value",
+    )
+    args = parser.parse_args()
+
+    try:
+        with open(args.path, "r", encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        print(f"check_metrics: cannot read {args.path}: {e}", file=sys.stderr)
+        return 2
+
+    types = {}  # family -> declared type
+    samples = []  # (name, labels dict, value, line number)
+    errors = []
+
+    for lineno, line in enumerate(lines, start=1):
+        if line.strip() == "":
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 3 and parts[1] in ("TYPE", "HELP"):
+                family = parts[2]
+                if not NAME_RE.match(family):
+                    errors.append(f"line {lineno}: bad family name {family!r}")
+                elif parts[1] == "TYPE":
+                    if family in types:
+                        errors.append(
+                            f"line {lineno}: duplicate TYPE for {family}"
+                        )
+                    types[family] = parts[3].strip() if len(parts) > 3 else ""
+            continue
+        m = SAMPLE_RE.match(line)
+        if m is None:
+            errors.append(f"line {lineno}: unparseable sample: {line!r}")
+            continue
+        labels = parse_labels(m.group("labels"))
+        if labels is None:
+            errors.append(f"line {lineno}: malformed labels: {line!r}")
+            continue
+        value = parse_value(m.group("value"))
+        if value is None:
+            errors.append(f"line {lineno}: bad value: {m.group('value')!r}")
+            continue
+        samples.append((m.group("name"), labels, value, lineno))
+
+    if not samples:
+        errors.append("no samples found")
+
+    # Every sample must belong to a declared family.
+    for name, _labels, _value, lineno in samples:
+        if base_family(name, types) is None:
+            errors.append(
+                f"line {lineno}: sample {name} has no # TYPE declaration"
+            )
+
+    # Histogram checks per (family, non-le label set).
+    for family, ftype in types.items():
+        if ftype != "histogram":
+            continue
+        buckets = {}  # frozen labels -> list of (le, value)
+        counts = {}  # frozen labels -> value
+        for name, labels, value, _lineno in samples:
+            non_le = frozenset(
+                (k, v) for k, v in labels.items() if k != "le"
+            )
+            if name == family + "_bucket":
+                le = parse_value(labels.get("le", ""))
+                if le is None:
+                    errors.append(f"{family}: bucket with bad le label")
+                    continue
+                buckets.setdefault(non_le, []).append((le, value))
+            elif name == family + "_count":
+                counts[non_le] = value
+        if not buckets:
+            errors.append(f"{family}: histogram with no _bucket samples")
+        for non_le, series in buckets.items():
+            label_desc = dict(sorted(non_le)) or "{}"
+            series.sort(key=lambda p: p[0])
+            prev = -math.inf
+            for le, value in series:
+                if value < prev:
+                    errors.append(
+                        f"{family}{label_desc}: non-monotone bucket at "
+                        f"le={le} ({value} < {prev})"
+                    )
+                prev = value
+            if not series or not math.isinf(series[-1][0]):
+                errors.append(f"{family}{label_desc}: missing +Inf bucket")
+            else:
+                inf_value = series[-1][1]
+                if non_le not in counts:
+                    errors.append(f"{family}{label_desc}: missing _count")
+                elif counts[non_le] != inf_value:
+                    errors.append(
+                        f"{family}{label_desc}: +Inf bucket {inf_value} != "
+                        f"_count {counts[non_le]}"
+                    )
+
+    for family in REQUIRED_FAMILIES:
+        if family not in types:
+            errors.append(f"required family missing: {family}")
+
+    if args.expect_count is not None:
+        observed = [
+            value
+            for name, labels, value, _lineno in samples
+            if name == "themis_request_latency_seconds_count"
+        ]
+        if not observed:
+            errors.append(
+                "expect-count: themis_request_latency_seconds_count absent"
+            )
+        elif observed[0] != args.expect_count:
+            errors.append(
+                f"expect-count: themis_request_latency_seconds_count "
+                f"{observed[0]:.0f} != expected {args.expect_count}"
+            )
+
+    if errors:
+        for err in errors:
+            print(f"check_metrics: FAIL {err}")
+        return 1
+    n_hist = sum(1 for t in types.values() if t == "histogram")
+    print(
+        f"check_metrics: OK — {len(samples)} samples, {len(types)} "
+        f"families ({n_hist} histograms)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
