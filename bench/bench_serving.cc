@@ -7,6 +7,7 @@
 //
 //   ./bench_serving [rounds] [--strict] [--smoke] [--json PATH]
 //                   [--connections N] [--metrics-out PATH]
+//                   [--no-response-cache]
 //
 // Timing is informational by default (wall-clock gates flake on noisy
 // shared runners); --strict turns the concurrency bar — 4 clients on the
@@ -33,9 +34,10 @@
 //
 // --dupes switches to the duplicate-heavy thundering-herd mode: 16
 // clients stream the same Zipf-skewed GROUP BY sequence against a
-// baseline server (micro-batching + single-flight coalescing disabled)
-// and a coalesced one, bitwise-checking every answer; the gate is the
-// QPS ratio. Ends with a deterministic leader-parked coalescing probe so
+// baseline server (micro-batching, single-flight coalescing, and the
+// response byte cache all disabled) and a fully hot-pathed one (all
+// three enabled), bitwise-checking every answer; the gate is the QPS
+// ratio. Ends with a deterministic leader-parked coalescing probe so
 // the CI smoke's coalesced_hits assertion never depends on scheduler
 // timing.
 #include <sys/resource.h>
@@ -271,6 +273,9 @@ int Run(size_t rounds, bool strict, const std::string& json_path) {
              server::JsonValue::Number(static_cast<double>(rounds)));
     root.Set("simd_backend",
              server::JsonValue::String(server::HostStatsNow().simd_backend));
+    root.Set("hardware_concurrency",
+             server::JsonValue::Number(static_cast<double>(
+                 std::thread::hardware_concurrency())));
     root.Set("hw_pool_single_client_qps",
              server::JsonValue::Number(hw_single_qps));
     root.Set("hw_pool_four_client_qps",
@@ -466,6 +471,9 @@ int OpenLoop(size_t connections, size_t rounds, const std::string& json_path,
                                static_cast<double>(server.io_threads())));
     root.Set("simd_backend",
              server::JsonValue::String(server::HostStatsNow().simd_backend));
+    root.Set("hardware_concurrency",
+             server::JsonValue::Number(static_cast<double>(
+                 std::thread::hardware_concurrency())));
     // The _ms suffix marks lower-is-better for tools/check_bench.py;
     // latency gates get a deliberately loose tolerance there because
     // absolute milliseconds vary across runners far more than ratios.
@@ -603,6 +611,14 @@ int Dupes(size_t rounds, bool smoke, const std::string& json_path) {
     db.catalog().SetCoalescingEnabled(coalesced);
     server::QueryServer::Options server_options;
     server_options.enable_micro_batch = coalesced;
+    // The response byte cache rides with the coalesced configuration:
+    // round 1 of a query is a miss (the herd coalesces into one flight,
+    // whose encoded bytes are admitted), and every later round is served
+    // from cached bytes on the I/O thread — no admission slot, no pool
+    // handoff, no re-encode. The per-round ClearResultMemo below does
+    // not touch the byte cache, exactly as a production dashboard's
+    // repeat ticks would find it warm.
+    server_options.enable_response_cache = coalesced;
     server::QueryServer server(&db.catalog(), server_options);
     THEMIS_CHECK_OK(server.Start());
     double seconds = 0;
@@ -645,12 +661,15 @@ int Dupes(size_t rounds, bool smoke, const std::string& json_path) {
               baseline_qps);
   const double coalesced_qps = run(true);
   std::printf(
-      "  coalesced (single-flight + micro-batch): %8.0f q/s "
+      "  coalesced (single-flight + micro-batch + byte cache): %8.0f q/s "
       "(coalesced_hits=%zu flights=%zu batches_formed=%zu "
-      "batched_requests=%zu)\n",
+      "batched_requests=%zu response_cache_hits=%zu "
+      "responses_encoded=%zu)\n",
       coalesced_qps, coalesced_memo.coalesced_hits,
       coalesced_memo.coalesced_flights, coalesced_counters.batches_formed,
-      coalesced_counters.batched_requests);
+      coalesced_counters.batched_requests,
+      coalesced_counters.response_cache_hits,
+      coalesced_counters.responses_encoded);
   const double speedup =
       baseline_qps > 0 ? coalesced_qps / baseline_qps : 0;
   std::printf("  duplicate-heavy speedup: %.2fx %s\n", speedup,
@@ -727,6 +746,15 @@ int Dupes(size_t rounds, bool smoke, const std::string& json_path) {
     root.Set("batched_requests",
              server::JsonValue::Number(static_cast<double>(
                  coalesced_counters.batched_requests)));
+    root.Set("response_cache_hits",
+             server::JsonValue::Number(static_cast<double>(
+                 coalesced_counters.response_cache_hits)));
+    root.Set("responses_encoded",
+             server::JsonValue::Number(static_cast<double>(
+                 coalesced_counters.responses_encoded)));
+    root.Set("hardware_concurrency",
+             server::JsonValue::Number(static_cast<double>(
+                 std::thread::hardware_concurrency())));
     root.Set("simd_backend",
              server::JsonValue::String(server::HostStatsNow().simd_backend));
     // The gate is the ratio — avoided duplicate work, not parallelism —
@@ -742,10 +770,16 @@ int Dupes(size_t rounds, bool smoke, const std::string& json_path) {
   return smoke ? 0 : (speedup >= 2.0 ? 0 : 1);
 }
 
-/// The CI smoke: point + GROUP BY + STATS + deterministic overload +
-/// METRICS (with the histogram-count identity checked) + graceful
-/// shutdown against a one-relation server with tracing fully armed.
-int Smoke(const std::string& metrics_out) {
+/// The CI smoke: point + GROUP BY + repeat (a byte-cache hit when the
+/// cache is on) + STATS + deterministic overload + METRICS (with the
+/// histogram-count identity checked) + graceful shutdown against a
+/// one-relation server with tracing fully armed. Also micro-checks the
+/// EncodeResponse pre-sizing estimate against the actual payload and
+/// writes both to the --json snapshot. `no_response_cache` runs the
+/// whole sequence with the response byte cache disabled — CI runs both
+/// lanes and validates each exposition with tools/check_metrics.py.
+int Smoke(const std::string& metrics_out, const std::string& json_path,
+          bool no_response_cache) {
   PrintHeader("Serving smoke", "start, query, stats, overload, shutdown");
   BenchScale scale;
   DatasetSetup flights = MakeFlights(scale);
@@ -772,10 +806,12 @@ int Smoke(const std::string& metrics_out) {
   // slow-query log filled — all of which METRICS and STATS then expose.
   server_options.trace_sample_n = 1;
   server_options.slow_query_log_k = 8;
+  if (no_response_cache) server_options.enable_response_cache = false;
   server::QueryServer server(&db.catalog(), server_options);
   THEMIS_CHECK_OK(server.Start());
-  std::printf("  server up on 127.0.0.1:%u (max_inflight=1)\n",
-              server.port());
+  std::printf("  server up on 127.0.0.1:%u (max_inflight=1, "
+              "response cache %s)\n",
+              server.port(), no_response_cache ? "off" : "on");
 
   const std::string point =
       "SELECT COUNT(*) FROM flights WHERE " +
@@ -815,14 +851,55 @@ int Smoke(const std::string& metrics_out) {
   CheckIdentical(*group_result, *db.Query(group_by), group_by);
   std::printf("  GROUP BY over the wire: bitwise ok\n");
 
+  // Repeat the GROUP BY: with the byte cache on this is an inline hit —
+  // served from cached bytes on the I/O thread, no re-encode, yet still
+  // counted in served_ok and the latency histogram (the count identity
+  // below covers it); with the cache off it executes again. Either way
+  // the answer must be bitwise identical.
+  auto repeat_result = observer->Query(group_by);
+  THEMIS_CHECK(repeat_result.ok()) << repeat_result.status().ToString();
+  CheckIdentical(*repeat_result, *group_result, "repeat " + group_by);
+  std::printf("  repeated GROUP BY: bitwise ok\n");
+
+  // The EncodeResponse pre-sizing micro-check: the estimate that seeds
+  // the reserve must cover the actual GROUP BY payload without being
+  // wildly oversized. Loose bounds — it is a heuristic, not a contract.
+  const std::string encoded = server::EncodeResultResponse(*group_result);
+  const size_t estimate = server::EstimateResultResponseBytes(*group_result);
+  const double estimate_ratio =
+      static_cast<double>(estimate) / static_cast<double>(encoded.size());
+  THEMIS_CHECK(estimate_ratio >= 0.5 && estimate_ratio <= 8.0)
+      << "estimate " << estimate << " vs actual " << encoded.size();
+  std::printf("  encode size estimate: %zu vs actual %zu (ratio %.2f)\n",
+              estimate, encoded.size(), estimate_ratio);
+
   auto stats = observer->Stats();
   THEMIS_CHECK(stats.ok());
-  THEMIS_CHECK(stats->server.served_ok == 2) << stats->server.served_ok;
+  THEMIS_CHECK(stats->server.served_ok == 3) << stats->server.served_ok;
   THEMIS_CHECK(stats->server.rejected_overload == 1);
   THEMIS_CHECK(stats->relations.at("flights").built);
-  std::printf("  STATS: served_ok=2 rejected_overload=1 flights built\n");
-  THEMIS_CHECK(stats->slow_queries.size() == 2) << stats->slow_queries.size();
-  std::printf("  slow-query log: 2 traced requests captured\n");
+  if (no_response_cache) {
+    THEMIS_CHECK(stats->server.response_cache_hits == 0);
+    THEMIS_CHECK(stats->server.response_cache_capacity == 0);
+    THEMIS_CHECK(stats->server.responses_encoded == 3)
+        << stats->server.responses_encoded;
+  } else {
+    THEMIS_CHECK(stats->server.response_cache_hits == 1)
+        << stats->server.response_cache_hits;
+    THEMIS_CHECK(stats->server.responses_encoded == 2)
+        << stats->server.responses_encoded;
+  }
+  std::printf(
+      "  STATS: served_ok=3 rejected_overload=1 flights built "
+      "(response_cache_hits=%zu responses_encoded=%zu)\n",
+      stats->server.response_cache_hits, stats->server.responses_encoded);
+  // Inline byte-cache hits skip tracing (they never reach the pool), so
+  // the cache-on lane logs one fewer traced request.
+  const size_t expected_traced = no_response_cache ? 3 : 2;
+  THEMIS_CHECK(stats->slow_queries.size() == expected_traced)
+      << stats->slow_queries.size();
+  std::printf("  slow-query log: %zu traced requests captured\n",
+              stats->slow_queries.size());
 
   // METRICS over the wire, with the serving invariant checked here too:
   // the always-on request-latency histogram records exactly one sample
@@ -842,6 +919,34 @@ int Smoke(const std::string& metrics_out) {
       hist_count);
   WriteMetricsOut(metrics_out, *metrics_text);
 
+  if (!json_path.empty()) {
+    server::JsonValue root = server::JsonValue::Object();
+    root.Set("bench", server::JsonValue::String("serving_smoke"));
+    root.Set("response_cache",
+             server::JsonValue::Bool(!no_response_cache));
+    root.Set("hardware_concurrency",
+             server::JsonValue::Number(static_cast<double>(
+                 std::thread::hardware_concurrency())));
+    root.Set("simd_backend",
+             server::JsonValue::String(server::HostStatsNow().simd_backend));
+    root.Set("encode_estimate_bytes",
+             server::JsonValue::Number(static_cast<double>(estimate)));
+    root.Set("encode_actual_bytes",
+             server::JsonValue::Number(static_cast<double>(encoded.size())));
+    root.Set("encode_estimate_ratio",
+             server::JsonValue::Number(estimate_ratio));
+    root.Set("response_cache_hits",
+             server::JsonValue::Number(static_cast<double>(
+                 stats->server.response_cache_hits)));
+    root.Set("responses_encoded",
+             server::JsonValue::Number(static_cast<double>(
+                 stats->server.responses_encoded)));
+    std::ofstream out(json_path);
+    THEMIS_CHECK(out.good()) << json_path;
+    out << root.Dump() << "\n";
+    std::printf("  wrote %s\n", json_path.c_str());
+  }
+
   server.Stop();
   THEMIS_CHECK(!server.running());
   std::printf("  graceful shutdown: ok\n");
@@ -857,6 +962,7 @@ int main(int argc, char** argv) {
   bool strict = false;
   bool smoke = false;
   bool dupes = false;
+  bool no_response_cache = false;
   std::string json_path;
   std::string metrics_out;
   for (int i = 1; i < argc; ++i) {
@@ -866,6 +972,8 @@ int main(int argc, char** argv) {
       smoke = true;
     } else if (std::strcmp(argv[i], "--dupes") == 0) {
       dupes = true;
+    } else if (std::strcmp(argv[i], "--no-response-cache") == 0) {
+      no_response_cache = true;
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
@@ -887,6 +995,7 @@ int main(int argc, char** argv) {
     return themis::bench::OpenLoop(connections, smoke ? 2 : rounds,
                                    json_path, metrics_out);
   }
-  return smoke ? themis::bench::Smoke(metrics_out)
+  return smoke ? themis::bench::Smoke(metrics_out, json_path,
+                                      no_response_cache)
                : themis::bench::Run(rounds, strict, json_path);
 }

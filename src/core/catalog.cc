@@ -10,8 +10,31 @@ namespace themis::core {
 
 Catalog::Catalog(ThemisOptions options, util::ThreadPool* pool)
     : options_(std::move(options)),
-      route_cache_(std::make_unique<RouteCache>()) {
+      route_cache_(std::make_unique<RouteCache>()),
+      mutation_listeners_(std::make_unique<MutationListeners>()) {
   pool_ = util::ResolvePool(pool, options_.num_threads, owned_pool_);
+}
+
+uint64_t Catalog::AddMutationListener(MutationListener listener) const {
+  std::lock_guard<std::mutex> lock(mutation_listeners_->mu);
+  const uint64_t id = mutation_listeners_->next_id++;
+  mutation_listeners_->listeners.emplace(id, std::move(listener));
+  return id;
+}
+
+void Catalog::RemoveMutationListener(uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mutation_listeners_->mu);
+  mutation_listeners_->listeners.erase(id);
+}
+
+void Catalog::NotifyMutation(const std::string& relation) const {
+  // Listeners run under the registry lock: registration is rare (server
+  // start/stop) and mutations never race queries, so contention is moot;
+  // holding the lock keeps removal well-ordered against a firing listener.
+  std::lock_guard<std::mutex> lock(mutation_listeners_->mu);
+  for (const auto& [id, listener] : mutation_listeners_->listeners) {
+    listener(relation);
+  }
 }
 
 Status Catalog::InsertSample(const std::string& name, data::Table sample,
@@ -52,6 +75,7 @@ Status Catalog::InsertSample(const std::string& name, data::Table sample,
   relation.pending_sample =
       std::make_unique<data::Table>(std::move(sample));
   relations_.emplace(name, std::move(relation));
+  NotifyMutation(name);
   return Status::OK();
 }
 
@@ -74,6 +98,7 @@ Status Catalog::InsertAggregate(const std::string& name,
   // serving their memoized answers untouched.
   relation.model.reset();
   relation.evaluator.reset();
+  NotifyMutation(name);
   return Status::OK();
 }
 
@@ -117,6 +142,7 @@ Status Catalog::Build(const std::string& name) {
   relation.model = std::make_unique<ThemisModel>(std::move(model).value());
   relation.evaluator = std::make_unique<HybridEvaluator>(
       relation.model.get(), relation.table_name, pool_, name);
+  NotifyMutation(name);
   return Status::OK();
 }
 
@@ -149,6 +175,7 @@ Status Catalog::DropRelation(const std::string& name) {
   // Survivors inherit the dropped relation's cache-byte share right away
   // — a smaller catalog serves the same budget, not a shrunken one.
   RebalanceCacheBudgets();
+  NotifyMutation(name);
   return Status::OK();
 }
 

@@ -1,6 +1,8 @@
 #ifndef THEMIS_CORE_CATALOG_H_
 #define THEMIS_CORE_CATALOG_H_
 
+#include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -203,6 +205,28 @@ class Catalog {
   std::vector<Result<sql::QueryResult>> QueryMany(
       std::span<const QueryItem> items) const;
 
+  /// The relation name `sql` routes to (its first FROM identifier) —
+  /// the public face of the memoized route cache. The serving layer uses
+  /// it to key response-cache invalidation by the routed relation even
+  /// when the wire request carried no explicit relation.
+  Result<std::string> Route(const std::string& sql) const {
+    return RouteFor(sql);
+  }
+
+  /// A callback fired synchronously from every relation mutation
+  /// (InsertSample / InsertAggregate / Build / DropRelation) with the
+  /// touched relation's name — how the serving layer's response byte
+  /// cache invalidates alongside the result memo. Listeners run on the
+  /// mutating thread and must not call back into the catalog.
+  using MutationListener = std::function<void(const std::string& relation)>;
+
+  /// Registers a mutation listener, returning an id for removal.
+  /// Const-qualified (listener state is heap-held, like the route cache,
+  /// keeping the catalog movable) so a server fronting a const catalog
+  /// can subscribe.
+  uint64_t AddMutationListener(MutationListener listener) const;
+  void RemoveMutationListener(uint64_t id) const;
+
   /// Forwards set_coalescing_enabled to every built relation's evaluator —
   /// the run-time toggle for single-flight query coalescing (answers are
   /// bitwise identical either way; the serving bench measures the
@@ -253,8 +277,19 @@ class Catalog {
     LruCache<std::string, std::string> cache{1024};
   };
 
+  /// Fires every registered mutation listener for `relation`.
+  void NotifyMutation(const std::string& relation) const;
+
+  /// Heap-allocated so the catalog stays movable despite the mutex.
+  struct MutationListeners {
+    std::mutex mu;
+    uint64_t next_id = 1;
+    std::map<uint64_t, MutationListener> listeners;
+  };
+
   ThemisOptions options_;
   std::unique_ptr<RouteCache> route_cache_;
+  std::unique_ptr<MutationListeners> mutation_listeners_;
   std::unique_ptr<util::ThreadPool> owned_pool_;  // when num_threads is set
   util::ThreadPool* pool_ = nullptr;
   /// Ordered so RelationNames/BuildAll walk deterministically.

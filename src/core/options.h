@@ -136,6 +136,19 @@ struct ThemisOptions {
   /// end-to-end latency, surfaced via STATS). 0 disables the log.
   size_t slow_query_log_k = 32;
 
+  /// Wire-level response byte cache: a server::QueryServer fronting this
+  /// catalog caches the fully encoded one-line wire payload of memoizable
+  /// OK answers, keyed by (relation, plan fingerprint, mode), and serves
+  /// repeats straight from the cached bytes on the I/O thread — zero JSON
+  /// encoding, zero pool handoff. Invalidated alongside the result memo
+  /// by Insert*/Build/DropRelation; served bytes are always bitwise
+  /// identical to a fresh encode.
+  bool enable_response_cache = true;
+
+  /// Byte budget of the response byte cache (cost-aware LRU admission,
+  /// like `result_memo_bytes`); 0 means unbounded.
+  size_t response_cache_bytes = 32ull << 20;
+
   uint64_t seed = 42;
 };
 

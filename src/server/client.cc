@@ -93,13 +93,16 @@ Result<std::string> Client::RoundTrip(const std::string& line) {
 
 Result<sql::QueryResult> Client::Query(const std::string& sql,
                                        const std::string& relation,
-                                       core::AnswerMode mode,
+                                       std::optional<core::AnswerMode> mode,
                                        uint64_t deadline_ms) {
   WireRequest request;
   request.verb = WireRequest::Verb::kQuery;
   request.sql = sql;
   request.relation = relation;
-  request.mode = mode;
+  if (mode.has_value()) {
+    request.mode = *mode;
+    request.has_mode = true;
+  }
   request.deadline_ms = deadline_ms;
   THEMIS_ASSIGN_OR_RETURN(std::string response,
                           RoundTrip(EncodeRequest(request)));
@@ -107,16 +110,36 @@ Result<sql::QueryResult> Client::Query(const std::string& sql,
 }
 
 Result<std::vector<sql::QueryResult>> Client::QueryBatch(
-    const std::vector<std::string>& sqls, core::AnswerMode mode,
-    uint64_t deadline_ms) {
+    const std::vector<std::string>& sqls,
+    std::optional<core::AnswerMode> mode, uint64_t deadline_ms) {
   WireRequest request;
   request.verb = WireRequest::Verb::kBatch;
   request.batch = sqls;
-  request.mode = mode;
+  if (mode.has_value()) {
+    request.mode = *mode;
+    request.has_mode = true;
+  }
   request.deadline_ms = deadline_ms;
   THEMIS_ASSIGN_OR_RETURN(std::string response,
                           RoundTrip(EncodeRequest(request)));
   return DecodeBatchResponse(response);
+}
+
+Status Client::SetDefaults(std::optional<core::AnswerMode> default_mode,
+                           std::optional<uint64_t> default_deadline_ms) {
+  WireRequest request;
+  request.verb = WireRequest::Verb::kSet;
+  if (default_mode.has_value()) {
+    request.mode = *default_mode;
+    request.has_mode = true;
+  }
+  if (default_deadline_ms.has_value()) {
+    request.deadline_ms = *default_deadline_ms;
+    request.has_deadline = true;
+  }
+  THEMIS_ASSIGN_OR_RETURN(std::string response,
+                          RoundTrip(EncodeRequest(request)));
+  return DecodeOkResponse(response);
 }
 
 Result<ServerStats> Client::Stats() {

@@ -2,6 +2,7 @@
 #define THEMIS_SERVER_CLIENT_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -43,21 +44,34 @@ class Client {
   /// Answers one SQL query. Empty `relation` routes by the FROM table;
   /// non-empty pins the catalog relation (Catalog::QueryOn semantics).
   /// The decoded result is bitwise identical to the server-side answer
-  /// (doubles travel with 17 significant digits). `deadline_ms` > 0
-  /// sends the request with that execution budget: the server answers
-  /// kDeadlineExceeded when the budget lapses before the plan finishes.
+  /// (doubles travel with 17 significant digits). An absent `mode` leaves
+  /// the field off the wire, deferring to the session default installed
+  /// by SetDefaults() (hybrid until then); an explicit mode always wins.
+  /// `deadline_ms` > 0 sends the request with that execution budget: the
+  /// server answers kDeadlineExceeded when the budget lapses before the
+  /// plan finishes.
   Result<sql::QueryResult> Query(
       const std::string& sql, const std::string& relation = "",
-      core::AnswerMode mode = core::AnswerMode::kHybrid,
+      std::optional<core::AnswerMode> mode = std::nullopt,
       uint64_t deadline_ms = 0);
 
   /// Answers a batch in one round trip; rides Catalog::QueryBatch on the
   /// server, interleaving plans across relations. Results line up with
   /// the input order. One `deadline_ms` budget covers the whole batch.
+  /// `mode` defers to the session default when absent, as in Query().
   Result<std::vector<sql::QueryResult>> QueryBatch(
       const std::vector<std::string>& sqls,
-      core::AnswerMode mode = core::AnswerMode::kHybrid,
+      std::optional<core::AnswerMode> mode = std::nullopt,
       uint64_t deadline_ms = 0);
+
+  /// The `set` verb: installs this session's default AnswerMode and/or
+  /// default deadline, applied by the server to later query/batch
+  /// requests that omit the field. An absent argument leaves that default
+  /// unchanged; an explicit default_deadline_ms of 0 clears the session
+  /// deadline back to the server's.
+  Status SetDefaults(std::optional<core::AnswerMode> default_mode,
+                     std::optional<uint64_t> default_deadline_ms =
+                         std::nullopt);
 
   /// The STATS verb: live server counters + per-relation cache counters.
   Result<ServerStats> Stats();

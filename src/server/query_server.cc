@@ -5,6 +5,7 @@
 #include <netinet/tcp.h>
 #include <sys/epoll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -42,6 +43,16 @@ constexpr size_t kMaxBufferedBytes = 64ull << 20;
 /// responses after this grace instead of pinning Stop() forever.
 constexpr std::chrono::seconds kShutdownFlushGrace{10};
 
+/// Retired encode buffers a session keeps for reuse. Small: pipelining
+/// depth beyond this just allocates, and idle sessions pin at most this
+/// many empty-but-reserved strings.
+constexpr size_t kSessionScratchSlots = 8;
+
+/// Scatter-gather bound per sendmsg: 32 completed responses (payload +
+/// newline each) leave in one syscall; deeper completed prefixes simply
+/// loop.
+constexpr size_t kMaxFlushIovecs = 64;
+
 size_t DefaultIoThreads() {
   const size_t hw = std::max(1u, std::thread::hardware_concurrency());
   return std::max<size_t>(1, std::min<size_t>(4, hw / 4));
@@ -49,13 +60,22 @@ size_t DefaultIoThreads() {
 
 }  // namespace
 
-/// One FIFO slot of a session: the response line once `done`, plus the
+/// One FIFO slot of a session: the response payload once `done`, plus the
 /// cancel token the pool task polls (null for inline answers). Shared
 /// between the owning I/O thread and the pool task, and kept alive by the
 /// task even if the session closes first.
+///
+/// The payload is either `owned` — bytes encoded into this slot (seeded
+/// with a recycled session scratch buffer at admission) — or `shared`, a
+/// refcounted handle into the response byte cache; `shared` wins when
+/// set. Neither carries the '\n' framing: the flush path appends it via
+/// scatter-gather, so cached payloads are served without a single copy.
 struct QueryServer::PendingResponse {
   std::shared_ptr<util::CancelToken> cancel;
-  std::string line;
+  std::string owned;
+  util::ImmutableBuffer shared;
+  /// The response bytes once `done` (no '\n' framing).
+  const std::string& payload() const { return shared ? shared.str() : owned; }
   std::atomic<bool> done{false};
   /// Monotonic stamp of the request line's arrival on the I/O thread —
   /// the base of the always-on end-to-end latency histogram.
@@ -86,11 +106,30 @@ struct QueryServer::Session {
   std::string in;
   /// Responses in request order; the completed prefix is flushable.
   std::deque<std::shared_ptr<PendingResponse>> fifo;
-  /// The partially-written flush buffer ([out_pos, size) is unsent).
-  std::string out;
+  /// Bytes of the front slot's payload-plus-newline already sent — the
+  /// partial-write continuation point for the scatter-gather flush.
   size_t out_pos = 0;
   bool want_write = false;  // EPOLLOUT armed
   bool peer_gone = false;   // read side saw EOF / error
+  /// Retired `owned` encode buffers (capacity kept, contents cleared),
+  /// handed to the next admitted request so the steady-state uncached
+  /// path re-encodes into warm allocations instead of growing fresh ones.
+  std::vector<std::string> scratch;
+  /// Per-session defaults installed by the `set` verb, applied to later
+  /// requests that omit `mode` / `deadline_ms`.
+  core::AnswerMode default_mode = core::AnswerMode::kHybrid;
+  uint64_t default_deadline_ms = 0;
+};
+
+/// Response-cache coordinates of one admitted kQuery (see
+/// PrepareCacheIntent). `eligible` false means the miss path encodes
+/// without admitting.
+struct QueryServer::CacheIntent {
+  bool eligible = false;
+  std::string probe_key;
+  std::string full_key;
+  std::string relation;
+  uint64_t generation = 0;
 };
 
 /// One epoll event loop. `mu` guards only the cross-thread mailbox
@@ -135,6 +174,16 @@ QueryServer::QueryServer(const core::Catalog* catalog, Options options)
                                 ? options_.slow_query_log_k
                                 : catalog_->options().slow_query_log_k;
   metrics_ = std::make_unique<obs::ServingMetrics>(slow_log_k);
+  const bool cache_enabled =
+      options_.enable_response_cache.has_value()
+          ? *options_.enable_response_cache
+          : catalog_->options().enable_response_cache;
+  if (cache_enabled) {
+    const size_t cache_bytes = options_.response_cache_bytes > 0
+                                   ? options_.response_cache_bytes
+                                   : catalog_->options().response_cache_bytes;
+    response_cache_ = std::make_unique<ResponseCache>(cache_bytes);
+  }
 }
 
 QueryServer::~QueryServer() { Stop(); }
@@ -208,6 +257,16 @@ Status QueryServer::Start() {
   ev.data.u64 = kListenTag;
   ::epoll_ctl(io_[0]->epoll_fd, EPOLL_CTL_ADD, fd, &ev);
 
+  // Catalog mutations (Build / InsertSample / InsertAggregate /
+  // DropRelation) invalidate the relation's cached response bytes in the
+  // same breath as the result memo, so stale bytes can never be served.
+  if (response_cache_ != nullptr && mutation_listener_id_ == 0) {
+    mutation_listener_id_ = catalog_->AddMutationListener(
+        [this](const std::string& relation) {
+          response_cache_->Invalidate(relation);
+        });
+  }
+
   port_ = ntohs(addr.sin_port);
   listen_fd_ = fd;
   stopping_.store(false, std::memory_order_release);
@@ -246,6 +305,10 @@ void QueryServer::Stop() {
   {
     std::unique_lock<std::mutex> drain(drain_mu_);
     drain_cv_.wait(drain, [this] { return tasks_active_ == 0; });
+  }
+  if (mutation_listener_id_ != 0) {
+    catalog_->RemoveMutationListener(mutation_listener_id_);
+    mutation_listener_id_ = 0;
   }
   io_.clear();
   if (listen_fd_ >= 0) {
@@ -471,24 +534,39 @@ void QueryServer::FlushSession(IoThread& io, uint64_t session_id,
   auto it = io.sessions.find(session_id);
   if (it == io.sessions.end()) return;
   Session& session = *it->second;
+  static char kNewline = '\n';
   bool blocked = false;
   for (;;) {
-    if (session.out_pos == session.out.size()) {
-      session.out.clear();
-      session.out_pos = 0;
-      // Refill from the FIFO's completed prefix — responses leave in
-      // request order no matter which finished first.
-      while (!session.fifo.empty() &&
-             session.fifo.front()->done.load(std::memory_order_acquire)) {
-        session.out += session.fifo.front()->line;
-        session.out.push_back('\n');
-        session.fifo.pop_front();
+    // Gather the FIFO's completed prefix — responses leave in request
+    // order no matter which finished first — as one scatter-gather write:
+    // payload + '\n' per slot, no staging copy. `out_pos` offsets into
+    // the front slot when a previous write stopped partway.
+    iovec iov[kMaxFlushIovecs];
+    size_t niov = 0;
+    bool front = true;
+    for (const std::shared_ptr<PendingResponse>& slot : session.fifo) {
+      if (!slot->done.load(std::memory_order_acquire)) break;
+      if (niov + 2 > kMaxFlushIovecs) break;
+      const std::string& payload = slot->payload();
+      const size_t skip = front ? session.out_pos : 0;
+      front = false;
+      if (skip < payload.size()) {
+        iov[niov].iov_base = const_cast<char*>(payload.data() + skip);
+        iov[niov].iov_len = payload.size() - skip;
+        ++niov;
       }
-      if (session.out.empty()) break;  // nothing flushable right now
+      // skip == payload.size() means exactly the newline remains; a slot
+      // whose newline was sent retires immediately below, so skip never
+      // reaches past it.
+      iov[niov].iov_base = &kNewline;
+      iov[niov].iov_len = 1;
+      ++niov;
     }
-    const ssize_t n =
-        ::send(session.fd, session.out.data() + session.out_pos,
-               session.out.size() - session.out_pos, MSG_NOSIGNAL);
+    if (niov == 0) break;  // nothing flushable right now
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = niov;
+    const ssize_t n = ::sendmsg(session.fd, &msg, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) {
@@ -505,7 +583,26 @@ void QueryServer::FlushSession(IoThread& io, uint64_t session_id,
       CloseSession(io, session_id);
       return;
     }
-    session.out_pos += static_cast<size_t>(n);
+    // Retire fully sent slots, recycling their encode buffers; a partial
+    // slot keeps its progress in out_pos.
+    size_t sent = static_cast<size_t>(n);
+    while (sent > 0) {
+      PendingResponse& done_slot = *session.fifo.front();
+      const size_t remaining =
+          done_slot.payload().size() + 1 - session.out_pos;
+      if (sent < remaining) {
+        session.out_pos += sent;
+        break;
+      }
+      sent -= remaining;
+      session.out_pos = 0;
+      if (done_slot.owned.capacity() > 0 &&
+          session.scratch.size() < kSessionScratchSlots) {
+        done_slot.owned.clear();
+        session.scratch.push_back(std::move(done_slot.owned));
+      }
+      session.fifo.pop_front();
+    }
   }
   if (blocked != session.want_write) {
     session.want_write = blocked;
@@ -536,7 +633,7 @@ void QueryServer::HandleLine(IoThread& io, Session& session,
   // never reorder around in-flight pool work on the same session.
   const auto push_inline = [&session](std::string response) {
     auto slot = std::make_shared<PendingResponse>();
-    slot->line = std::move(response);
+    slot->owned = std::move(response);
     slot->done.store(true, std::memory_order_release);
     session.fifo.push_back(std::move(slot));
   };
@@ -566,6 +663,53 @@ void QueryServer::HandleLine(IoThread& io, Session& session,
   if (request->verb == WireRequest::Verb::kMetrics) {
     push_inline(EncodeMetricsResponse(MetricsText()));
     return;
+  }
+  // The `set` verb installs session defaults and answers inline — it
+  // spends no admission slot, like STATS.
+  if (request->verb == WireRequest::Verb::kSet) {
+    if (request->has_mode) session.default_mode = request->mode;
+    if (request->has_deadline) {
+      session.default_deadline_ms = request->deadline_ms;
+    }
+    push_inline(EncodeOkResponse());
+    return;
+  }
+  // Session defaults, resolved before the cache probe so the probe key
+  // reflects the mode this request will actually execute under.
+  if (!request->has_mode) request->mode = session.default_mode;
+  if (!request->has_deadline && session.default_deadline_ms > 0) {
+    request->deadline_ms = session.default_deadline_ms;
+  }
+
+  // Tier-4 hot path: a repeat of a memoized answer is served from its
+  // exact cached bytes right here on the I/O thread — no admission slot,
+  // no pool handoff, no JSON encode. Counted as admitted + served_ok with
+  // its latency recorded, so the monitoring identities (admitted ==
+  // served_ok + served_error + inflight; histogram count == served_ok +
+  // served_error) hold exactly. Hits skip trace sampling: there are no
+  // stages to trace.
+  if (response_cache_ != nullptr &&
+      request->verb == WireRequest::Verb::kQuery) {
+    std::string probe_key;
+    probe_key.reserve(request->relation.size() + request->sql.size() + 10);
+    probe_key += request->relation;
+    probe_key += '\x1f';
+    probe_key += AnswerModeWireName(request->mode);
+    probe_key += '\x1f';
+    probe_key += request->sql;
+    util::ImmutableBuffer hit = response_cache_->Lookup(probe_key);
+    if (hit) {
+      admitted_.fetch_add(1, std::memory_order_relaxed);
+      served_ok_.fetch_add(1, std::memory_order_relaxed);
+      metrics_->request_latency.Record(
+          std::max<int64_t>(0, util::SteadyNowNs() - received_ns));
+      auto slot = std::make_shared<PendingResponse>();
+      slot->received_ns = received_ns;
+      slot->shared = std::move(hit);
+      slot->done.store(true, std::memory_order_release);
+      session.fifo.push_back(std::move(slot));
+      return;
+    }
   }
   // Admission control: claim an in-flight slot or bounce. The slot covers
   // the request from here until its pool task finishes.
@@ -600,6 +744,12 @@ void QueryServer::HandleLine(IoThread& io, Session& session,
   slot->cancel = std::make_shared<util::CancelToken>(
       std::min(deadline_ms, kMaxDeadlineMs));
   slot->received_ns = received_ns;
+  // Seed the slot with a recycled encode buffer: the uncached response
+  // path encodes into capacity a previous response already grew.
+  if (!session.scratch.empty()) {
+    slot->owned = std::move(session.scratch.back());
+    session.scratch.pop_back();
+  }
 
   // Sampling decision, after admission so rejected requests never burn a
   // sampling slot: every Nth admitted request when trace_sample_n is set,
@@ -689,20 +839,19 @@ void QueryServer::SubmitSingle(size_t io_index, ReadyRequest ready) {
       trace->RecordSpan(obs::Stage::kQueueWait, ready.slot->admitted_ns,
                         util::SteadyNowNs());
     }
-    std::string response;
     try {
       if (options_.request_hook) options_.request_hook();
-      response =
-          ExecuteRequest(ready.request, ready.slot->cancel.get(), trace);
+      ExecuteRequest(ready, trace);
     } catch (...) {
       served_error_.fetch_add(1, std::memory_order_relaxed);
       if (trace != nullptr) trace->SetStatus("Internal");
-      response = EncodeErrorResponse(
+      responses_encoded_.fetch_add(1, std::memory_order_relaxed);
+      ready.slot->shared.reset();
+      ready.slot->owned = EncodeErrorResponse(
           Status::Internal("request task threw an exception"));
     }
     inflight_.fetch_sub(1, std::memory_order_acq_rel);
     RecordRequestDone(*ready.slot, util::SteadyNowNs());
-    ready.slot->line = std::move(response);
     ready.slot->done.store(true, std::memory_order_release);
     PostCompletions(io_index, {ready.session_id});
     // Very last action: release the drain count. After this the server
@@ -733,11 +882,16 @@ void QueryServer::SubmitBatch(size_t io_index,
       }
     }
     std::vector<Result<sql::QueryResult>> results;
+    std::vector<CacheIntent> intents(batch.size());
     try {
       if (options_.request_hook) options_.request_hook();
       std::vector<core::Catalog::QueryItem> items;
       items.reserve(batch.size());
-      for (const ReadyRequest& ready : batch) {
+      for (size_t i = 0; i < batch.size(); ++i) {
+        const ReadyRequest& ready = batch[i];
+        // Cache coordinates (incl. the generation snapshot) before the
+        // batch executes, exactly like the single-request path.
+        intents[i] = PrepareCacheIntent(ready.request);
         items.push_back(core::Catalog::QueryItem{
             ready.request.sql, ready.request.relation, ready.request.mode,
             ready.slot->cancel.get(), ready.slot->trace.get()});
@@ -756,14 +910,15 @@ void QueryServer::SubmitBatch(size_t io_index,
       const Result<sql::QueryResult>* result =
           i < results.size() ? &results[i] : nullptr;
       obs::TraceContext* trace = batch[i].slot->trace.get();
-      std::string response;
       {
         obs::ScopedSpan span(trace, obs::Stage::kSerialize);
-        response = result != nullptr
-                       ? FinalizeOutcome(*result)
-                       : FinalizeOutcome(Result<sql::QueryResult>(
-                             Status::Internal(
-                                 "request task threw an exception")));
+        if (result != nullptr) {
+          FinalizeOutcome(*result, intents[i], *batch[i].slot);
+        } else {
+          FinalizeOutcome(Result<sql::QueryResult>(Status::Internal(
+                              "request task threw an exception")),
+                          intents[i], *batch[i].slot);
+        }
       }
       if (trace != nullptr) {
         trace->SetStatus(result != nullptr && result->ok()
@@ -775,7 +930,6 @@ void QueryServer::SubmitBatch(size_t io_index,
       }
       inflight_.fetch_sub(1, std::memory_order_acq_rel);
       RecordRequestDone(*batch[i].slot, util::SteadyNowNs());
-      batch[i].slot->line = std::move(response);
       batch[i].slot->done.store(true, std::memory_order_release);
       sessions.push_back(batch[i].session_id);
     }
@@ -818,11 +972,75 @@ Status AsWireStatus(const Status& status) {
 
 }  // namespace
 
-std::string QueryServer::FinalizeOutcome(
-    const Result<sql::QueryResult>& result) {
+QueryServer::CacheIntent QueryServer::PrepareCacheIntent(
+    const WireRequest& request) {
+  CacheIntent intent;
+  if (response_cache_ == nullptr ||
+      request.verb != WireRequest::Verb::kQuery) {
+    return intent;
+  }
+  std::string relation = request.relation;
+  if (relation.empty()) {
+    auto routed = catalog_->Route(request.sql);
+    if (!routed.ok()) return intent;  // execution answers the error
+    relation = std::move(*routed);
+  }
+  const core::HybridEvaluator* evaluator = catalog_->evaluator(relation);
+  if (evaluator == nullptr) return intent;  // unknown/unbuilt: error path
+  // Plan-cache lookup: on the hot path this is a hash probe, not a parse.
+  auto plan = evaluator->Plan(request.sql);
+  if (!plan.ok() || (*plan)->fingerprint.empty()) return intent;
+  // Generation snapshot *before* execution: if the relation mutates while
+  // the query runs, Admit() sees the moved generation and refuses the
+  // stale bytes.
+  intent.generation = response_cache_->Generation(relation);
+  intent.probe_key.reserve(request.relation.size() + request.sql.size() + 10);
+  intent.probe_key += request.relation;
+  intent.probe_key += '\x1f';
+  intent.probe_key += AnswerModeWireName(request.mode);
+  intent.probe_key += '\x1f';
+  intent.probe_key += request.sql;
+  const std::string& fingerprint = (*plan)->fingerprint;
+  intent.full_key.reserve(relation.size() + fingerprint.size() + 32);
+  intent.full_key += relation;
+  intent.full_key += '\x1f';
+  intent.full_key += std::to_string(intent.generation);
+  intent.full_key += '\x1f';
+  intent.full_key += AnswerModeWireName(request.mode);
+  intent.full_key += '\x1f';
+  intent.full_key += fingerprint;
+  intent.relation = std::move(relation);
+  intent.eligible = true;
+  return intent;
+}
+
+void QueryServer::FinalizeOutcome(const Result<sql::QueryResult>& result,
+                                  const CacheIntent& intent,
+                                  PendingResponse& slot) {
   if (result.ok()) {
     served_ok_.fetch_add(1, std::memory_order_relaxed);
-    return EncodeResultResponse(*result);
+    if (intent.eligible) {
+      // Second chance: a coalesced peer may have admitted these exact
+      // bytes while this request executed — reuse them, skip the encode.
+      util::ImmutableBuffer cached =
+          response_cache_->LookupFull(intent.full_key);
+      if (cached) {
+        slot.shared = std::move(cached);
+        return;
+      }
+      std::string encoded = std::move(slot.owned);
+      EncodeResultResponseTo(*result, &encoded);
+      responses_encoded_.fetch_add(1, std::memory_order_relaxed);
+      util::ImmutableBuffer payload(std::move(encoded));
+      slot.shared = payload;
+      response_cache_->Admit(intent.probe_key, intent.full_key,
+                             intent.relation, intent.generation,
+                             std::move(payload));
+      return;
+    }
+    EncodeResultResponseTo(*result, &slot.owned);
+    responses_encoded_.fetch_add(1, std::memory_order_relaxed);
+    return;
   }
   const Status& status = result.status();
   served_error_.fetch_add(1, std::memory_order_relaxed);
@@ -831,12 +1049,14 @@ std::string QueryServer::FinalizeOutcome(
   } else if (status.code() == StatusCode::kCancelled) {
     served_cancelled_.fetch_add(1, std::memory_order_relaxed);
   }
-  return EncodeErrorResponse(AsWireStatus(status));
+  responses_encoded_.fetch_add(1, std::memory_order_relaxed);
+  slot.owned = EncodeErrorResponse(AsWireStatus(status));
 }
 
-std::string QueryServer::ExecuteRequest(const WireRequest& request,
-                                        const util::CancelToken* cancel,
-                                        obs::TraceContext* trace) {
+void QueryServer::ExecuteRequest(ReadyRequest& ready,
+                                 obs::TraceContext* trace) {
+  const WireRequest& request = ready.request;
+  const util::CancelToken* cancel = ready.slot->cancel.get();
   if (request.verb == WireRequest::Verb::kBatch) {
     auto results =
         catalog_->QueryBatch(request.batch, request.mode, cancel, trace);
@@ -853,12 +1073,17 @@ std::string QueryServer::ExecuteRequest(const WireRequest& request,
       } else if (status.code() == StatusCode::kCancelled) {
         served_cancelled_.fetch_add(1, std::memory_order_relaxed);
       }
-      return EncodeErrorResponse(AsWireStatus(status));
+      responses_encoded_.fetch_add(1, std::memory_order_relaxed);
+      ready.slot->owned = EncodeErrorResponse(AsWireStatus(status));
+      return;
     }
     served_ok_.fetch_add(1, std::memory_order_relaxed);
     obs::ScopedSpan span(trace, obs::Stage::kSerialize);
-    return EncodeBatchResponse(*results);
+    responses_encoded_.fetch_add(1, std::memory_order_relaxed);
+    ready.slot->owned = EncodeBatchResponse(*results);
+    return;
   }
+  const CacheIntent intent = PrepareCacheIntent(request);
   auto result =
       request.relation.empty()
           ? catalog_->Query(request.sql, request.mode, cancel, trace)
@@ -869,7 +1094,7 @@ std::string QueryServer::ExecuteRequest(const WireRequest& request,
                                  : StatusCodeName(result.status().code()));
   }
   obs::ScopedSpan span(trace, obs::Stage::kSerialize);
-  return FinalizeOutcome(result);
+  FinalizeOutcome(result, intent, *ready.slot);
 }
 
 void QueryServer::RecordRequestDone(PendingResponse& slot, int64_t end_ns) {
@@ -957,6 +1182,25 @@ std::string QueryServer::MetricsText() const {
   counter("themis_micro_batched_requests_total",
           "Logical requests carried inside micro-batch tasks.",
           static_cast<double>(c.batched_requests));
+  // The response-byte-cache families are always exposed (zeros when the
+  // cache is off) so dashboards and the CI smoke can rely on presence.
+  counter("themis_responses_encoded_total",
+          "Response payloads JSON-encoded by the serving path "
+          "(byte-cache hits serve without encoding).",
+          static_cast<double>(c.responses_encoded));
+  counter("themis_response_cache_hits_total",
+          "Requests served from cached response bytes.",
+          static_cast<double>(c.response_cache_hits));
+  counter("themis_response_cache_misses_total",
+          "Response byte cache probes that found nothing.",
+          static_cast<double>(c.response_cache_misses));
+  counter("themis_response_cache_evictions_total",
+          "Response byte cache entries dropped by budget or invalidation.",
+          static_cast<double>(c.response_cache_evictions));
+  counter("themis_response_cache_rejections_total",
+          "Payloads refused admission (over budget, or stale by "
+          "generation).",
+          static_cast<double>(c.response_cache_rejections));
 
   gauge("themis_inflight_requests",
         "Requests currently queued or executing on the pool.",
@@ -968,6 +1212,16 @@ std::string QueryServer::MetricsText() const {
         static_cast<double>(c.max_inflight));
   gauge("themis_io_threads", "Epoll event-loop threads.",
         static_cast<double>(c.io_threads));
+  gauge("themis_response_cache_entries",
+        "Resident response byte cache entries.",
+        static_cast<double>(c.response_cache_entries));
+  gauge("themis_response_cache_bytes",
+        "Resident bytes of cached response payloads.",
+        static_cast<double>(c.response_cache_bytes));
+  gauge("themis_response_cache_capacity_bytes",
+        "Response byte cache budget (0 = unbounded; 0 with the cache "
+        "disabled).",
+        static_cast<double>(c.response_cache_capacity));
 
   AppendHeader(&out, "themis_request_latency_seconds",
                "End-to-end request latency (arrival on the I/O thread to "
@@ -1101,6 +1355,18 @@ ServerCounters QueryServer::counters() const {
   counters.inflight = inflight_.load(std::memory_order_acquire);
   counters.max_inflight = max_inflight_;
   counters.io_threads = num_io_threads_;
+  counters.responses_encoded =
+      responses_encoded_.load(std::memory_order_relaxed);
+  if (response_cache_ != nullptr) {
+    const ResponseCache::Stats cache = response_cache_->stats();
+    counters.response_cache_hits = cache.hits;
+    counters.response_cache_misses = cache.misses;
+    counters.response_cache_evictions = cache.evictions;
+    counters.response_cache_rejections = cache.rejections;
+    counters.response_cache_entries = cache.entries;
+    counters.response_cache_bytes = cache.bytes;
+    counters.response_cache_capacity = cache.capacity;
+  }
   return counters;
 }
 

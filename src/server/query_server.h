@@ -7,12 +7,14 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/catalog.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "server/response_cache.h"
 #include "server/wire.h"
 #include "util/cancel.h"
 #include "util/status.h"
@@ -100,6 +102,14 @@ class QueryServer {
     /// stays bounded.
     size_t micro_batch_max = 64;
 
+    /// Response byte cache overrides: `enable_response_cache` toggles it
+    /// regardless of ThemisOptions::enable_response_cache when set (the
+    /// serving bench measures its cache-off baseline through this);
+    /// `response_cache_bytes` overrides the catalog's byte budget when
+    /// positive.
+    std::optional<bool> enable_response_cache;
+    size_t response_cache_bytes = 0;
+
     /// Tracing overrides (each overrides its ThemisOptions counterpart
     /// when positive, like max_inflight above — so tests can turn tracing
     /// on without rebuilding the catalog). trace_sample_n traces every Nth
@@ -163,10 +173,11 @@ class QueryServer {
   std::string MetricsText() const;
 
  private:
-  struct PendingResponse;  // one FIFO slot: cancel token + response line
+  struct PendingResponse;  // one FIFO slot: cancel token + response payload
   struct Session;          // one connection, owned by one I/O thread
   struct IoThread;         // epoll fd + wakeup + mailbox + sessions
   struct ReadyRequest;     // one admitted request awaiting dispatch
+  struct CacheIntent;      // one miss path's response-cache coordinates
 
   void IoLoop(size_t index);
   /// Accepts until EAGAIN (listen fd is edge-triggered on thread 0) and
@@ -201,10 +212,17 @@ class QueryServer {
   void SubmitSingle(size_t io_index, ReadyRequest ready);
   void SubmitBatch(size_t io_index, std::vector<ReadyRequest> batch);
 
-  /// Executes one admitted request on the calling (pool) thread.
-  std::string ExecuteRequest(const WireRequest& request,
-                             const util::CancelToken* cancel,
-                             obs::TraceContext* trace);
+  /// Executes one admitted request on the calling (pool) thread, leaving
+  /// the response payload in the request's FIFO slot (owned scratch bytes,
+  /// or a shared response-cache handle).
+  void ExecuteRequest(ReadyRequest& ready, obs::TraceContext* trace);
+
+  /// Response-cache coordinates of one admitted kQuery, computed on the
+  /// pool thread *before* execution (route + plan-cache fingerprint +
+  /// generation snapshot); not eligible when the cache is off, the plan
+  /// has no fingerprint, or routing/planning fails (execution will answer
+  /// the error — errors are never cached).
+  CacheIntent PrepareCacheIntent(const WireRequest& request);
 
   /// Always-on per-request accounting at completion time: records the
   /// end-to-end latency histogram, and for traced requests flushes the
@@ -214,8 +232,12 @@ class QueryServer {
 
   /// Per-logical-request bookkeeping shared by the single and micro-batch
   /// paths: bumps served_ok / served_error (+ deadline/cancel tallies) and
-  /// encodes the response line.
-  std::string FinalizeOutcome(const Result<sql::QueryResult>& result);
+  /// leaves the response payload in `slot` — cached bytes when a coalesced
+  /// peer admitted them first (second-chance lookup), a fresh encode into
+  /// the slot's recycled scratch buffer otherwise (admitted to the cache
+  /// when `intent` is eligible and the relation's generation held).
+  void FinalizeOutcome(const Result<sql::QueryResult>& result,
+                       const CacheIntent& intent, PendingResponse& slot);
 
   /// Posts completed session ids back to an I/O thread and releases the
   /// per-request admission slots.
@@ -236,6 +258,10 @@ class QueryServer {
   uint64_t slow_query_ms_ = 0;
   /// Heap-held so the (deleted-copy) histograms don't constrain the class.
   std::unique_ptr<obs::ServingMetrics> metrics_;
+  /// Wire-level response byte cache; null when disabled. Invalidated by
+  /// the catalog mutation listener registered at Start().
+  std::unique_ptr<ResponseCache> response_cache_;
+  uint64_t mutation_listener_id_ = 0;
   /// Admitted query/batch requests, for the every-Nth sampling decision.
   std::atomic<uint64_t> request_seq_{0};
 
@@ -278,6 +304,9 @@ class QueryServer {
   /// logical requests) and the logical requests they carried.
   std::atomic<size_t> batches_formed_{0};
   std::atomic<size_t> batched_requests_{0};
+  /// Response payloads actually JSON-encoded (stays flat across
+  /// byte-cache hits — the "zero EncodeResponse" proof counter).
+  std::atomic<size_t> responses_encoded_{0};
 };
 
 }  // namespace themis::server

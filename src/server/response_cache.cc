@@ -1,0 +1,92 @@
+#include "server/response_cache.h"
+
+#include <utility>
+
+namespace themis::server {
+
+namespace {
+/// Probe entries are two short strings; bound their count rather than
+/// their bytes so a probe flood cannot evict payloads' metadata wholesale
+/// while the payload budget still has room.
+constexpr size_t kProbeEntries = 8192;
+}  // namespace
+
+ResponseCache::ResponseCache(size_t capacity_bytes)
+    : probe_(kProbeEntries), bytes_(capacity_bytes) {}
+
+util::ImmutableBuffer ResponseCache::Lookup(const std::string& probe_key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto probe = probe_.Get(probe_key);
+  if (probe.has_value()) {
+    // The full key embeds the generation the bytes were admitted under,
+    // so a probe entry that survived an invalidation simply misses here.
+    auto entry = bytes_.Get(probe->full_key);
+    if (entry.has_value()) {
+      ++hits_;
+      return entry->payload;
+    }
+  }
+  ++misses_;
+  return util::ImmutableBuffer();
+}
+
+uint64_t ResponseCache::Generation(const std::string& relation) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = generations_.find(relation);
+  return it == generations_.end() ? 0 : it->second;
+}
+
+util::ImmutableBuffer ResponseCache::LookupFull(const std::string& full_key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto entry = bytes_.Get(full_key);
+  if (!entry.has_value()) return util::ImmutableBuffer();
+  ++hits_;
+  return entry->payload;
+}
+
+void ResponseCache::Admit(const std::string& probe_key,
+                          const std::string& full_key,
+                          const std::string& relation, uint64_t generation,
+                          util::ImmutableBuffer payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = generations_.find(relation);
+  const uint64_t current = it == generations_.end() ? 0 : it->second;
+  if (current != generation) {
+    // The relation mutated while this query executed: the bytes were
+    // computed against data that no longer exists. Refuse them.
+    ++stale_rejections_;
+    return;
+  }
+  const size_t cost = payload.size();
+  if (bytes_.Put(full_key, ByteEntry{std::move(payload), relation}, cost)) {
+    probe_.Put(probe_key, ProbeEntry{full_key, relation});
+  }
+}
+
+void ResponseCache::Invalidate(const std::string& relation) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++generations_[relation];
+  // Hygiene: the generation bump already makes these unreachable; erasing
+  // them returns their bytes to the budget immediately.
+  bytes_.EraseIf([&relation](const std::string&, const ByteEntry& entry) {
+    return entry.relation == relation;
+  });
+  probe_.EraseIf([&relation](const std::string&, const ProbeEntry& entry) {
+    return entry.relation == relation;
+  });
+}
+
+ResponseCache::Stats ResponseCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats stats;
+  stats.hits = hits_;
+  stats.misses = misses_;
+  stats.evictions = bytes_.evictions();
+  stats.rejections = bytes_.rejections() + stale_rejections_;
+  stats.entries = bytes_.size();
+  stats.bytes = bytes_.total_cost();
+  stats.capacity = bytes_.capacity();
+  return stats;
+}
+
+}  // namespace themis::server

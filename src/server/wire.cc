@@ -390,6 +390,14 @@ JsonValue CountersToJson(const ServerCounters& counters) {
   set("inflight", counters.inflight);
   set("max_inflight", counters.max_inflight);
   set("io_threads", counters.io_threads);
+  set("responses_encoded", counters.responses_encoded);
+  set("response_cache_hits", counters.response_cache_hits);
+  set("response_cache_misses", counters.response_cache_misses);
+  set("response_cache_evictions", counters.response_cache_evictions);
+  set("response_cache_rejections", counters.response_cache_rejections);
+  set("response_cache_entries", counters.response_cache_entries);
+  set("response_cache_bytes", counters.response_cache_bytes);
+  set("response_cache_capacity", counters.response_cache_capacity);
   return object;
 }
 
@@ -736,9 +744,38 @@ Result<WireRequest> ParseRequest(const std::string& line) {
       request.verb = WireRequest::Verb::kMetrics;
       return request;
     }
+    if (name == "set") {
+      request.verb = WireRequest::Verb::kSet;
+      if (json.Find("sql") != nullptr || json.Find("batch") != nullptr) {
+        return Status::InvalidArgument(
+            "'set' installs session defaults and carries no query");
+      }
+      if (const JsonValue* mode = json.Find("default_mode")) {
+        if (!mode->is_string()) {
+          return Status::InvalidArgument("'default_mode' must be a string");
+        }
+        THEMIS_ASSIGN_OR_RETURN(request.mode,
+                                AnswerModeFromWireName(mode->string_value()));
+        request.has_mode = true;
+      }
+      if (const JsonValue* deadline = json.Find("default_deadline_ms")) {
+        if (!deadline->is_number() ||
+            !std::isfinite(deadline->number_value()) ||
+            deadline->number_value() < 0) {
+          return Status::InvalidArgument(
+              "'default_deadline_ms' must be a non-negative finite number");
+        }
+        const double ms = deadline->number_value();
+        request.deadline_ms = ms >= static_cast<double>(kMaxDeadlineMs)
+                                  ? kMaxDeadlineMs
+                                  : static_cast<uint64_t>(ms);
+        request.has_deadline = true;
+      }
+      return request;
+    }
     if (name != "query") {
       return Status::InvalidArgument("unknown verb '" + verb->string_value() +
-                                     "' (expected query/stats/metrics)");
+                                     "' (expected query/set/stats/metrics)");
     }
   }
 
@@ -748,6 +785,7 @@ Result<WireRequest> ParseRequest(const std::string& line) {
     }
     THEMIS_ASSIGN_OR_RETURN(request.mode,
                             AnswerModeFromWireName(mode->string_value()));
+    request.has_mode = true;
   }
   if (const JsonValue* relation = json.Find("relation")) {
     if (!relation->is_string()) {
@@ -766,6 +804,7 @@ Result<WireRequest> ParseRequest(const std::string& line) {
         ms >= static_cast<double>(kMaxDeadlineMs)
             ? kMaxDeadlineMs
             : static_cast<uint64_t>(ms);  // fractional ms truncate
+    request.has_deadline = true;
   }
 
   const JsonValue* sql = json.Find("sql");
@@ -809,6 +848,20 @@ std::string EncodeRequest(const WireRequest& request) {
     case WireRequest::Verb::kMetrics:
       json.Set("verb", JsonValue::String("metrics"));
       return json.Dump();
+    case WireRequest::Verb::kSet:
+      json.Set("verb", JsonValue::String("set"));
+      if (request.has_mode) {
+        json.Set("default_mode",
+                 JsonValue::String(AnswerModeWireName(request.mode)));
+      }
+      // An explicit 0 clears the session default, so the has-flag (not a
+      // non-zero check) decides whether the field rides the wire.
+      if (request.has_deadline) {
+        json.Set("default_deadline_ms",
+                 JsonValue::Number(static_cast<double>(
+                     std::min(request.deadline_ms, kMaxDeadlineMs))));
+      }
+      return json.Dump();
     case WireRequest::Verb::kQuery:
       json.Set("sql", JsonValue::String(request.sql));
       if (!request.relation.empty()) {
@@ -824,7 +877,11 @@ std::string EncodeRequest(const WireRequest& request) {
       break;
     }
   }
-  json.Set("mode", JsonValue::String(AnswerModeWireName(request.mode)));
+  // An omitted mode defers to the session default (the `set` verb), then
+  // the server default — so only an explicitly chosen mode rides the wire.
+  if (request.has_mode) {
+    json.Set("mode", JsonValue::String(AnswerModeWireName(request.mode)));
+  }
   if (request.deadline_ms > 0) {
     json.Set("deadline_ms", JsonValue::Number(static_cast<double>(
                                 std::min(request.deadline_ms,
@@ -835,10 +892,46 @@ std::string EncodeRequest(const WireRequest& request) {
 
 // --- Responses --------------------------------------------------------
 
-std::string EncodeResultResponse(const sql::QueryResult& result) {
+size_t EstimateResultResponseBytes(const sql::QueryResult& result) {
+  // Envelope: {"result":{"group_names":[...],"value_names":[...],
+  // "rows":[...]},"status":"OK"} plus per-name quotes and commas.
+  size_t names = 0;
+  for (const std::string& name : result.group_names) names += name.size() + 3;
+  for (const std::string& name : result.value_names) names += name.size() + 3;
+  size_t row_bytes = 0;
+  if (!result.rows.empty()) {
+    // The first row stands in for all: group labels are near-uniform
+    // width within one result, and every row carries the same column
+    // count. A %.17g double is at most 24 characters plus its comma.
+    const sql::ResultRow& first = result.rows.front();
+    size_t group_label = 0;
+    for (const std::string& label : first.group) group_label += label.size() + 3;
+    row_bytes =
+        result.rows.size() * (group_label + 26 * first.values.size() + 32);
+  }
+  return 64 + names + row_bytes;
+}
+
+void EncodeResultResponseTo(const sql::QueryResult& result,
+                            std::string* out) {
   JsonValue response = JsonValue::Object();
   response.Set("status", JsonValue::String("OK"));
   response.Set("result", ResultToJson(result));
+  out->clear();
+  const size_t estimate = EstimateResultResponseBytes(result);
+  if (out->capacity() < estimate) out->reserve(estimate);
+  DumpTo(response, out);
+}
+
+std::string EncodeResultResponse(const sql::QueryResult& result) {
+  std::string out;
+  EncodeResultResponseTo(result, &out);
+  return out;
+}
+
+std::string EncodeOkResponse() {
+  JsonValue response = JsonValue::Object();
+  response.Set("status", JsonValue::String("OK"));
   return response.Dump();
 }
 
@@ -984,6 +1077,21 @@ Result<ServerStats> DecodeStatsResponse(const std::string& line) {
     stats.server.inflight = CounterFrom(*server, "inflight");
     stats.server.max_inflight = CounterFrom(*server, "max_inflight");
     stats.server.io_threads = CounterFrom(*server, "io_threads");
+    stats.server.responses_encoded = CounterFrom(*server, "responses_encoded");
+    stats.server.response_cache_hits =
+        CounterFrom(*server, "response_cache_hits");
+    stats.server.response_cache_misses =
+        CounterFrom(*server, "response_cache_misses");
+    stats.server.response_cache_evictions =
+        CounterFrom(*server, "response_cache_evictions");
+    stats.server.response_cache_rejections =
+        CounterFrom(*server, "response_cache_rejections");
+    stats.server.response_cache_entries =
+        CounterFrom(*server, "response_cache_entries");
+    stats.server.response_cache_bytes =
+        CounterFrom(*server, "response_cache_bytes");
+    stats.server.response_cache_capacity =
+        CounterFrom(*server, "response_cache_capacity");
   }
   if (const JsonValue* host = body->Find("host")) {
     stats.host = HostStatsFromJson(*host);
@@ -1010,6 +1118,10 @@ Result<std::string> DecodeMetricsResponse(const std::string& line) {
     return Status::ParseError("response missing 'metrics'");
   }
   return metrics->string_value();
+}
+
+Status DecodeOkResponse(const std::string& line) {
+  return ParseOkResponse(line).status();
 }
 
 }  // namespace themis::server

@@ -86,6 +86,7 @@ inline constexpr uint64_t kMaxDeadlineMs = 365ull * 24 * 60 * 60 * 1000;
 ///   {"batch": ["SELECT ...", "SELECT ..."], "mode": "sample"}
 ///   {"verb": "stats"}
 ///   {"verb": "metrics"}
+///   {"verb": "set", "default_mode": "sample", "default_deadline_ms": 100}
 ///
 /// `relation` (optional) bypasses FROM-routing via Catalog::QueryOn —
 /// required when relations share a SQL table name. `mode` defaults to
@@ -94,8 +95,15 @@ inline constexpr uint64_t kMaxDeadlineMs = 365ull * 24 * 60 * 60 * 1000;
 /// `deadline_ms` (optional, query/batch) is the request's execution
 /// budget in milliseconds from admission; 0 or absent defers to the
 /// server's ThemisOptions::default_deadline_ms.
+///
+/// "set" installs per-session defaults, answered inline with
+/// {"status":"OK"}: `default_mode` is the AnswerMode applied to this
+/// session's later query/batch requests that carry no explicit `mode`,
+/// and `default_deadline_ms` likewise for `deadline_ms` (its 0 clears
+/// the session default back to the server's). Either field may be
+/// omitted; the other is left unchanged.
 struct WireRequest {
-  enum class Verb { kQuery, kBatch, kStats, kMetrics };
+  enum class Verb { kQuery, kBatch, kStats, kMetrics, kSet };
   Verb verb = Verb::kQuery;
   std::string sql;                 // kQuery
   std::vector<std::string> batch;  // kBatch
@@ -103,6 +111,12 @@ struct WireRequest {
   core::AnswerMode mode = core::AnswerMode::kHybrid;
   /// 0 = no per-request deadline (server default applies, if any).
   uint64_t deadline_ms = 0;
+  /// Whether the wire line carried the field explicitly ("mode" /
+  /// "deadline_ms"; for kSet, "default_mode" / "default_deadline_ms" —
+  /// which ride in `mode` / `deadline_ms` above). An absent field falls
+  /// back to the session default, then the server default.
+  bool has_mode = false;
+  bool has_deadline = false;
 };
 
 /// Parses one request line. InvalidArgument on malformed JSON, an unknown
@@ -144,6 +158,24 @@ struct ServerCounters {
   size_t max_inflight = 0;
   /// Epoll event-loop threads owning the sessions (fixed at Start()).
   size_t io_threads = 0;
+  /// Response payloads the serving path actually JSON-encoded (query and
+  /// batch answers, including errors). A response-byte-cache hit serves
+  /// without encoding, so on an all-hit hot path this stays flat while
+  /// served_ok keeps climbing — the "zero EncodeResponse" proof.
+  size_t responses_encoded = 0;
+  /// Wire-level response byte cache (server::ResponseCache): requests
+  /// served from cached encoded bytes / probes that found none /
+  /// entries dropped by budget or invalidation / payloads refused
+  /// admission (too big, or stale by generation) / resident entries /
+  /// resident payload bytes / byte budget (0 = unbounded). All zero
+  /// (capacity included) when the cache is disabled.
+  size_t response_cache_hits = 0;
+  size_t response_cache_misses = 0;
+  size_t response_cache_evictions = 0;
+  size_t response_cache_rejections = 0;
+  size_t response_cache_entries = 0;
+  size_t response_cache_bytes = 0;
+  size_t response_cache_capacity = 0;
 };
 
 /// Host capability snapshot reported by the STATS verb: the probed cache
@@ -178,6 +210,22 @@ struct ServerStats {
 /// "status" member is a util::StatusCode name ("OK", "NotFound", ...);
 /// non-OK responses carry the message under "error".
 std::string EncodeResultResponse(const sql::QueryResult& result);
+
+/// Pre-sizing heuristic for EncodeResultResponseTo: the fixed envelope,
+/// plus the column names, plus rows x (per-row JSON scaffolding + ~26
+/// bytes per %.17g double + the first row's group-label bytes as the
+/// per-row estimate). Deliberately a slight over-estimate so one reserve
+/// covers the whole encode on typical GROUP BY payloads.
+size_t EstimateResultResponseBytes(const sql::QueryResult& result);
+
+/// Encodes into `*out` (cleared first, capacity retained and pre-grown
+/// to the size estimate) — the allocation-recycling form the server's
+/// per-session scratch buffers use. Bytes are identical to
+/// EncodeResultResponse, which is a thin wrapper over this.
+void EncodeResultResponseTo(const sql::QueryResult& result, std::string* out);
+
+/// The bare {"status":"OK"} acknowledgement (the `set` verb's answer).
+std::string EncodeOkResponse();
 std::string EncodeBatchResponse(const std::vector<sql::QueryResult>& results);
 std::string EncodeStatsResponse(const ServerStats& stats);
 /// The METRICS verb's answer: the Prometheus exposition text carried as
@@ -194,6 +242,10 @@ Result<std::vector<sql::QueryResult>> DecodeBatchResponse(
 Result<ServerStats> DecodeStatsResponse(const std::string& line);
 /// Restores the raw Prometheus text from a METRICS response line.
 Result<std::string> DecodeMetricsResponse(const std::string& line);
+
+/// Checks a bare acknowledgement line ({"status":"OK"}): OK on success,
+/// the restored error Status otherwise. The `set` verb's decoder.
+Status DecodeOkResponse(const std::string& line);
 
 /// Line framing over a socket, shared by the blocking client (and any
 /// blocking caller; the epoll server has its own non-blocking flush

@@ -1,0 +1,39 @@
+#ifndef THEMIS_UTIL_IMMUTABLE_BUFFER_H_
+#define THEMIS_UTIL_IMMUTABLE_BUFFER_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace themis::util {
+
+/// A refcounted handle to immutable bytes: once constructed, the payload
+/// can never change, so any number of threads may read it and any number
+/// of per-session output queues may hold it without copying. Backs the
+/// serving layer's response byte cache — one encoded wire line is shared
+/// between the cache and every session flushing it.
+///
+/// A default-constructed buffer is "null" (operator bool is false) and
+/// distinct from an empty one; str()/data() require a non-null buffer.
+class ImmutableBuffer {
+ public:
+  ImmutableBuffer() = default;
+  explicit ImmutableBuffer(std::string bytes)
+      : bytes_(std::make_shared<const std::string>(std::move(bytes))) {}
+
+  explicit operator bool() const { return bytes_ != nullptr; }
+
+  const char* data() const { return bytes_->data(); }
+  size_t size() const { return bytes_ == nullptr ? 0 : bytes_->size(); }
+  const std::string& str() const { return *bytes_; }
+
+  void reset() { bytes_.reset(); }
+
+ private:
+  std::shared_ptr<const std::string> bytes_;
+};
+
+}  // namespace themis::util
+
+#endif  // THEMIS_UTIL_IMMUTABLE_BUFFER_H_

@@ -77,6 +77,27 @@ class LruCache {
   /// Entries refused admission because their cost alone exceeded capacity.
   size_t rejections() const { return rejections_; }
 
+  /// Erases every entry matching `pred(key, value)`, returning how many
+  /// were dropped (counted in evictions() — from the caller's view a
+  /// predicate erase is a forced eviction, e.g. invalidating one
+  /// relation's entries out of a shared response cache). O(size).
+  template <typename Pred>
+  size_t EraseIf(const Pred& pred) {
+    size_t erased = 0;
+    for (auto it = order_.begin(); it != order_.end();) {
+      if (pred(it->key, it->value)) {
+        total_cost_ -= it->cost;
+        index_.erase(it->key);
+        it = order_.erase(it);
+        ++erased;
+        ++evictions_;
+      } else {
+        ++it;
+      }
+    }
+    return erased;
+  }
+
   void Clear() {
     order_.clear();
     index_.clear();

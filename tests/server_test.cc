@@ -370,14 +370,21 @@ TEST_F(ServerTest, StatsVerbExposesLiveCacheCounters) {
   EXPECT_GE(stats->server.accepted_connections, 1u);
   EXPECT_GE(stats->server.active_connections, 1u);
 
+  // Same text twice: the first request misses every tier and encodes
+  // once; the repeat is served from the response byte cache on the I/O
+  // thread, never reaching the result memo (its hit count stays 0).
+  EXPECT_EQ(stats->server.response_cache_misses, 1u);
+  EXPECT_EQ(stats->server.response_cache_hits, 1u);
+  EXPECT_EQ(stats->server.response_cache_entries, 1u);
+  EXPECT_GT(stats->server.response_cache_bytes, 0u);
+  EXPECT_EQ(stats->server.responses_encoded, 1u);
+
   ASSERT_EQ(stats->relations.size(), 3u);
   const core::RelationStats& flights = stats->relations.at("flights");
   EXPECT_TRUE(flights.built);
-  // Same text twice: one plan-cache miss then one hit, one result-memo
-  // miss then one hit.
   EXPECT_GE(flights.plan_cache_hits, 1u);
   EXPECT_GE(flights.plan_cache_misses, 1u);
-  EXPECT_EQ(flights.result_memo.hits, 1u);
+  EXPECT_EQ(flights.result_memo.hits, 0u);
   EXPECT_EQ(flights.result_memo.misses, 1u);
   EXPECT_EQ(flights.result_memo.entries, 1u);
   // The BN-backed GROUP BY ran inference; shops stayed cold; pending is
@@ -1026,6 +1033,287 @@ TEST_F(ServerTest, StatsAndMetricsRaceTrafficCleanly) {
   server.Stop();
 }
 
+/// The response byte cache's bitwise contract: with the cache ON, every
+/// response line — across modes, repeats, explicit deadlines, errors,
+/// and pipelined bursts — is byte-identical to a cache-OFF server over
+/// the same catalog. Raw lines are compared, not decoded results: the
+/// cache serves stored bytes, so the proof must be at the byte level.
+TEST_F(ServerTest, ResponseCacheDifferentialBitwiseIdentical) {
+  auto db = MakeDb(FastOptions(2));
+  QueryServer::Options off_options;
+  off_options.enable_response_cache = false;
+  QueryServer off(&db->catalog(), off_options);
+  ASSERT_TRUE(off.Start().ok());
+  QueryServer::Options on_options;
+  on_options.enable_response_cache = true;
+  QueryServer on(&db->catalog(), on_options);
+  ASSERT_TRUE(on.Start().ok());
+
+  auto off_client = Client::Connect(off.port());
+  ASSERT_TRUE(off_client.ok());
+  auto on_client = Client::Connect(on.port());
+  ASSERT_TRUE(on_client.ok());
+
+  std::vector<std::string> lines;
+  for (const char* mode : {"hybrid", "sample", "bn"}) {
+    for (const std::string& sql : MixedQueries()) {
+      lines.push_back("{\"sql\": \"" + sql + "\", \"mode\": \"" + mode +
+                      "\"}");
+    }
+  }
+  // Modes ride the cache key: the same SQL under another mode may answer
+  // differently and must never collide. Deadlines do not (they bound
+  // execution, not the answer); errors are never cached but still answer
+  // identically.
+  lines.push_back("{\"sql\": \"" + MixedQueries()[0] +
+                  "\", \"deadline_ms\": 10000}");
+  lines.push_back("{\"sql\": \"SELECT COUNT(*) FROM nosuch\"}");
+  lines.push_back("{\"sql\": \"SELEC oops\"}");
+  // Two passes: pass 1 misses and admits on the cached server, pass 2
+  // serves from bytes. Both must match the uncached server exactly.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const std::string& line : lines) {
+      auto expected = off_client->RoundTrip(line);
+      ASSERT_TRUE(expected.ok()) << line;
+      auto actual = on_client->RoundTrip(line);
+      ASSERT_TRUE(actual.ok()) << line;
+      EXPECT_EQ(*actual, *expected) << "pass " << pass << ": " << line;
+    }
+  }
+  // Pipelined repeats (a mix of inline byte-cache hits and pool-served
+  // lines on one session) come back in order, byte-identical again.
+  for (const std::string& line : lines) {
+    ASSERT_TRUE(on_client->Send(line).ok());
+  }
+  for (const std::string& line : lines) {
+    auto expected = off_client->RoundTrip(line);
+    ASSERT_TRUE(expected.ok());
+    auto actual = on_client->Receive();
+    ASSERT_TRUE(actual.ok()) << line;
+    EXPECT_EQ(*actual, *expected) << "pipelined: " << line;
+  }
+  const ServerCounters counters = on.counters();
+  EXPECT_GT(counters.response_cache_hits, 0u);
+  EXPECT_LT(counters.responses_encoded, counters.served_ok);
+  EXPECT_EQ(off.counters().response_cache_hits, 0u);
+  EXPECT_EQ(off.counters().response_cache_capacity, 0u);
+  on.Stop();
+  off.Stop();
+}
+
+/// The acceptance criterion in counter form: a hot repeated point query
+/// encodes exactly once — every repeat is served from cached bytes on
+/// the I/O thread with zero EncodeResponse calls, while served_ok keeps
+/// climbing and the count identities hold.
+TEST_F(ServerTest, HotRepeatServesWithZeroEncodes) {
+  auto db = MakeDb(FastOptions());
+  QueryServer server(&db->catalog());
+  ASSERT_TRUE(server.Start().ok());
+  auto client = Client::Connect(server.port());
+  ASSERT_TRUE(client.ok());
+
+  const std::string sql =
+      "SELECT COUNT(*) FROM flights WHERE o_st = 'FL' AND d_st = 'FL'";
+  constexpr size_t kRepeats = 50;
+  auto first = client->Query(sql);
+  ASSERT_TRUE(first.ok());
+  for (size_t i = 1; i < kRepeats; ++i) {
+    auto repeat = client->Query(sql);
+    ASSERT_TRUE(repeat.ok());
+    ExpectBitwiseEqual(*repeat, *first, sql);
+  }
+  auto stats = client->Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->server.served_ok, kRepeats);
+  EXPECT_EQ(stats->server.responses_encoded, 1u);
+  EXPECT_EQ(stats->server.response_cache_hits, kRepeats - 1);
+  EXPECT_EQ(stats->server.response_cache_misses, 1u);
+  server.Stop();
+}
+
+/// Invalidation correctness: a mutation (drop, re-insert with a
+/// different sample, rebuild) between two identical requests must never
+/// let the second be served from the pre-mutation bytes. The
+/// post-mutation answer equals a fresh in-process query — and actually
+/// differs from the stale one, so serving stale bytes would have been
+/// caught.
+TEST_F(ServerTest, ResponseCacheInvalidatedOnRebuild) {
+  auto db = MakeDb(FastOptions());
+  QueryServer server(&db->catalog());
+  ASSERT_TRUE(server.Start().ok());
+  auto client = Client::Connect(server.port());
+  ASSERT_TRUE(client.ok());
+
+  const std::string sql =
+      "SELECT COUNT(*) FROM flights WHERE o_st = 'FL' AND d_st = 'FL'";
+  auto before = client->Query(sql);
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(client->Query(sql).ok());  // cached now
+  ASSERT_GE(server.counters().response_cache_hits, 1u);
+
+  // Mutate: re-register flights against a population that gained two
+  // more FL->FL rows — the {o_st,d_st} aggregate covering the point
+  // query changes, so the served answer must change too.
+  ASSERT_TRUE(db->DropRelation("flights").ok());
+  data::Table new_population = flights_population_->Clone();
+  new_population.AppendRowLabels({"02", "FL", "FL"});
+  new_population.AppendRowLabels({"01", "FL", "FL"});
+  ASSERT_TRUE(db->InsertSample("flights", flights_sample_->Clone()).ok());
+  ASSERT_TRUE(
+      db->InsertAggregateFrom("flights", new_population, {"date"}).ok());
+  ASSERT_TRUE(db->InsertAggregateFrom("flights", new_population,
+                                      {"o_st", "d_st"})
+                  .ok());
+  ASSERT_TRUE(db->Build("flights").ok());
+
+  auto after = client->Query(sql);
+  ASSERT_TRUE(after.ok());
+  auto expected = db->Query(sql);
+  ASSERT_TRUE(expected.ok());
+  ExpectBitwiseEqual(*after, *expected, "post-rebuild");
+  // The answer really changed — a stale-bytes bug could not hide.
+  ASSERT_EQ(before->rows.size(), 1u);
+  ASSERT_EQ(after->rows.size(), 1u);
+  EXPECT_NE(after->rows[0].values[0], before->rows[0].values[0]);
+  server.Stop();
+}
+
+/// The `set` verb: session defaults apply to later unmoded requests
+/// (bitwise equal to the explicit-mode answer), explicit fields still
+/// win, the mode is part of the byte-cache key, and a session default
+/// deadline expires a stalled request exactly like an explicit one.
+TEST_F(ServerTest, SetVerbInstallsSessionDefaults) {
+  auto db = MakeDb(FastOptions());
+  QueryServer server(&db->catalog());
+  ASSERT_TRUE(server.Start().ok());
+  auto client = Client::Connect(server.port());
+  ASSERT_TRUE(client.ok());
+
+  const std::string sql = "SELECT date, COUNT(*) FROM flights GROUP BY date";
+  // Warm the hybrid answer into the byte cache first: if the mode were
+  // not part of the probe key, the sample-mode request below would be
+  // served the hybrid bytes.
+  auto hybrid = client->Query(sql);
+  ASSERT_TRUE(hybrid.ok());
+
+  ASSERT_TRUE(client->SetDefaults(AnswerMode::kSampleOnly).ok());
+  auto defaulted = client->Query(sql);
+  ASSERT_TRUE(defaulted.ok());
+  auto expected_sample = db->Query(sql, AnswerMode::kSampleOnly);
+  ASSERT_TRUE(expected_sample.ok());
+  ExpectBitwiseEqual(*defaulted, *expected_sample, "session default mode");
+
+  // An explicit mode overrides the session default.
+  auto explicit_bn = client->Query(sql, "", AnswerMode::kBnOnly);
+  ASSERT_TRUE(explicit_bn.ok());
+  auto expected_bn = db->Query(sql, AnswerMode::kBnOnly);
+  ASSERT_TRUE(expected_bn.ok());
+  ExpectBitwiseEqual(*explicit_bn, *expected_bn, "explicit mode wins");
+
+  // Defaults are per-session: a fresh connection still answers hybrid.
+  auto other = Client::Connect(server.port());
+  ASSERT_TRUE(other.ok());
+  auto other_answer = other->Query(sql);
+  ASSERT_TRUE(other_answer.ok());
+  ExpectBitwiseEqual(*other_answer, *hybrid, "fresh session stays hybrid");
+
+  // A `set` line carrying a query is the client's mistake.
+  auto invalid = client->RoundTrip(
+      "{\"verb\": \"set\", \"sql\": \"SELECT 1\"}");
+  ASSERT_TRUE(invalid.ok());
+  EXPECT_NE(invalid->find("\"InvalidArgument\""), std::string::npos);
+  server.Stop();
+}
+
+/// Session default deadlines behave exactly like explicit ones: a
+/// stalled request with no deadline_ms of its own expires under the
+/// session default, and clearing the default (explicit 0) restores
+/// no-budget behavior.
+TEST_F(ServerTest, SetVerbDefaultDeadlineExpiresStalledRequest) {
+  auto db = MakeDb(FastOptions(1));
+  std::promise<void> release;
+  std::shared_future<void> released = release.get_future().share();
+  auto first = std::make_shared<std::atomic<bool>>(true);
+  QueryServer::Options options;
+  options.io_threads = 1;
+  options.request_hook = [released, first] {
+    if (first->exchange(false)) released.wait();
+  };
+  QueryServer server(&db->catalog(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto client = Client::Connect(server.port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->SetDefaults(std::nullopt, uint64_t{1}).ok());
+  const std::string sql = "SELECT kind, COUNT(*) FROM shops GROUP BY kind";
+  ASSERT_TRUE(client->Send("{\"sql\": \"" + sql + "\"}").ok());
+  while (server.counters().inflight < 1) std::this_thread::yield();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  release.set_value();
+  auto response = client->Receive();
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(DecodeResultResponse(*response).status().code(),
+            StatusCode::kDeadlineExceeded)
+      << *response;
+
+  // Clearing the default (explicit 0) removes the session budget.
+  ASSERT_TRUE(client->SetDefaults(std::nullopt, uint64_t{0}).ok());
+  EXPECT_TRUE(client->Query(sql).ok());
+  server.Stop();
+}
+
+/// TSan lane: inline byte-cache hits on the I/O threads racing a
+/// DropRelation on another thread. The hit path touches no catalog
+/// state, so cached bytes may be served while the relation dies; once
+/// the invalidation lands, requests fall through to execution and get
+/// NotFound. Either answer is sound — the assertion is no race, no
+/// crash, no torn bytes.
+TEST_F(ServerTest, ByteCacheHitsRaceDropRelationCleanly) {
+  auto db = MakeDb(FastOptions(2));
+  QueryServer server(&db->catalog());
+  ASSERT_TRUE(server.Start().ok());
+
+  const std::string sql =
+      "SELECT COUNT(*) FROM shops WHERE city = 'AA' AND kind = 'K1'";
+  {
+    auto warm = Client::Connect(server.port());
+    ASSERT_TRUE(warm.ok());
+    ASSERT_TRUE(warm->Query(sql).ok());  // admit the bytes
+    ASSERT_TRUE(warm->Query(sql).ok());  // prove they hit
+  }
+  ASSERT_GE(server.counters().response_cache_hits, 1u);
+
+  constexpr int kThreads = 3;
+  constexpr int kIterations = 40;
+  std::atomic<int> transport_failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      auto client = Client::Connect(server.port());
+      if (!client.ok()) {
+        transport_failures.fetch_add(1);
+        return;
+      }
+      for (int i = 0; i < kIterations; ++i) {
+        auto raw = client->RoundTrip("{\"sql\": \"" + sql + "\"}");
+        // OK-from-cache before the drop, NotFound after — both fine;
+        // only transport failures are bugs.
+        if (!raw.ok()) transport_failures.fetch_add(1);
+      }
+    });
+  }
+  ASSERT_TRUE(db->DropRelation("shops").ok());
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(transport_failures.load(), 0);
+
+  // The drop invalidated the cached bytes: the query now answers
+  // NotFound, never the stale count.
+  auto check = Client::Connect(server.port());
+  ASSERT_TRUE(check.ok());
+  EXPECT_EQ(check->Query(sql).status().code(), StatusCode::kNotFound);
+  server.Stop();
+}
+
 /// JSON round-trip fidelity: escapes, unicode, and 17-digit doubles.
 TEST(WireTest, JsonRoundTrip) {
   const std::string text =
@@ -1134,6 +1422,7 @@ TEST(WireTest, DeadlineRoundTrip) {
   request.sql = "SELECT COUNT(*) FROM flights";
   request.relation = "flights";
   request.mode = AnswerMode::kBnOnly;
+  request.has_mode = true;  // an unset mode no longer rides the wire
   request.deadline_ms = 750;
   auto round = ParseRequest(EncodeRequest(request));
   ASSERT_TRUE(round.ok());

@@ -14,7 +14,11 @@ Checks, in order:
      `_bucket` counts are monotone non-decreasing in `le`, a `+Inf`
      bucket exists, and it equals the family's `_count` sample.
   4. The required families for the serving path are present:
-     themis_requests_total, themis_request_latency_seconds.
+     themis_requests_total, themis_request_latency_seconds,
+     themis_responses_encoded_total, themis_response_cache_hits_total
+     (the response-cache families are emitted — as zeros — even when the
+     cache is disabled, so their absence always means a broken
+     exposition).
   5. With --expect-count N, themis_request_latency_seconds_count == N
      (the serving invariant: one histogram record per served request,
      so the count must equal served_ok + served_error).
@@ -41,6 +45,8 @@ LABEL_RE = re.compile(
 REQUIRED_FAMILIES = [
     "themis_requests_total",
     "themis_request_latency_seconds",
+    "themis_responses_encoded_total",
+    "themis_response_cache_hits_total",
 ]
 
 
